@@ -1,0 +1,36 @@
+"""Figure 3: growth of unique community values and community-using ASNs.
+
+Paper: unique values tripled to >50k by 2016; unique top-16-bit ASNs
+more than doubled from ~2.5k to ~5.5k.
+"""
+
+from __future__ import annotations
+
+from conftest import write_table
+
+from repro.analysis.adoption import AdoptionModel
+
+
+def test_fig3_adoption_growth(benchmark):
+    series = benchmark(lambda: AdoptionModel(seed=1).series())
+
+    lines = ["year  unique_values  unique_asns  values_per_prefix"]
+    for point in series:
+        lines.append(
+            f"{point.year}  {point.unique_values:13d}  {point.unique_asns:11d}"
+            f"  {point.values_per_prefix:17.1f}"
+        )
+    write_table("fig3_community_growth", lines)
+    print("\n".join(lines))
+
+    first, last = series[0], series[-1]
+    assert last.year == 2016 and first.year == 2011
+    # Values grow faster than ASNs (schemes get richer).
+    assert last.unique_values / first.unique_values >= 2.5
+    assert 1.8 <= last.unique_asns / first.unique_asns <= 2.5
+    assert last.unique_values > 40_000
+    assert 5_000 <= last.unique_asns <= 6_000
+    # Monotone growth in both series.
+    for a, b in zip(series, series[1:]):
+        assert b.unique_values >= a.unique_values
+        assert b.unique_asns >= a.unique_asns

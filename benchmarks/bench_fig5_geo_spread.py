@@ -1,0 +1,35 @@
+"""Figure 5: geographic spread of trackable infrastructure.
+
+Paper: ~66% of location communities tag Europe, 24.5% North America,
+~2% Africa + South America combined.
+"""
+
+from __future__ import annotations
+
+from conftest import write_table
+
+from repro.analysis.coverage import dictionary_geo_spread
+
+
+def test_fig5_geographic_spread(benchmark, world):
+    spread = benchmark(
+        lambda: dictionary_geo_spread(world.dictionary, world.colo)
+    )
+
+    total = sum(sum(v.values()) for v in spread.values())
+    lines = ["continent  share  city  ixp  facility"]
+    for cont in sorted(spread, key=lambda c: -sum(spread[c].values())):
+        count = sum(spread[cont].values())
+        row = spread[cont]
+        lines.append(
+            f"{cont:>9}  {count / total:5.1%}  {row['city']:4d}"
+            f"  {row['ixp']:3d}  {row['facility']:8d}"
+        )
+    write_table("fig5_geo_spread", lines)
+    print("\n".join(lines))
+
+    shares = {c: sum(v.values()) / total for c, v in spread.items()}
+    # Europe dominates, then North America; AF+SA are a small tail.
+    assert shares["EU"] >= 0.45
+    assert shares["EU"] > shares["NA"] > shares.get("SA", 0.0)
+    assert shares.get("AF", 0.0) + shares.get("SA", 0.0) <= 0.12

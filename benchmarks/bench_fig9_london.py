@@ -1,0 +1,144 @@
+"""Figure 9: the London double outage — disambiguation and remote impact.
+
+* 9a — the three signals: facility outages at times A and C are
+  PoP-level; the Tier-1 re-routing at time B must classify AS-level;
+* 9b — per-facility affected-path evidence converges on TC HEX 8/9 and
+  Telehouse North as the epicenters;
+* 9c — distance profile of affected far-end interfaces: a large share
+  of the impact lands far from London (remote peering).
+"""
+
+from __future__ import annotations
+
+from conftest import write_table
+
+from repro.analysis.remote_impact import (
+    affected_far_interfaces,
+    remote_impact_analysis,
+)
+from repro.core.events import SignalType
+from repro.docmine.dictionary import PoPKind
+from repro.outages.case_studies import (
+    LONDON_A_START,
+    LONDON_B_START,
+    LONDON_C_START,
+)
+from repro.traceroute import AddressPlan
+
+
+def _truth(world, record):
+    if record.located_pop.kind is PoPKind.FACILITY:
+        return world.truth_facility_ids(record.located_pop.pop_id)
+    if record.located_pop.kind is PoPKind.IXP:
+        return world.truth_ixp_ids(record.located_pop.pop_id)
+    return set()
+
+
+def test_fig9a_signal_timeline(benchmark, london_run):
+    world = london_run["world"]
+    kepler = london_run["kepler"]
+    records = london_run["records"]
+
+    def analyse():
+        near = lambda t, when: abs(t - when) < 1800.0
+        a_pop = [
+            c for c in kepler.signal_log
+            if c.signal_type is SignalType.POP and near(c.bin_start, LONDON_A_START)
+        ]
+        b_pop = [
+            c for c in kepler.signal_log
+            if c.signal_type is SignalType.POP and near(c.bin_start, LONDON_B_START)
+        ]
+        b_as = [
+            c for c in kepler.signal_log
+            if c.signal_type in (SignalType.AS, SignalType.OPERATOR)
+            and near(c.bin_start, LONDON_B_START)
+        ]
+        c_pop = [
+            c for c in kepler.signal_log
+            if c.signal_type is SignalType.POP and near(c.bin_start, LONDON_C_START)
+        ]
+        return a_pop, b_pop, b_as, c_pop
+
+    a_pop, b_pop, b_as, c_pop = benchmark(analyse)
+    lines = [
+        f"time A: {len(a_pop)} PoP-level signals (facility outage)",
+        f"time B: {len(b_pop)} PoP-level vs {len(b_as)} AS-level signals",
+        f"time C: {len(c_pop)} PoP-level signals (facility outage)",
+    ]
+    write_table("fig9a_timeline", lines)
+    print("\n".join(lines))
+
+    assert a_pop, "time A outage produced no PoP-level signal"
+    assert c_pop, "time C outage produced no PoP-level signal"
+    assert b_as, "time B produced no AS-level classification"
+    # Located records: both facility epicenters found.
+    found = {t for r in records for t in _truth(world, r)}
+    assert "tc-hex89" in found
+    assert "th-north" in found
+
+
+def test_fig9b_epicenter_convergence(benchmark, london_run):
+    world = london_run["world"]
+    records = london_run["records"]
+
+    def analyse():
+        a_records = [
+            r for r in records if abs(r.start - LONDON_A_START) < 1800.0
+        ]
+        c_records = [
+            r for r in records if abs(r.start - LONDON_C_START) < 1800.0
+        ]
+        return a_records, c_records
+
+    a_records, c_records = benchmark(analyse)
+    lines = []
+    for label, group in (("A", a_records), ("C", c_records)):
+        for record in group:
+            lines.append(
+                f"time {label}: {record.located_pop} <- method"
+                f" {record.method}, truth {sorted(_truth(world, record))}"
+            )
+    write_table("fig9b_disambiguation", lines)
+    print("\n".join(lines))
+
+    assert any("tc-hex89" in _truth(world, r) for r in a_records)
+    assert any("th-north" in _truth(world, r) for r in c_records)
+    # No cross-contamination: time C must not re-blame TC HEX 8/9.
+    assert not any("tc-hex89" in _truth(world, r) for r in c_records)
+
+
+def test_fig9c_remote_impact(benchmark, london_run):
+    world = london_run["world"]
+    records = london_run["records"]
+    plan = AddressPlan(world.topo)
+
+    def analyse():
+        affected_links = {
+            (n, f)
+            for record in records
+            for n, f in record.affected_links
+            if n is not None and f is not None
+        }
+        interfaces = affected_far_interfaces(
+            world.topo, plan, affected_links, via_ixp="linx"
+        )
+        return remote_impact_analysis(interfaces, "London", plan, world.topo)
+
+    impact = benchmark(analyse)
+    lines = [
+        f"far-end interfaces located: {len(impact.distances_km)}",
+        f"local to London: {impact.local_fraction:.0%} (paper: 44%)",
+        f"in another country: {impact.other_country_fraction:.0%} (paper: >45%)",
+        f"outside Europe: {impact.outside_continent_fraction:.0%} (paper: >20%)",
+        "histogram (500 km bins): "
+        + ", ".join(f"{int(s)}km:{c}" for s, c in impact.histogram()[:10]),
+    ]
+    write_table("fig9c_remote_links", lines)
+    print("\n".join(lines))
+
+    assert len(impact.distances_km) >= 20
+    # The headline: a local outage has substantial non-local impact.
+    assert impact.local_fraction < 0.9
+    assert impact.other_country_fraction > 0.10
+    assert max(impact.distances_km) > 1000.0

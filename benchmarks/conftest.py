@@ -1,0 +1,134 @@
+"""Shared benchmark fixtures.
+
+The expensive artifacts (worlds, scenario replays) are built once per
+session and shared; each bench then times its analysis step and asserts
+the *shape* of the paper's corresponding figure or table.
+
+Bench outputs are also written as text tables to ``benchmarks/output/``
+so EXPERIMENTS.md can quote a concrete run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.outages.case_studies import (
+    AMSIX_OUTAGE_DURATION_S,
+    AMSIX_OUTAGE_START,
+    amsix_outage_scenario,
+    london_dual_outage_scenario,
+    LONDON_A_START,
+    LONDON_C_START,
+)
+from repro.outages.history import HistoryParams, generate_history
+from repro.outages.reports import ReportingModel
+from repro.scenarios import build_world
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def write_table(name: str, lines: list[str]) -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text("\n".join(lines) + "\n")
+
+
+@pytest.fixture(scope="session")
+def world():
+    """Read-only default world for structure-only benches."""
+    return build_world(seed=1)
+
+
+@pytest.fixture(scope="session")
+def amsix_run():
+    """AMS-IX 2015-05-13 replay: records + element stream + world."""
+    world = build_world(seed=1)
+    scenario = amsix_outage_scenario()
+    kepler = world.make_kepler()
+    snapshot = world.rib_snapshot(AMSIX_OUTAGE_START - 3 * 3600.0)
+    kepler.prime(snapshot)
+    elements = world.run_events(scenario.sorted_events())
+    kepler.process(elements)
+    records = kepler.finalize(
+        end_time=AMSIX_OUTAGE_START + AMSIX_OUTAGE_DURATION_S + 6 * 3600.0
+    )
+    return {
+        "world": world,
+        "scenario": scenario,
+        "kepler": kepler,
+        "records": records,
+        "elements": elements,
+        "snapshot": snapshot,
+        "t0": AMSIX_OUTAGE_START,
+        "t1": AMSIX_OUTAGE_START + AMSIX_OUTAGE_DURATION_S,
+    }
+
+
+@pytest.fixture(scope="session")
+def london_run():
+    """London July 2016 double-outage replay."""
+    world = build_world(seed=1)
+    scenario = london_dual_outage_scenario(world.topo)
+    kepler = world.make_kepler()
+    kepler.prime(world.rib_snapshot(LONDON_A_START - 6 * 3600.0))
+    kepler.process(world.run_events(scenario.sorted_events()))
+    records = kepler.finalize(end_time=LONDON_C_START + 12 * 3600.0)
+    return {
+        "world": world,
+        "scenario": scenario,
+        "kepler": kepler,
+        "records": records,
+    }
+
+
+#: Scaled history (the full 159-outage run takes tens of minutes; the
+#: shapes — detected/reported ratio, duration CDFs, continental mix —
+#: are preserved at this scale).
+HISTORY_PARAMS = HistoryParams(
+    seed=2,
+    n_facility_outages=34,
+    n_ixp_outages=18,
+    n_sandy_outages=4,
+    n_as_events_per_year=8,
+    n_depeerings_per_year=5,
+    n_partial_per_year=2,
+)
+
+
+@pytest.fixture(scope="session")
+def history_run():
+    """Five-year history replay through Kepler, plus the report model.
+
+    Outage targets are restricted to *trackable* infrastructure (>= 6
+    dictionary-locatable members), matching the paper's coverage claim:
+    Kepler's detections are a lower bound and untrackable facilities
+    are out of scope by construction (Section 5.2).
+    """
+    world = build_world(seed=2, n_tier2_vantages=32)
+    locatable = world.dictionary.covered_asns()
+    trackable_truth_facs = {
+        hint
+        for map_id in world.colo.trackable_facilities(locatable)
+        for hint in world.colo.facilities[map_id].fac_id_hints
+    }
+    scenario = generate_history(
+        world.topo,
+        HISTORY_PARAMS,
+        trackable_only_facilities=trackable_truth_facs,
+    )
+    kepler = world.make_kepler()
+    kepler.prime(world.rib_snapshot(scenario.start_time - 86400.0))
+    kepler.process(world.run_events(scenario.sorted_events()))
+    records = kepler.finalize(end_time=scenario.end_time + 86400.0)
+    reporting = ReportingModel(world.topo, seed=2)
+    reports = reporting.reports_for(scenario.infrastructure_truth())
+    return {
+        "world": world,
+        "scenario": scenario,
+        "kepler": kepler,
+        "records": records,
+        "reports": reports,
+        "trackable_facs": trackable_truth_facs,
+    }

@@ -1,0 +1,109 @@
+"""The AMS-IX 2015-05-13 outage case study (Sections 6.2-6.4).
+
+Replays the switching-loop outage and reproduces the paper's analyses:
+
+* detection at three community granularities (Figure 8c);
+* BGP vs traceroute path restoration (Figures 10a/10b);
+* RTT impact on rerouted vs unchanged paths (Figure 10c);
+* the remote traffic dip at a Frankfurt IXP 360 km away (Figure 10d).
+
+Run:  python examples/amsix_outage_case_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rtt import rtt_comparison
+from repro.outages.case_studies import (
+    AMSIX_OUTAGE_DURATION_S,
+    AMSIX_OUTAGE_START,
+    amsix_outage_scenario,
+)
+from repro.scenarios import build_world
+from repro.traceroute import (
+    AddressPlan,
+    HopMapper,
+    MeasurementPlatform,
+    TracerouteSimulator,
+)
+from repro.traffic import IXPTrafficObserver, TrafficMatrix
+
+
+def main() -> None:
+    world = build_world(seed=1)
+    scenario = amsix_outage_scenario()
+    t0 = AMSIX_OUTAGE_START
+    t1 = t0 + AMSIX_OUTAGE_DURATION_S
+
+    kepler = world.make_kepler()
+    kepler.prime(world.rib_snapshot(t0 - 3 * 3600.0))
+    kepler.process(world.run_events(scenario.sorted_events()))
+    records = kepler.finalize(end_time=t1 + 6 * 3600.0)
+
+    print("=== Detection (Figure 8c) ===")
+    for record in records:
+        minutes = (record.duration_s or 0.0) / 60.0
+        print(
+            f"  {record.located_pop} via '{record.method}':"
+            f" detected duration {minutes:.0f} min"
+            f" (true outage {AMSIX_OUTAGE_DURATION_S / 60:.0f} min),"
+            f" {len(record.affected_ases)} member ASes affected"
+        )
+
+    print("\n=== Data plane (Figures 10b/10c) ===")
+    plan = AddressPlan(world.topo)
+    sim = TracerouteSimulator(world.engine, plan, seed=1)
+    mapper = HopMapper(
+        plan,
+        ixp_truth_to_map={
+            i: m for i in world.topo.ixps if (m := world.map_ixp_id(i))
+        },
+        fac_truth_to_map={
+            f: m for f in world.topo.facilities if (m := world.map_facility_id(f))
+        },
+    )
+    platform = MeasurementPlatform(simulator=sim, daily_credits=10**9)
+    ams_map_id = world.map_ixp_id("ams-ix")
+    members = sorted(world.topo.ixp_members["ams-ix"])
+    probes = platform.probes_in(set(members)) or platform.probes[:20]
+    targets = [m for m in members if world.topo.ases[m].originates][:15]
+
+    phases = {
+        "before": t0 - 1200.0,
+        "during": t0 + AMSIX_OUTAGE_DURATION_S / 2.0,
+        "after": t1 + 1200.0,
+    }
+    for phase, when in phases.items():
+        traces = [
+            sim.trace(p.asn, dst, when)
+            for p in probes[:12]
+            for dst in targets
+            if p.asn != dst
+        ]
+        crossing = sum(
+            1
+            for tr in traces
+            if tr.reached and mapper.trace_crosses_pop(tr, "ixp", ams_map_id)
+        )
+        comparison = rtt_comparison(phase, traces, mapper, "ixp", ams_map_id)
+        via = comparison.median_via()
+        off = comparison.median_off()
+        print(
+            f"  {phase:>6}: {crossing}/{len(traces)} traces cross AMS-IX;"
+            f" median RTT via={via and round(via, 1)} ms,"
+            f" off={off and round(off, 1)} ms"
+        )
+
+    print("\n=== Remote traffic at DE-CIX Frankfurt (Figure 10d) ===")
+    matrix = TrafficMatrix(world.topo, seed=1)
+    observer = IXPTrafficObserver(world.engine, matrix, "de-cix")
+    baseline = observer.sample(t0 - 1800.0).total_gbps
+    during = observer.sample(t0 + 300.0).total_gbps
+    after = observer.sample(t1 + 3600.0).total_gbps
+    print(f"  asymmetric member-pair fraction: {observer.asymmetric_pair_fraction():.1%}")
+    print(f"  before outage: {baseline:7.1f} Gbps")
+    print(f"  during outage: {during:7.1f} Gbps ({during / baseline - 1:+.1%})")
+    print(f"  after outage : {after:7.1f} Gbps")
+
+
+if __name__ == "__main__":
+    main()

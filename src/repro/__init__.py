@@ -1,0 +1,16 @@
+"""Reproduction of *Detecting Peering Infrastructure Outages in the Wild*.
+
+Giotsas et al., ACM SIGCOMM 2017 — the **Kepler** system.
+
+The package is organised as a set of substrates (geography, topology, BGP,
+policy routing, documentation mining, traceroute, traffic, outage scenarios)
+underneath the paper's primary contribution in :mod:`repro.core`: a passive
+BGP-community-driven detector that localises peering-infrastructure outages
+to the level of a building.
+
+See ``examples/quickstart.py`` for a complete runnable walk-through.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,91 @@
+"""Coverage analyses: Table 1, Figure 5, Figure 7b.
+
+* Table 1 — facilities per continent: all, >5 members, trackable;
+* Figure 5 — geographic spread of dictionary communities by kind;
+* Figure 7b — per-facility total members vs community-mapped members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.colocation import ColocationMap, MIN_TRACKABLE_MEMBERS
+from repro.docmine.dictionary import CommunityDictionary, PoPKind
+from repro.geo.cities import city_by_name
+
+
+@dataclass(frozen=True)
+class ContinentCoverage:
+    continent: str
+    all_facilities: int
+    over_5_members: int
+    trackable: int
+
+
+def _continent_of_city(city_name: str) -> str:
+    city = city_by_name(city_name)
+    return city.continent if city else "?"
+
+
+def continent_coverage(
+    colo: ColocationMap,
+    locatable_ases: set[int],
+    minimum: int = MIN_TRACKABLE_MEMBERS,
+) -> list[ContinentCoverage]:
+    """Table 1 rows, ordered by total facility count."""
+    rows: dict[str, list[int]] = {}
+    trackable = colo.trackable_facilities(locatable_ases, minimum)
+    for map_id, fac in colo.facilities.items():
+        cont = _continent_of_city(fac.city_name)
+        row = rows.setdefault(cont, [0, 0, 0])
+        row[0] += 1
+        if len(fac.tenants) > 5:
+            row[1] += 1
+        if map_id in trackable:
+            row[2] += 1
+    out = [
+        ContinentCoverage(cont, *counts)
+        for cont, counts in rows.items()
+        if cont != "?"
+    ]
+    out.sort(key=lambda r: -r.all_facilities)
+    return out
+
+
+def trackability_profile(
+    colo: ColocationMap, locatable_ases: set[int]
+) -> list[tuple[str, int, int, bool]]:
+    """Figure 7b points: (facility, total members, mapped members, trackable)."""
+    rows: list[tuple[str, int, int, bool]] = []
+    for map_id in sorted(colo.facilities):
+        tenants = colo.tenants(map_id)
+        mapped = len(tenants & locatable_ases)
+        rows.append(
+            (map_id, len(tenants), mapped, mapped >= MIN_TRACKABLE_MEMBERS)
+        )
+    return rows
+
+
+def dictionary_geo_spread(
+    dictionary: CommunityDictionary, colo: ColocationMap
+) -> dict[str, dict[str, int]]:
+    """Figure 5: dictionary entries per continent per PoP kind."""
+    spread: dict[str, dict[str, int]] = {}
+    for entry in dictionary.entries.values():
+        pop = entry.pop
+        if pop.kind is PoPKind.CITY:
+            cont = _continent_of_city(pop.pop_id)
+        elif pop.kind is PoPKind.FACILITY:
+            fac = colo.facilities.get(pop.pop_id)
+            cont = _continent_of_city(fac.city_name) if fac else "?"
+        else:
+            ixp = colo.ixps.get(pop.pop_id)
+            cont = _continent_of_city(ixp.city_name) if ixp else "?"
+        bucket = spread.setdefault(cont, {k.value: 0 for k in PoPKind})
+        bucket[pop.kind.value] += 1
+    return spread
+
+
+def locatable_ases(dictionary: CommunityDictionary) -> set[int]:
+    """ASes whose interconnections the dictionary can place."""
+    return dictionary.covered_asns()

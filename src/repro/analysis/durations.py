@@ -1,0 +1,87 @@
+"""Outage-duration statistics (Figure 8b).
+
+The paper: "The median outage duration is 17 minutes and 40% of the
+outages exceed 1 hour ... IXP outages last longer than facility
+outages", with support lines at 99.9 / 99.99 / 99.999 % annual uptime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ecdf import fraction_at_least, quantile
+from repro.core.events import OutageRecord
+from repro.docmine.dictionary import PoPKind
+
+YEAR_S = 365.0 * 86400.0
+
+#: Annual downtime budgets for the classic availability classes.
+UPTIME_BUDGET_S = {
+    "99.9": YEAR_S * 1e-3,  # ~8.76 h
+    "99.99": YEAR_S * 1e-4,  # ~52.6 min
+    "99.999": YEAR_S * 1e-5,  # ~5.26 min
+}
+
+
+@dataclass(frozen=True)
+class DurationStats:
+    count: int
+    median_s: float
+    p90_s: float
+    over_1h_fraction: float
+
+    @property
+    def median_min(self) -> float:
+        return self.median_s / 60.0
+
+
+def duration_stats(durations_s: list[float]) -> DurationStats:
+    if not durations_s:
+        raise ValueError("no durations")
+    return DurationStats(
+        count=len(durations_s),
+        median_s=quantile(durations_s, 0.5),
+        p90_s=quantile(durations_s, 0.9),
+        over_1h_fraction=fraction_at_least(durations_s, 3600.0),
+    )
+
+
+def durations_by_kind(
+    records: list[OutageRecord],
+) -> dict[PoPKind, list[float]]:
+    """Closed-outage durations grouped by located-PoP kind."""
+    out: dict[PoPKind, list[float]] = {kind: [] for kind in PoPKind}
+    for record in records:
+        if record.duration_s is not None:
+            out[record.kind].append(record.duration_s)
+    return out
+
+
+def uptime_fraction(
+    annual_downtime_s: dict[str, float], nines: str
+) -> float:
+    """Fraction of targets meeting the given uptime class.
+
+    ``annual_downtime_s`` maps a target id to its summed downtime per
+    year (averaged over the observation window).
+    """
+    budget = UPTIME_BUDGET_S[nines]
+    if not annual_downtime_s:
+        return 1.0
+    meeting = sum(1 for d in annual_downtime_s.values() if d <= budget)
+    return meeting / len(annual_downtime_s)
+
+
+def annual_downtime(
+    records: list[OutageRecord], window_years: float
+) -> dict[str, float]:
+    """Average downtime per year per located PoP over the window."""
+    if window_years <= 0:
+        raise ValueError("window_years must be positive")
+    totals: dict[str, float] = {}
+    for record in records:
+        if record.duration_s is None:
+            continue
+        key = str(record.located_pop)
+        totals[key] = totals.get(key, 0.0) + record.duration_s
+    return {key: total / window_years for key, total in totals.items()}

@@ -1,0 +1,102 @@
+"""Remote-impact analysis (Section 6.4, Figure 9c).
+
+"We localize the IPs of the far-end interfaces of the affected ASes ...
+Surprisingly, only 44% of the far-end interfaces are also in London.
+More than 45% of the interfaces are in a different country with more
+than 20% outside Europe."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo.cities import city_by_name
+from repro.geo.distance import haversine_km
+from repro.topology.entities import Topology
+from repro.traceroute.addressing import AddressPlan
+from repro.traceroute.geolocate import geolocate_interface
+
+
+@dataclass
+class RemoteImpact:
+    """Distance profile of affected far-end interfaces."""
+
+    origin_city: str
+    distances_km: list[float] = field(default_factory=list)
+    local_fraction: float = 0.0
+    other_country_fraction: float = 0.0
+    outside_continent_fraction: float = 0.0
+
+    def histogram(self, bin_km: float = 500.0) -> list[tuple[float, int]]:
+        """(bin start, count) pairs for the Figure 9c bars."""
+        if not self.distances_km:
+            return []
+        buckets: dict[int, int] = {}
+        for d in self.distances_km:
+            buckets[int(d // bin_km)] = buckets.get(int(d // bin_km), 0) + 1
+        return [(k * bin_km, buckets[k]) for k in sorted(buckets)]
+
+
+#: Interfaces within this radius count as "local" to the outage city.
+LOCAL_RADIUS_KM = 50.0
+
+
+def remote_impact_analysis(
+    affected_far_interfaces: list[str],
+    origin_city_name: str,
+    plan: AddressPlan,
+    topo: Topology,
+) -> RemoteImpact:
+    """Geolocate far-end interfaces; measure distance from the outage."""
+    origin = city_by_name(origin_city_name)
+    if origin is None:
+        raise ValueError(f"unknown city {origin_city_name!r}")
+    impact = RemoteImpact(origin_city=origin.name)
+    located = 0
+    local = 0
+    other_country = 0
+    outside_continent = 0
+    for ip in affected_far_interfaces:
+        result = geolocate_interface(ip, plan, topo)
+        if result is None:
+            continue
+        located += 1
+        distance = haversine_km(origin.lat, origin.lon, result.lat, result.lon)
+        impact.distances_km.append(distance)
+        if distance <= LOCAL_RADIUS_KM:
+            local += 1
+        if result.country != origin.country:
+            other_country += 1
+        result_city = city_by_name(result.city_name)
+        if result_city is not None and result_city.continent != origin.continent:
+            outside_continent += 1
+    if located:
+        impact.local_fraction = local / located
+        impact.other_country_fraction = other_country / located
+        impact.outside_continent_fraction = outside_continent / located
+    return impact
+
+
+def affected_far_interfaces(
+    topo: Topology,
+    plan: AddressPlan,
+    affected_links: set[tuple[int, int]],
+    via_ixp: str | None = None,
+) -> list[str]:
+    """Far-end interface addresses of affected (near, far) AS links.
+
+    For IXP links, the far end's *router* sits wherever the far AS
+    actually is — remote peers answer from their home city, which is the
+    whole point of Figure 9c.
+    """
+    out: list[str] = []
+    for near, far in sorted(affected_links):
+        if via_ixp is not None:
+            port = topo.ixp_ports.get((via_ixp, far))
+            if port is not None and not port.remote:
+                ip = plan.router_ip(far, port.facility_id)
+                if ip is not None:
+                    out.append(ip)
+                    continue
+        out.append(plan.host_ip(far))
+    return out

@@ -1,0 +1,68 @@
+"""The BGP communities attribute (RFC 1997) and its textual form.
+
+A community is two 16-bit values ``X:Y``; by convention X is the ASN of
+the operator that set it and Y an operator-defined value (Section 3.2).
+Extended communities (RFC 4360) widen the value space; we model the
+subset relevant to the paper: a 32-bit administrator field.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+_COMMUNITY_RE = re.compile(r"^(\d{1,10}):(\d{1,10})$")
+
+
+@dataclass(frozen=True, order=True)
+class Community:
+    """A standard ``X:Y`` BGP community."""
+
+    asn: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.asn <= 0xFFFFFFFF:
+            raise ValueError(f"community ASN {self.asn} out of range")
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise ValueError(f"community value {self.value} out of range")
+
+    @property
+    def is_extended(self) -> bool:
+        """True when either field exceeds 16 bits (RFC 4360 style)."""
+        return self.asn > 0xFFFF or self.value > 0xFFFF
+
+    def __str__(self) -> str:
+        return f"{self.asn}:{self.value}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Community":
+        """Parse ``"X:Y"``; raises ``ValueError`` on malformed input."""
+        match = _COMMUNITY_RE.match(text.strip())
+        if match is None:
+            raise ValueError(f"malformed community {text!r}")
+        return cls(int(match.group(1)), int(match.group(2)))
+
+
+def parse_communities(text: str) -> tuple[Community, ...]:
+    """Parse a whitespace-separated list of communities.
+
+    Malformed tokens are skipped — real BGP dumps contain garbage and the
+    paper's pipeline must be robust to it — but the well-formed remainder
+    is returned in input order.
+    """
+    out: list[Community] = []
+    for token in text.split():
+        try:
+            out.append(Community.parse(token))
+        except ValueError:
+            continue
+    return tuple(out)
+
+
+def communities_from_asn(
+    communities: Iterable[Community], asn: int
+) -> tuple[Community, ...]:
+    """All communities whose top 16 bits (administrator) equal ``asn``."""
+    return tuple(c for c in communities if c.asn == asn)

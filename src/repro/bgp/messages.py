@@ -1,0 +1,133 @@
+"""BGP message model: announcements, withdrawals, and state messages.
+
+Mirrors the record shape BGPStream exposes (Section 4.1): every element
+carries a timestamp, the collector and collector-peer that observed it,
+and — for announcements — the AS path and communities attribute.  State
+messages signal collector-session resets, which Kepler must use to
+discard intervals with gaps in the feed (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.bgp.communities import Community
+
+
+class ElemType(enum.Enum):
+    """Kind of a BGP stream element."""
+
+    ANNOUNCEMENT = "A"
+    WITHDRAWAL = "W"
+    STATE = "S"
+    RIB = "R"  # table-dump entry used for baseline snapshots
+
+
+class SessionState(enum.Enum):
+    """BGP FSM states relevant to feed-gap detection."""
+
+    ESTABLISHED = "established"
+    IDLE = "idle"
+    CONNECT = "connect"
+    ACTIVE = "active"
+
+
+@dataclass(frozen=True)
+class BGPUpdate:
+    """A single routing update element.
+
+    ``peer_asn`` is the collector peer (vantage point) whose session
+    produced the element.  For withdrawals ``as_path`` and
+    ``communities`` are empty by definition.
+    """
+
+    time: float  # seconds since epoch (simulation clock)
+    collector: str
+    peer_asn: int
+    prefix: str
+    elem_type: ElemType
+    as_path: tuple[int, ...] = ()
+    communities: tuple[Community, ...] = ()
+    afi: int = 4  # 4 = IPv4, 6 = IPv6
+
+    def __post_init__(self) -> None:
+        if self.afi not in (4, 6):
+            raise ValueError(f"afi must be 4 or 6, got {self.afi}")
+        if self.elem_type is ElemType.WITHDRAWAL and self.as_path:
+            raise ValueError("withdrawals carry no AS path")
+        if self.elem_type in (ElemType.ANNOUNCEMENT, ElemType.RIB) and not self.as_path:
+            raise ValueError("announcements must carry an AS path")
+
+    @property
+    def origin_asn(self) -> int | None:
+        return self.as_path[-1] if self.as_path else None
+
+    @property
+    def is_announcement(self) -> bool:
+        return self.elem_type in (ElemType.ANNOUNCEMENT, ElemType.RIB)
+
+    def sort_key(self) -> tuple[float, str, int, str]:
+        return (self.time, self.collector, self.peer_asn, self.prefix)
+
+
+@dataclass(frozen=True)
+class BGPStateMessage:
+    """A collector-session state change (Section 4.2 gap handling)."""
+
+    time: float
+    collector: str
+    peer_asn: int
+    old_state: SessionState
+    new_state: SessionState
+
+    @property
+    def is_session_loss(self) -> bool:
+        return (
+            self.old_state is SessionState.ESTABLISHED
+            and self.new_state is not SessionState.ESTABLISHED
+        )
+
+    @property
+    def is_session_recovery(self) -> bool:
+        return (
+            self.old_state is not SessionState.ESTABLISHED
+            and self.new_state is SessionState.ESTABLISHED
+        )
+
+    def sort_key(self) -> tuple[float, str, int, str]:
+        return (self.time, self.collector, self.peer_asn, "")
+
+
+#: Union type alias for stream elements.
+StreamElement = BGPUpdate | BGPStateMessage
+
+
+@dataclass
+class UpdateBatch:
+    """A time-ordered batch of stream elements with validation helpers."""
+
+    elements: list[StreamElement] = field(default_factory=list)
+
+    def append(self, element: StreamElement) -> None:
+        self.elements.append(element)
+
+    def sorted(self) -> list[StreamElement]:
+        return sorted(self.elements, key=lambda e: e.sort_key())
+
+    def announcements(self) -> list[BGPUpdate]:
+        return [
+            e
+            for e in self.elements
+            if isinstance(e, BGPUpdate) and e.is_announcement
+        ]
+
+    def withdrawals(self) -> list[BGPUpdate]:
+        return [
+            e
+            for e in self.elements
+            if isinstance(e, BGPUpdate) and e.elem_type is ElemType.WITHDRAWAL
+        ]
+
+    def __len__(self) -> int:
+        return len(self.elements)

@@ -1,0 +1,100 @@
+"""Routing Information Base keyed by (collector peer, prefix).
+
+Each collector peer contributes one best route per prefix; the RIB tracks
+the latest announcement/withdrawal per (peer, prefix) key and can emit
+table-dump snapshots, which Kepler's monitoring module uses to build its
+stable-path baseline (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.communities import Community
+from repro.bgp.messages import BGPUpdate, ElemType
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """Current best route of one collector peer for one prefix."""
+
+    time: float
+    peer_asn: int
+    prefix: str
+    as_path: tuple[int, ...]
+    communities: tuple[Community, ...]
+    afi: int = 4
+
+
+@dataclass
+class RoutingInformationBase:
+    """RIB for a single collector."""
+
+    collector: str
+    _entries: dict[tuple[int, str], RibEntry] = field(default_factory=dict)
+
+    def apply(self, update: BGPUpdate) -> RibEntry | None:
+        """Apply an update; return the new entry (None for withdrawal).
+
+        State messages are not routes and must not be passed here.
+        """
+        if update.collector != self.collector:
+            raise ValueError(
+                f"update for collector {update.collector!r} applied to"
+                f" {self.collector!r}"
+            )
+        key = (update.peer_asn, update.prefix)
+        if update.elem_type is ElemType.WITHDRAWAL:
+            self._entries.pop(key, None)
+            return None
+        if update.elem_type is ElemType.STATE:
+            raise ValueError("state messages cannot be applied to a RIB")
+        entry = RibEntry(
+            time=update.time,
+            peer_asn=update.peer_asn,
+            prefix=update.prefix,
+            as_path=update.as_path,
+            communities=update.communities,
+            afi=update.afi,
+        )
+        self._entries[key] = entry
+        return entry
+
+    def drop_peer(self, peer_asn: int) -> int:
+        """Remove all routes of a peer (session loss); return count."""
+        keys = [key for key in self._entries if key[0] == peer_asn]
+        for key in keys:
+            del self._entries[key]
+        return len(keys)
+
+    def lookup(self, peer_asn: int, prefix: str) -> RibEntry | None:
+        return self._entries.get((peer_asn, prefix))
+
+    def entries(self) -> list[RibEntry]:
+        """Snapshot of all entries, deterministically ordered."""
+        return [self._entries[k] for k in sorted(self._entries)]
+
+    def prefixes(self) -> set[str]:
+        return {prefix for _, prefix in self._entries}
+
+    def peer_asns(self) -> set[int]:
+        return {peer for peer, _ in self._entries}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def snapshot_updates(self, time: float) -> list[BGPUpdate]:
+        """Emit the RIB as table-dump (``ElemType.RIB``) elements."""
+        return [
+            BGPUpdate(
+                time=time,
+                collector=self.collector,
+                peer_asn=entry.peer_asn,
+                prefix=entry.prefix,
+                elem_type=ElemType.RIB,
+                as_path=entry.as_path,
+                communities=entry.communities,
+                afi=entry.afi,
+            )
+            for entry in self.entries()
+        ]

@@ -1,0 +1,78 @@
+"""Path sanitization (Section 4.1).
+
+"Kepler sanitizes the collected paths by discarding paths with AS loops,
+private ASNs, or special-purpose ASNs."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+#: Private-use ASN ranges (RFC 6996).
+_PRIVATE_16 = range(64512, 65535)  # 65535 itself is reserved, handled below
+_PRIVATE_32 = range(4200000000, 4294967295)
+
+#: Special-purpose / reserved ASNs (RFC 7607, RFC 4893, IANA registry,
+#: Team Cymru bogon list referenced by the paper).
+_SPECIAL = {
+    0,  # RFC 7607
+    23456,  # AS_TRANS, RFC 4893
+    65535,  # reserved
+    4294967295,  # reserved
+}
+_DOCUMENTATION = range(64496, 64512)  # RFC 5398
+_DOCUMENTATION_32 = range(65536, 65552)  # RFC 5398 (32-bit)
+
+
+def is_private_asn(asn: int) -> bool:
+    """True for RFC 6996 private-use ASNs."""
+    return asn in _PRIVATE_16 or asn in _PRIVATE_32
+
+
+def is_special_purpose_asn(asn: int) -> bool:
+    """True for reserved / documentation / AS_TRANS ASNs."""
+    return asn in _SPECIAL or asn in _DOCUMENTATION or asn in _DOCUMENTATION_32
+
+
+def has_as_loop(path: Sequence[int]) -> bool:
+    """True if an ASN re-appears after an intervening different ASN.
+
+    Consecutive repeats are AS-path prepending, which is legitimate and
+    *not* a loop.
+    """
+    seen: set[int] = set()
+    previous: int | None = None
+    for asn in path:
+        if asn == previous:
+            continue
+        if asn in seen:
+            return True
+        seen.add(asn)
+        previous = asn
+    return False
+
+
+def deprepend(path: Sequence[int]) -> tuple[int, ...]:
+    """Collapse consecutive duplicate ASNs (remove prepending)."""
+    out: list[int] = []
+    for asn in path:
+        if not out or out[-1] != asn:
+            out.append(asn)
+    return tuple(out)
+
+
+def sanitize_path(path: Sequence[int]) -> tuple[int, ...] | None:
+    """Return the de-prepended path, or ``None`` if it must be discarded.
+
+    Discards empty paths, paths with loops, and paths containing private
+    or special-purpose ASNs, per Section 4.1.
+    """
+    if not path:
+        return None
+    if has_as_loop(path):
+        return None
+    clean = deprepend(path)
+    for asn in clean:
+        if is_private_asn(asn) or is_special_purpose_asn(asn):
+            return None
+    return clean

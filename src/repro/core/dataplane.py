@@ -1,0 +1,56 @@
+"""Data-plane validation interface (Section 4.4).
+
+Kepler confirms control-plane inferences with traceroute measurements:
+re-probe the baseline (source, destination) pairs that crossed the
+candidate PoP; if fewer than ``Tfail`` still cross it, the outage is
+confirmed; if the traceroutes contradict a persistent BGP signal, the
+inference is discarded as a false positive.
+
+The concrete traceroute machinery lives in :mod:`repro.traceroute`; this
+module defines the protocol plus restoration constants so the core has
+no dependency on the measurement substrate.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Protocol
+
+from repro.docmine.dictionary import PoP
+
+#: ">50% of the paths return to the baseline" closes an outage.
+RESTORE_FRACTION = 0.5
+#: Two outages of one PoP separated by < 12 h merge into one incident.
+MERGE_GAP_S = 12 * 3600.0
+
+
+class ValidationOutcome(enum.Enum):
+    CONFIRMED = "confirmed"
+    REJECTED = "rejected"
+    INCONCLUSIVE = "inconclusive"
+
+
+class DataPlaneValidator(Protocol):
+    """What Kepler needs from a measurement platform."""
+
+    def validate(self, pop: PoP, time: float) -> ValidationOutcome:
+        """Probe the baseline pairs crossing ``pop``; compare to Tfail."""
+        ...
+
+    def restored_fraction(self, pop: PoP, time: float) -> float | None:
+        """Fraction of baseline data-plane paths back through ``pop``."""
+        ...
+
+
+class NullValidator:
+    """Pure control-plane operation: every check is inconclusive.
+
+    Used for the historical replay of Section 6.1, where targeted
+    probing of past events is impossible.
+    """
+
+    def validate(self, pop: PoP, time: float) -> ValidationOutcome:
+        return ValidationOutcome.INCONCLUSIVE
+
+    def restored_fraction(self, pop: PoP, time: float) -> float | None:
+        return None

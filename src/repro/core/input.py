@@ -1,0 +1,133 @@
+"""Kepler input module (Section 4.1).
+
+Sanitizes BGP elements and maps attached communities to PoPs through the
+community dictionary:
+
+* a location community is attributed to the AS in its top 16 bits, which
+  must appear on the AS path ("mapping the first two octets of the
+  community to the same ASN hop in the path"); the far-end neighbor is
+  the next hop towards the origin — the AS the route was received from;
+* route-server communities place the IXP between the adjacent on-path
+  member pair (the methodology of Giotsas & Zhou for IXP route servers),
+  resolved through the colocation map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.messages import BGPUpdate, ElemType
+from repro.bgp.sanitize import sanitize_path
+from repro.core.colocation import ColocationMap
+from repro.docmine.dictionary import CommunityDictionary, PoP
+
+#: A monitored path unit: one vantage route for one prefix.
+PathKey = tuple[str, int, str]  # (collector, peer_asn, prefix)
+
+
+@dataclass(frozen=True)
+class PoPTag:
+    """One location annotation on a path."""
+
+    pop: PoP
+    near_asn: int | None  # AS that applied the ingress community
+    far_asn: int | None  # neighbor the route was received from
+
+
+@dataclass(frozen=True)
+class TaggedPath:
+    """A sanitized, location-annotated stream element."""
+
+    key: PathKey
+    time: float
+    elem_type: ElemType
+    as_path: tuple[int, ...]
+    tags: tuple[PoPTag, ...]
+    afi: int
+
+    @property
+    def is_withdrawal(self) -> bool:
+        return self.elem_type is ElemType.WITHDRAWAL
+
+    def pops(self) -> set[PoP]:
+        return {tag.pop for tag in self.tags}
+
+    def tag_for(self, pop: PoP) -> PoPTag | None:
+        for tag in self.tags:
+            if tag.pop == pop:
+                return tag
+        return None
+
+
+class InputModule:
+    """Stateless update parser: BGPUpdate -> TaggedPath."""
+
+    def __init__(
+        self, dictionary: CommunityDictionary, colo: ColocationMap
+    ) -> None:
+        self.dictionary = dictionary
+        self.colo = colo
+        self.parsed_count = 0
+        self.discarded_count = 0
+
+    def process(self, update: BGPUpdate) -> TaggedPath | None:
+        """Parse one update; ``None`` when the path must be discarded."""
+        key: PathKey = (update.collector, update.peer_asn, update.prefix)
+        if update.elem_type is ElemType.WITHDRAWAL:
+            self.parsed_count += 1
+            return TaggedPath(
+                key=key,
+                time=update.time,
+                elem_type=update.elem_type,
+                as_path=(),
+                tags=(),
+                afi=update.afi,
+            )
+        clean = sanitize_path(update.as_path)
+        if clean is None:
+            self.discarded_count += 1
+            return None
+        self.parsed_count += 1
+        tags = self._map_tags(clean, update)
+        return TaggedPath(
+            key=key,
+            time=update.time,
+            elem_type=update.elem_type,
+            as_path=clean,
+            tags=tags,
+            afi=update.afi,
+        )
+
+    # ------------------------------------------------------------------
+    def _map_tags(
+        self, path: tuple[int, ...], update: BGPUpdate
+    ) -> tuple[PoPTag, ...]:
+        tags: list[PoPTag] = []
+        seen: set[tuple[PoP, int | None]] = set()
+        position = {asn: i for i, asn in enumerate(path)}
+        for community in update.communities:
+            pop = self.dictionary.lookup(community)
+            if pop is None:
+                continue
+            if community.asn in self.dictionary.rs_asn_to_pop:
+                tag = self._route_server_tag(pop, path)
+            else:
+                idx = position.get(community.asn)
+                if idx is None:
+                    continue  # leaked community from an off-path AS
+                far = path[idx + 1] if idx + 1 < len(path) else None
+                tag = PoPTag(pop=pop, near_asn=community.asn, far_asn=far)
+            dedup_key = (tag.pop, tag.near_asn)
+            if dedup_key in seen:
+                continue
+            seen.add(dedup_key)
+            tags.append(tag)
+        return tuple(tags)
+
+    def _route_server_tag(self, pop: PoP, path: tuple[int, ...]) -> PoPTag:
+        """Attribute a route-server community to the member pair it joins."""
+        members = self.colo.ixp_members(pop.pop_id)
+        for near, far in zip(path, path[1:]):
+            if near in members and far in members:
+                return PoPTag(pop=pop, near_asn=near, far_asn=far)
+        return PoPTag(pop=pop, near_asn=None, far_asn=None)

@@ -1,0 +1,340 @@
+"""Kepler monitoring module (Section 4.2).
+
+Maintains the stable-path baseline per monitored PoP, bins incoming
+updates into 60-second intervals, and raises per-AS outage signals when
+the fraction of an AS's baseline paths diverting from a PoP within one
+bin exceeds ``Tfail``.
+
+Divergence semantics (the paper's three change types):
+
+* an explicit withdrawal of a baseline path;
+* an announcement whose communities no longer tag the PoP — whether the
+  AS path changed or not ("we consider changes to the community tag as
+  route change even if the AS path remains unchanged");
+* conversely, an AS-path change that *keeps* the PoP tag is **not** a
+  divergence for that PoP.
+
+State messages suspend the affected peer's paths so collector-session
+resets do not masquerade as outages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.messages import BGPStateMessage
+from repro.core.events import OutageSignal
+from repro.core.input import PathKey, PoPTag, TaggedPath
+from repro.docmine.dictionary import PoP
+
+#: Paper defaults.
+BIN_INTERVAL_S = 60.0
+STABLE_WINDOW_S = 2 * 24 * 3600.0
+DEFAULT_T_FAIL = 0.10
+
+
+@dataclass
+class MonitorParams:
+    bin_interval_s: float = BIN_INTERVAL_S
+    stable_window_s: float = STABLE_WINDOW_S
+    t_fail: float = DEFAULT_T_FAIL
+
+    def __post_init__(self) -> None:
+        if self.bin_interval_s <= 0:
+            raise ValueError("bin_interval_s must be positive")
+        if not 0.0 < self.t_fail <= 1.0:
+            raise ValueError("t_fail must be in (0, 1]")
+
+
+@dataclass
+class _BaselineEntry:
+    near_asn: int | None
+    far_asn: int | None
+    since: float
+    #: ASes on the monitored path (excluding the vantage), used to spot
+    #: divergences caused by a common downstream AS (the Figure 9a
+    #: time-B trap).
+    path_ases: frozenset[int] = frozenset()
+
+
+@dataclass
+class _TrackState:
+    """Return-tracking for one open outage."""
+
+    keys: set[PathKey]
+    returned: set[PathKey] = field(default_factory=set)
+
+    def fraction_returned(self) -> float:
+        if not self.keys:
+            return 1.0
+        return len(self.returned) / len(self.keys)
+
+
+class OutageMonitor:
+    """Stable-baseline monitor over a tagged update stream."""
+
+    def __init__(self, params: MonitorParams | None = None) -> None:
+        self.params = params or MonitorParams()
+        #: pop -> key -> entry (the stable baseline).
+        self.baseline: dict[PoP, dict[PathKey, _BaselineEntry]] = {}
+        #: reverse index key -> pops with a baseline entry for it.
+        self._key_pops: dict[PathKey, set[PoP]] = {}
+        #: stability candidates: (pop, key) -> entry with first-seen time.
+        self._pending: dict[tuple[PoP, PathKey], _BaselineEntry] = {}
+        #: collector peers currently in a feed gap.
+        self._gapped: set[tuple[str, int]] = set()
+        #: divergences observed in the current bin.
+        self._diverted: dict[PoP, set[PathKey]] = {}
+        self._bin_start: float | None = None
+        #: open-outage return tracking.
+        self._tracking: dict[PoP, _TrackState] = {}
+        #: diverted keys of the most recently closed bin, per PoP —
+        #: consumed by Kepler to seed return tracking.
+        self.last_diverted: dict[PoP, set[PathKey]] = {}
+        self.bins_processed = 0
+
+    # ------------------------------------------------------------------
+    # Baseline priming (initial RIB snapshot, assumed stable)
+    # ------------------------------------------------------------------
+    def prime(self, tagged: TaggedPath) -> None:
+        """Install a path into the baseline directly (table dump)."""
+        for tag in tagged.tags:
+            self._install(
+                tag.pop, tagged.key, tag, tagged.time,
+                frozenset(tagged.as_path[1:]),
+            )
+
+    def _install(
+        self,
+        pop: PoP,
+        key: PathKey,
+        tag: PoPTag,
+        since: float,
+        path_ases: frozenset[int] = frozenset(),
+    ) -> None:
+        self.baseline.setdefault(pop, {})[key] = _BaselineEntry(
+            near_asn=tag.near_asn,
+            far_asn=tag.far_asn,
+            since=since,
+            path_ases=path_ases,
+        )
+        self._key_pops.setdefault(key, set()).add(pop)
+
+    def _remove(self, pop: PoP, key: PathKey) -> None:
+        entries = self.baseline.get(pop)
+        if entries is not None:
+            entries.pop(key, None)
+            if not entries:
+                self.baseline.pop(pop, None)
+        pops = self._key_pops.get(key)
+        if pops is not None:
+            pops.discard(pop)
+            if not pops:
+                self._key_pops.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+    def observe_state(self, message: BGPStateMessage) -> None:
+        peer = (message.collector, message.peer_asn)
+        if message.is_session_loss:
+            self._gapped.add(peer)
+        elif message.is_session_recovery:
+            self._gapped.discard(peer)
+
+    def observe(self, tagged: TaggedPath) -> list[OutageSignal]:
+        """Feed one tagged element; returns signals of any closed bins."""
+        signals: list[OutageSignal] = []
+        if self._bin_start is None:
+            self._bin_start = self._bin_floor(tagged.time)
+        while tagged.time >= self._bin_start + self.params.bin_interval_s:
+            signals.extend(self.close_bin())
+        self._apply(tagged)
+        return signals
+
+    def _bin_floor(self, time: float) -> float:
+        width = self.params.bin_interval_s
+        return (time // width) * width
+
+    def _apply(self, tagged: TaggedPath) -> None:
+        key = tagged.key
+        if (key[0], key[1]) in self._gapped:
+            return  # feed gap: ignore, do not interpret as divergence
+        update_pops = tagged.pops()
+
+        # Divergence check against the baseline.
+        for pop in list(self._key_pops.get(key, ())):
+            if tagged.is_withdrawal or pop not in update_pops:
+                self._diverted.setdefault(pop, set()).add(key)
+        # Return tracking for open outages.
+        for pop, track in self._tracking.items():
+            if key not in track.keys:
+                continue
+            if not tagged.is_withdrawal and pop in update_pops:
+                track.returned.add(key)
+            else:
+                track.returned.discard(key)
+
+        # Stability accounting for future baseline entries.
+        if tagged.is_withdrawal:
+            stale = [pk for pk in self._pending if pk[1] == key]
+            for pk in stale:
+                del self._pending[pk]
+            return
+        for tag in tagged.tags:
+            pending_key = (tag.pop, key)
+            in_baseline = key in self.baseline.get(tag.pop, {})
+            if in_baseline:
+                self._pending.pop(pending_key, None)
+                continue
+            if pending_key not in self._pending:
+                self._pending[pending_key] = _BaselineEntry(
+                    near_asn=tag.near_asn,
+                    far_asn=tag.far_asn,
+                    since=tagged.time,
+                    path_ases=frozenset(tagged.as_path[1:]),
+                )
+        # Tags that disappeared reset their pending candidacy.
+        stale = [
+            pk
+            for pk in self._pending
+            if pk[1] == key and pk[0] not in update_pops
+        ]
+        for pk in stale:
+            del self._pending[pk]
+
+    # ------------------------------------------------------------------
+    # Bin closing: signal computation
+    # ------------------------------------------------------------------
+    def close_bin(self) -> list[OutageSignal]:
+        """Close the current bin, emit signals, advance to the next bin."""
+        if self._bin_start is None:
+            return []
+        bin_start = self._bin_start
+        bin_end = bin_start + self.params.bin_interval_s
+        signals: list[OutageSignal] = []
+        self.last_diverted = {}
+        for pop in sorted(self._diverted, key=str):
+            diverted_keys = {
+                k
+                for k in self._diverted[pop]
+                if (k[0], k[1]) not in self._gapped
+            }
+            entries = self.baseline.get(pop, {})
+            if not entries:
+                continue
+            # Group per AS involved in the tagged link (Section 4.2:
+            # "we group the paths based on the ASes that are involved in
+            # the tagged links and determine outages per AS") — a path
+            # counts under both its near- and far-end AS, so a small
+            # member whose paths all die is caught even when a large AS
+            # dominates the PoP's aggregate.
+            totals: dict[int, int] = {}
+            diverted: dict[int, set[PathKey]] = {}
+            for key, entry in entries.items():
+                if (key[0], key[1]) in self._gapped:
+                    continue
+                for subject in (entry.near_asn, entry.far_asn):
+                    if subject is not None:
+                        totals[subject] = totals.get(subject, 0) + 1
+            for key in diverted_keys:
+                entry = entries.get(key)
+                if entry is None:
+                    continue
+                for subject in (entry.near_asn, entry.far_asn):
+                    if subject is not None:
+                        diverted.setdefault(subject, set()).add(key)
+            for subject, keys in sorted(diverted.items()):
+                total = totals.get(subject, 0)
+                if total == 0:
+                    continue
+                if len(keys) / total < self.params.t_fail:
+                    continue
+                links = frozenset(
+                    (entries[k].near_asn, entries[k].far_asn) for k in keys
+                )
+                signals.append(
+                    OutageSignal(
+                        pop=pop,
+                        near_asn=subject,
+                        bin_start=bin_start,
+                        bin_end=bin_end,
+                        diverted_paths=len(keys),
+                        baseline_paths=total,
+                        links=links,
+                        path_as_sets=tuple(
+                            entries[k].path_ases for k in sorted(keys)
+                        ),
+                    )
+                )
+            # "After each binning interval, we remove the changed paths
+            # from the set of stable paths."
+            self.last_diverted[pop] = set(diverted_keys)
+            for key in diverted_keys:
+                self._remove(pop, key)
+        self._diverted.clear()
+        self._promote_pending(bin_end)
+        self._bin_start = bin_end
+        self.bins_processed += 1
+        return signals
+
+    def _promote_pending(self, now: float) -> None:
+        matured = [
+            pk
+            for pk, entry in self._pending.items()
+            if now - entry.since >= self.params.stable_window_s
+        ]
+        for pop, key in matured:
+            entry = self._pending.pop((pop, key))
+            self._install(
+                pop,
+                key,
+                PoPTag(pop=pop, near_asn=entry.near_asn, far_asn=entry.far_asn),
+                entry.since,
+                entry.path_ases,
+            )
+
+    # ------------------------------------------------------------------
+    # Queries used by investigation / Kepler
+    # ------------------------------------------------------------------
+    def baseline_size(self, pop: PoP) -> int:
+        return len(self.baseline.get(pop, {}))
+
+    def baseline_links(self, pop: PoP) -> set[tuple[int | None, int | None]]:
+        return {
+            (entry.near_asn, entry.far_asn)
+            for entry in self.baseline.get(pop, {}).values()
+        }
+
+    def baseline_far_ases(self, pop: PoP) -> set[int]:
+        return {
+            entry.far_asn
+            for entry in self.baseline.get(pop, {}).values()
+            if entry.far_asn is not None
+        }
+
+    def monitored_pops(self) -> set[PoP]:
+        return set(self.baseline)
+
+    # ------------------------------------------------------------------
+    # Open-outage return tracking
+    # ------------------------------------------------------------------
+    def start_tracking(self, pop: PoP, keys: set[PathKey]) -> None:
+        existing = self._tracking.get(pop)
+        if existing is not None:
+            existing.keys.update(keys)
+        else:
+            self._tracking[pop] = _TrackState(keys=set(keys))
+
+    def returned_fraction(self, pop: PoP) -> float | None:
+        track = self._tracking.get(pop)
+        if track is None:
+            return None
+        return track.fraction_returned()
+
+    def stop_tracking(self, pop: PoP) -> None:
+        self._tracking.pop(pop, None)
+
+    @property
+    def current_bin_start(self) -> float | None:
+        return self._bin_start

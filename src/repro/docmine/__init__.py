@@ -1,0 +1,43 @@
+"""Documentation-mining substrate (Section 3.2).
+
+Generates semi-natural community documentation (IRR ``remarks:`` records
+and operator support pages) from the ground-truth schemes, then mines it
+back with the paper's pipeline: regex community extraction, gazetteer
+named-entity recognition, active/passive voice filtering, and
+geocode-and-cluster location unification — producing the community
+dictionary Kepler runs on.
+"""
+
+from repro.docmine.corpus import DocumentPage, generate_corpus
+from repro.docmine.scraper import WebScraper
+from repro.docmine.tokenizer import normalize_tokens, split_lines
+from repro.docmine.ner import EntityKind, GazetteerNER, NamedEntity
+from repro.docmine.voice import Voice, classify_voice
+from repro.docmine.extractor import CommunityMention, extract_mentions
+from repro.docmine.dictionary import (
+    CommunityDictionary,
+    DictionaryEntry,
+    PoP,
+    PoPKind,
+    build_dictionary,
+)
+
+__all__ = [
+    "DocumentPage",
+    "generate_corpus",
+    "WebScraper",
+    "normalize_tokens",
+    "split_lines",
+    "EntityKind",
+    "GazetteerNER",
+    "NamedEntity",
+    "Voice",
+    "classify_voice",
+    "CommunityMention",
+    "extract_mentions",
+    "CommunityDictionary",
+    "DictionaryEntry",
+    "PoP",
+    "PoPKind",
+    "build_dictionary",
+]

@@ -1,0 +1,147 @@
+"""Synthetic community documentation corpus.
+
+Each community-using AS publishes its scheme either in IRR ``remarks:``
+records or on a support web page, written in the loosely structured
+English the paper's NLP pipeline has to cope with:
+
+* ingress communities documented in passive voice with heterogeneous
+  location naming (facility names, city aliases, IATA codes, IXP names);
+* outbound traffic-engineering communities documented in active voice —
+  these must be filtered out by the voice classifier;
+* distractor lines, inconsistent separators, and a fraction of ASes that
+  simply do not document their scheme (creating dictionary gaps that
+  bound Kepler's coverage, Figure 7b).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.topology.communities import CommunityScheme, TagKind
+from repro.topology.entities import Topology
+
+#: Passive-voice templates for ingress (location) communities.
+_INGRESS_TEMPLATES = (
+    "{community} - routes received at {location}",
+    "{community} - prefix learned at {location}",
+    "{community} route was received at {location}",
+    "{community} - learned from peer at {location}",
+    "{community} - routes exchanged at {location}",
+    "{community} tagged on routes accepted at {location}",
+)
+
+#: Active-voice templates for outbound (action) communities.
+_OUTBOUND_TEMPLATES = (
+    "{community} - {action} at all peers",
+    "{community} - {action}",
+    "use {community} to {action}",
+    "{community} : {action} towards upstreams",
+)
+
+_DISTRACTORS = (
+    "=== BGP communities of {name} ===",
+    "Contact noc@{domain} for peering requests",
+    "Customers may set the following communities",
+    "Informational communities are listed below",
+    "Last updated by the NOC",
+)
+
+
+@dataclass(frozen=True)
+class DocumentPage:
+    """One published documentation artifact for an AS."""
+
+    asn: int
+    source: str  # "irr" | "web"
+    url: str
+    text: str
+
+
+def _location_phrase(
+    rng: random.Random, topo: Topology, kind: TagKind, target_id: str
+) -> str:
+    """Human phrasing of a location, as operators actually write it."""
+    if kind is TagKind.FACILITY:
+        fac = topo.facilities[target_id]
+        style = rng.random()
+        if style < 0.6:
+            return f"{fac.name} facility"
+        if style < 0.85:
+            return fac.name
+        return f"{fac.name}, {fac.city.name}"
+    if kind is TagKind.IXP:
+        ixp = topo.ixps[target_id]
+        style = rng.random()
+        if style < 0.5:
+            return f"{ixp.name} IXP"
+        if style < 0.8:
+            return ixp.name
+        return f"public peer at {ixp.name}"
+    # City tags: canonical name, alias, or IATA code (Section 3.2).
+    city = next(
+        fac.city
+        for fac in topo.facilities.values()
+        if fac.city.name == target_id
+    )
+    idents = city.all_identifiers()
+    return rng.choice(idents)
+
+
+def render_scheme(
+    rng: random.Random, topo: Topology, scheme: CommunityScheme
+) -> str:
+    """Render one AS's scheme into loosely structured documentation."""
+    lines: list[str] = []
+    rec = topo.ases[scheme.asn]
+    domain = f"as{scheme.asn}.example.net"
+    lines.append(
+        rng.choice(_DISTRACTORS).format(name=rec.name, domain=domain)
+    )
+    entries: list[str] = []
+    for value in sorted(scheme.ingress):
+        tag = scheme.ingress[value]
+        community = f"{scheme.asn}:{value}"
+        location = _location_phrase(rng, topo, tag.kind, tag.target_id)
+        template = rng.choice(_INGRESS_TEMPLATES)
+        entries.append(template.format(community=community, location=location))
+    for value in sorted(scheme.outbound):
+        action = scheme.outbound[value]
+        community = f"{scheme.asn}:{value}"
+        template = rng.choice(_OUTBOUND_TEMPLATES)
+        entries.append(template.format(community=community, action=action))
+    rng.shuffle(entries)
+    lines.extend(entries)
+    lines.append(rng.choice(_DISTRACTORS).format(name=rec.name, domain=domain))
+    prefix = "remarks:      " if rng.random() < 0.5 else ""
+    return "\n".join(prefix + line for line in lines)
+
+
+def generate_corpus(
+    topo: Topology,
+    seed: int = 0,
+    undocumented_rate: float = 0.12,
+) -> list[DocumentPage]:
+    """Documentation pages for all community-using ASes.
+
+    A fraction (``undocumented_rate``) of schemes is never published —
+    the paper's dictionary similarly misses operators without public
+    documentation (e.g. the two absent Tier-1s).
+    """
+    rng = random.Random(seed ^ 0xD0C5)
+    pages: list[DocumentPage] = []
+    for asn in sorted(topo.ases):
+        rec = topo.ases[asn]
+        if not rec.uses_communities or rec.scheme is None:
+            continue
+        if rng.random() < undocumented_rate:
+            continue
+        text = render_scheme(rng, topo, rec.scheme)
+        source = "irr" if rng.random() < 0.6 else "web"
+        url = (
+            f"whois://radb/aut-num/AS{asn}"
+            if source == "irr"
+            else f"https://as{asn}.example.net/communities"
+        )
+        pages.append(DocumentPage(asn=asn, source=source, url=url, text=text))
+    return pages

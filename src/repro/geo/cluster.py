@@ -1,0 +1,97 @@
+"""Location-identifier clustering (Section 3.2).
+
+"To determine if the different location identifiers refer to the same
+location we query the Google Maps Geocoding API to obtain the coordinates
+for each identifier, and we group together identifiers that are within
+10 km from each other."
+
+We implement this as single-linkage agglomerative clustering with a 10 km
+linkage radius — the natural reading of "group together identifiers that
+are within 10 km of each other" — via a union-find structure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.geo.distance import haversine_km
+from repro.geo.geocoder import Geocoder
+
+#: The paper's clustering radius.
+CLUSTER_RADIUS_KM = 10.0
+
+
+class _UnionFind:
+    """Minimal union-find over integer indices (path halving + rank)."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.rank = [0] * n
+
+    def find(self, i: int) -> int:
+        while self.parent[i] != i:
+            self.parent[i] = self.parent[self.parent[i]]
+            i = self.parent[i]
+        return i
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+
+
+def cluster_points(
+    points: Mapping[str, tuple[float, float]],
+    radius_km: float = CLUSTER_RADIUS_KM,
+) -> list[set[str]]:
+    """Group identifiers whose coordinates are within ``radius_km``.
+
+    Single linkage: if A–B and B–C are each within the radius, A, B and C
+    form one cluster even if A–C exceeds it.  Returns clusters sorted by
+    their smallest member for determinism.
+    """
+    if radius_km < 0:
+        raise ValueError("radius_km must be non-negative")
+    names = sorted(points)
+    uf = _UnionFind(len(names))
+    for i, a in enumerate(names):
+        lat_a, lon_a = points[a]
+        for j in range(i + 1, len(names)):
+            lat_b, lon_b = points[names[j]]
+            # Cheap latitude prefilter: 1 deg latitude ~ 111 km.
+            if abs(lat_a - lat_b) * 111.0 > radius_km:
+                continue
+            if haversine_km(lat_a, lon_a, lat_b, lon_b) <= radius_km:
+                uf.union(i, j)
+    clusters: dict[int, set[str]] = {}
+    for i, name in enumerate(names):
+        clusters.setdefault(uf.find(i), set()).add(name)
+    return sorted(clusters.values(), key=lambda c: min(c))
+
+
+def cluster_identifiers(
+    identifiers: Iterable[str],
+    geocoder: Geocoder | None = None,
+    radius_km: float = CLUSTER_RADIUS_KM,
+) -> tuple[list[set[str]], set[str]]:
+    """Geocode identifiers and cluster the resolvable ones.
+
+    Returns ``(clusters, unresolved)`` where ``unresolved`` contains the
+    identifiers the geocoder could not resolve (these are dropped from the
+    dictionary in the paper's pipeline rather than guessed).
+    """
+    geocoder = geocoder or Geocoder()
+    points: dict[str, tuple[float, float]] = {}
+    unresolved: set[str] = set()
+    for ident in identifiers:
+        result = geocoder.geocode(ident)
+        if result is None:
+            unresolved.add(ident)
+        else:
+            points[ident] = (result.lat, result.lon)
+    return cluster_points(points, radius_km=radius_km), unresolved

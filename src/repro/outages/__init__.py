@@ -1,0 +1,26 @@
+"""Outage scenario engine.
+
+Failure injection scenarios with ground truth, the 2012-2016 historical
+outage generator behind Figure 1, the public-reporting model (mailing
+lists / news sites with their US/UK bias), and the canned case studies
+of Section 6 (AMS-IX 2015, the London double outage of July 2016).
+"""
+
+from repro.outages.scenario import GroundTruthOutage, OutageScenario
+from repro.outages.history import HistoryParams, generate_history
+from repro.outages.reports import ReportingModel, ReportedOutage
+from repro.outages.case_studies import (
+    amsix_outage_scenario,
+    london_dual_outage_scenario,
+)
+
+__all__ = [
+    "GroundTruthOutage",
+    "OutageScenario",
+    "HistoryParams",
+    "generate_history",
+    "ReportingModel",
+    "ReportedOutage",
+    "amsix_outage_scenario",
+    "london_dual_outage_scenario",
+]

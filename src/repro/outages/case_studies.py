@@ -1,0 +1,67 @@
+"""Canned case-study scenarios (Section 6.2, Figures 8c, 9a, 9b, 10).
+
+* **AMS-IX, 2015-05-13**: a forwarding loop during planned maintenance
+  took the fabric down for ~10 minutes around 09:45 UTC; traffic and
+  routes recovered over the following quarter hour, with BGP path
+  re-convergence stretching over hours.
+* **London, 2016-07-20/21**: two independent facility outages on
+  consecutive days — Telecity Harbour Exchange 8&9 (time A), then
+  Telehouse North (time C) — with an unrelated Tier-1 re-routing event
+  between them (time B) that produces a city-level signal Kepler must
+  classify as AS-level, exactly the trap discussed around Figure 9a.
+"""
+
+from __future__ import annotations
+
+import calendar
+
+from repro.outages.scenario import OutageScenario
+from repro.topology.entities import ASTier, Topology
+
+#: 2015-05-13 09:45 UTC (approximate incident start used in Figure 8c).
+AMSIX_OUTAGE_START = calendar.timegm((2015, 5, 13, 9, 45, 0))
+AMSIX_OUTAGE_DURATION_S = 10 * 60.0
+
+#: 2016-07-20 13:00 UTC and 2016-07-21 09:00 UTC (times A and C).
+LONDON_A_START = calendar.timegm((2016, 7, 20, 13, 0, 0))
+LONDON_B_START = calendar.timegm((2016, 7, 20, 21, 0, 0))
+LONDON_C_START = calendar.timegm((2016, 7, 21, 9, 0, 0))
+
+
+def amsix_outage_scenario() -> OutageScenario:
+    """The AMS-IX switching-loop outage."""
+    scenario = OutageScenario(name="amsix-2015-05-13")
+    scenario.add_ixp_outage(
+        "ams-ix",
+        AMSIX_OUTAGE_START,
+        AMSIX_OUTAGE_DURATION_S,
+        cause="maintenance",
+    )
+    return scenario
+
+
+def london_dual_outage_scenario(topo: Topology) -> OutageScenario:
+    """The July 2016 London double facility outage plus the AS-level trap.
+
+    Time A: Telecity HEX 8/9 fails for ~4 h (power issue).
+    Time B: a Tier-1 AS re-routes away from London (AS-level event).
+    Time C: Telehouse North fails for ~6 h the next morning.
+    """
+    scenario = OutageScenario(name="london-2016-07")
+    scenario.add_facility_outage(
+        "tc-hex89", LONDON_A_START, 4 * 3600.0, cause="power"
+    )
+    tier1 = sorted(
+        asn for asn, rec in topo.ases.items() if rec.tier is ASTier.TIER1
+    )
+    # The Tier-1 event: pick one present in London facilities.
+    london_facs = topo.facilities_in_city("London")
+    trap_asn = next(
+        (a for a in tier1 if topo.as_facilities.get(a, set()) & london_facs),
+        tier1[0],
+    )
+    scenario.add_as_outage(trap_asn, LONDON_B_START, 2 * 3600.0)
+    scenario.add_facility_outage(
+        "th-north", LONDON_C_START, 6 * 3600.0, cause="power"
+    )
+    return scenario

@@ -1,0 +1,214 @@
+"""The 2012-2016 historical outage generator (Figure 1, Section 6.1).
+
+Calibrated to the paper's findings over the same five years:
+
+* 159 infrastructure outages total: 103 facility outages across 87
+  facilities and 56 IXP outages across 41 IXPs;
+* duration: median ~17 minutes, ~40 % exceeding one hour, IXP outages
+  lasting longer than facility outages (Figure 8b);
+* geography: ~53 % Europe, ~31 % US;
+* a Hurricane-Sandy-like cluster in late 2012 (the 2012/12 spike);
+* repeat offenders: several IXPs fail more than once in a year;
+* background noise: AS outages, de-peerings and partial failures that
+  exercise the signal classifier (and populate Figure 7a's counts).
+"""
+
+from __future__ import annotations
+
+import calendar
+import random
+from dataclasses import dataclass
+
+from repro.outages.scenario import OutageScenario
+from repro.topology.entities import Topology
+
+#: Simulation epoch: 2012-01-01 00:00 UTC, end: 2017-01-01.
+HISTORY_START = calendar.timegm((2012, 1, 1, 0, 0, 0))
+HISTORY_END = calendar.timegm((2017, 1, 1, 0, 0, 0))
+SANDY_START = calendar.timegm((2012, 10, 29, 0, 0, 0))
+
+#: Facility-outage causes with weights (Section 6.1: "most facility
+#: outages are due to basic infrastructure failures").
+FACILITY_CAUSES = (("power", 0.55), ("fiber-cut", 0.25), ("maintenance", 0.20))
+IXP_CAUSES = (("software", 0.45), ("configuration", 0.25), ("power", 0.30))
+
+
+@dataclass
+class HistoryParams:
+    seed: int = 0
+    n_facility_outages: int = 103
+    n_ixp_outages: int = 56
+    #: Extra Sandy-cluster facility outages in US East Coast, Oct 2012.
+    n_sandy_outages: int = 10
+    #: Background (non-infrastructure) events per year.
+    n_as_events_per_year: int = 40
+    n_depeerings_per_year: int = 25
+    n_partial_per_year: int = 8
+    #: Duration mixture (log-normal seconds): short + long components.
+    short_median_s: float = 17 * 60.0
+    long_median_s: float = 2 * 3600.0
+    long_fraction: float = 0.40
+    sigma: float = 0.9
+    #: IXP outages last longer (multiplier on sampled durations).
+    ixp_duration_factor: float = 1.6
+
+
+def _weighted_choice(rng: random.Random, table: tuple[tuple[str, float], ...]) -> str:
+    names = [n for n, _ in table]
+    weights = [w for _, w in table]
+    return rng.choices(names, weights=weights)[0]
+
+
+def _sample_duration(rng: random.Random, p: HistoryParams, is_ixp: bool) -> float:
+    import math
+
+    median = p.long_median_s if rng.random() < p.long_fraction else p.short_median_s
+    duration = rng.lognormvariate(math.log(median), p.sigma)
+    if is_ixp:
+        duration *= p.ixp_duration_factor
+    return max(120.0, min(duration, 48 * 3600.0))
+
+
+def _region_weight(continent: str) -> float:
+    """Outage-location weights approximating 53% EU / 31% US."""
+    return {"EU": 0.53, "NA": 0.31, "AP": 0.10, "SA": 0.04, "AF": 0.02}.get(
+        continent, 0.01
+    )
+
+
+def generate_history(
+    topo: Topology,
+    params: HistoryParams | None = None,
+    trackable_only_facilities: set[str] | None = None,
+    trackable_only_ixps: set[str] | None = None,
+) -> OutageScenario:
+    """Generate the five-year scenario against a topology.
+
+    ``trackable_only_facilities`` / ``trackable_only_ixps`` optionally
+    restrict outage targets (e.g. to trackable infrastructure); by
+    default anything with at least 6 tenants/members can fail.
+    """
+    p = params or HistoryParams()
+    rng = random.Random(p.seed ^ 0x1517)
+    scenario = OutageScenario(name="history-2012-2016")
+
+    fac_candidates = sorted(
+        fac_id
+        for fac_id, tenants in topo.facility_tenants.items()
+        if len(tenants) >= 6
+        and (
+            trackable_only_facilities is None
+            or fac_id in trackable_only_facilities
+        )
+    )
+    ixp_candidates = sorted(
+        ixp_id
+        for ixp_id, members in topo.ixp_members.items()
+        if len(members) >= 6
+        and (trackable_only_ixps is None or ixp_id in trackable_only_ixps)
+    )
+    fac_weights = [
+        _region_weight(topo.facilities[f].city.continent) for f in fac_candidates
+    ]
+    ixp_weights = [
+        _region_weight(topo.ixps[x].city.continent) for x in ixp_candidates
+    ]
+
+    # Facility outages: 103 over ~87 distinct facilities (some repeat).
+    n_distinct_fac = min(len(fac_candidates), 87)
+    distinct_fac = _weighted_sample(rng, fac_candidates, fac_weights, n_distinct_fac)
+    fac_targets = list(distinct_fac)
+    while len(fac_targets) < p.n_facility_outages:
+        fac_targets.append(rng.choice(distinct_fac))
+    rng.shuffle(fac_targets)
+
+    n_distinct_ixp = min(len(ixp_candidates), 41)
+    distinct_ixp = _weighted_sample(rng, ixp_candidates, ixp_weights, n_distinct_ixp)
+    ixp_targets = list(distinct_ixp)
+    while len(ixp_targets) < p.n_ixp_outages:
+        ixp_targets.append(rng.choice(distinct_ixp))
+    rng.shuffle(ixp_targets)
+
+    span = HISTORY_END - HISTORY_START
+    for fac_id in fac_targets[: p.n_facility_outages]:
+        start = HISTORY_START + rng.random() * span
+        scenario.add_facility_outage(
+            fac_id,
+            start,
+            _sample_duration(rng, p, is_ixp=False),
+            cause=_weighted_choice(rng, FACILITY_CAUSES),
+        )
+    for ixp_id in ixp_targets[: p.n_ixp_outages]:
+        start = HISTORY_START + rng.random() * span
+        scenario.add_ixp_outage(
+            ixp_id,
+            start,
+            _sample_duration(rng, p, is_ixp=True),
+            cause=_weighted_choice(rng, IXP_CAUSES),
+        )
+
+    # Hurricane-Sandy cluster: US-NA facilities, late October 2012.
+    sandy_candidates = [
+        f for f in fac_candidates if topo.facilities[f].city.continent == "NA"
+    ]
+    for _ in range(min(p.n_sandy_outages, len(sandy_candidates))):
+        fac_id = rng.choice(sandy_candidates)
+        start = SANDY_START + rng.random() * 3 * 86400.0
+        scenario.add_facility_outage(
+            fac_id,
+            start,
+            _sample_duration(rng, p, is_ixp=False) * 3.0,
+            cause="power",
+        )
+
+    # Background noise events.
+    all_ases = sorted(topo.ases)
+    peer_pairs = sorted(topo.peers, key=sorted)
+    for year in range(5):
+        year_start = HISTORY_START + year * span / 5.0
+        for _ in range(p.n_as_events_per_year):
+            asn = rng.choice(all_ases)
+            start = year_start + rng.random() * span / 5.0
+            scenario.add_as_outage(asn, start, rng.uniform(600.0, 6 * 3600.0))
+        for _ in range(p.n_depeerings_per_year):
+            pair = rng.choice(peer_pairs)
+            a, b = sorted(pair)
+            start = year_start + rng.random() * span / 5.0
+            scenario.add_depeering(a, b, start, rng.uniform(3600.0, 30 * 86400.0))
+        for _ in range(p.n_partial_per_year):
+            fac_id = rng.choice(fac_candidates)
+            start = year_start + rng.random() * span / 5.0
+            scenario.add_partial_facility_outage(
+                topo,
+                fac_id,
+                start,
+                _sample_duration(rng, p, is_ixp=False),
+                fraction=rng.uniform(0.3, 0.7),
+                rng=rng,
+                cause="power",
+            )
+    scenario.timed_events.sort(key=lambda te: te[0])
+    return scenario
+
+
+def _weighted_sample(
+    rng: random.Random, items: list[str], weights: list[float], k: int
+) -> list[str]:
+    """Weighted sampling without replacement."""
+    chosen: list[str] = []
+    pool = list(items)
+    pool_weights = list(weights)
+    for _ in range(min(k, len(pool))):
+        pick = rng.choices(range(len(pool)), weights=pool_weights)[0]
+        chosen.append(pool.pop(pick))
+        pool_weights.pop(pick)
+    return chosen
+
+
+def semester_of(time_s: float) -> str:
+    """Label like ``2014H1`` for Figure 1 binning."""
+    import time as _time
+
+    tm = _time.gmtime(time_s)
+    half = "H1" if tm.tm_mon <= 6 else "H2"
+    return f"{tm.tm_year}{half}"

@@ -1,0 +1,156 @@
+"""Outage scenarios: timed event sequences with ground truth."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.routing.events import (
+    ASFailure,
+    ASRecovery,
+    FacilityFailure,
+    FacilityRecovery,
+    InfraEvent,
+    IXPFailure,
+    IXPRecovery,
+    LinkFailure,
+    LinkRecovery,
+    PartialFacilityFailure,
+    PartialFacilityRecovery,
+)
+from repro.topology.entities import Topology
+
+
+@dataclass(frozen=True)
+class GroundTruthOutage:
+    """What actually happened — the scoring reference for Kepler."""
+
+    kind: str  # "facility" | "ixp" | "as" | "link"
+    target_id: str  # fac_id / ixp_id / "as<asn>" / "link<a>-<b>"
+    start: float
+    duration_s: float
+    partial: bool = False
+    cause: str = "power"  # power | fiber-cut | software | maintenance
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration_s
+
+
+@dataclass
+class OutageScenario:
+    """A timed event script plus its ground truth."""
+
+    name: str
+    timed_events: list[tuple[float, InfraEvent]] = field(default_factory=list)
+    truth: list[GroundTruthOutage] = field(default_factory=list)
+
+    def add_facility_outage(
+        self,
+        fac_id: str,
+        start: float,
+        duration_s: float,
+        cause: str = "power",
+    ) -> None:
+        self.timed_events.append((start, FacilityFailure(fac_id)))
+        self.timed_events.append((start + duration_s, FacilityRecovery(fac_id)))
+        self.truth.append(
+            GroundTruthOutage(
+                kind="facility",
+                target_id=fac_id,
+                start=start,
+                duration_s=duration_s,
+                cause=cause,
+            )
+        )
+
+    def add_partial_facility_outage(
+        self,
+        topo: Topology,
+        fac_id: str,
+        start: float,
+        duration_s: float,
+        fraction: float,
+        rng: random.Random,
+        cause: str = "power",
+    ) -> None:
+        tenants = sorted(topo.facility_tenants.get(fac_id, set()))
+        count = max(1, int(len(tenants) * fraction))
+        affected = tuple(rng.sample(tenants, min(count, len(tenants))))
+        self.timed_events.append((start, PartialFacilityFailure(fac_id, affected)))
+        self.timed_events.append(
+            (start + duration_s, PartialFacilityRecovery(fac_id, affected))
+        )
+        self.truth.append(
+            GroundTruthOutage(
+                kind="facility",
+                target_id=fac_id,
+                start=start,
+                duration_s=duration_s,
+                partial=True,
+                cause=cause,
+            )
+        )
+
+    def add_ixp_outage(
+        self,
+        ixp_id: str,
+        start: float,
+        duration_s: float,
+        cause: str = "software",
+    ) -> None:
+        self.timed_events.append((start, IXPFailure(ixp_id)))
+        self.timed_events.append((start + duration_s, IXPRecovery(ixp_id)))
+        self.truth.append(
+            GroundTruthOutage(
+                kind="ixp",
+                target_id=ixp_id,
+                start=start,
+                duration_s=duration_s,
+                cause=cause,
+            )
+        )
+
+    def add_as_outage(self, asn: int, start: float, duration_s: float) -> None:
+        self.timed_events.append((start, ASFailure(asn)))
+        self.timed_events.append((start + duration_s, ASRecovery(asn)))
+        self.truth.append(
+            GroundTruthOutage(
+                kind="as",
+                target_id=f"as{asn}",
+                start=start,
+                duration_s=duration_s,
+                cause="operational",
+            )
+        )
+
+    def add_depeering(
+        self, asn_a: int, asn_b: int, start: float, duration_s: float
+    ) -> None:
+        self.timed_events.append((start, LinkFailure(asn_a, asn_b)))
+        self.timed_events.append((start + duration_s, LinkRecovery(asn_a, asn_b)))
+        self.truth.append(
+            GroundTruthOutage(
+                kind="link",
+                target_id=f"link{min(asn_a, asn_b)}-{max(asn_a, asn_b)}",
+                start=start,
+                duration_s=duration_s,
+                cause="depeering",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def sorted_events(self) -> list[tuple[float, InfraEvent]]:
+        return sorted(self.timed_events, key=lambda te: te[0])
+
+    def infrastructure_truth(self) -> list[GroundTruthOutage]:
+        """Only the facility/IXP outages (Kepler's detection target)."""
+        return [t for t in self.truth if t.kind in ("facility", "ixp")]
+
+    @property
+    def start_time(self) -> float:
+        return min((t for t, _ in self.timed_events), default=0.0)
+
+    @property
+    def end_time(self) -> float:
+        return max((t for t, _ in self.timed_events), default=0.0)

@@ -1,0 +1,238 @@
+"""Infrastructure event types.
+
+Each event mutates a :class:`~repro.routing.interconnection.FailureState`
+and reports which topology elements it touches, so the routing engine can
+limit re-convergence to affected origins.  Timed sequences of these
+events are composed by :mod:`repro.outages.scenario`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.routing.interconnection import FailureState
+
+
+@dataclass(frozen=True)
+class FacilityFailure:
+    fac_id: str
+    is_recovery = False
+
+    def apply(self, failures: FailureState) -> None:
+        failures.facilities.add(self.fac_id)
+
+    def touched_facilities(self) -> tuple[str, ...]:
+        return (self.fac_id,)
+
+    def touched_ixps(self) -> tuple[str, ...]:
+        return ()
+
+    def touched_ases(self) -> tuple[int, ...]:
+        return ()
+
+    def touched_links(self) -> tuple[frozenset[int], ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class FacilityRecovery:
+    fac_id: str
+    is_recovery = True
+
+    def apply(self, failures: FailureState) -> None:
+        failures.facilities.discard(self.fac_id)
+
+
+@dataclass(frozen=True)
+class PartialFacilityFailure:
+    """A facility outage limited to a subset of tenants (Section 5.1).
+
+    Models failures of individual power feeds, rooms or cage rows: the
+    listed ASes lose their equipment in the building, everyone else is
+    unaffected.
+    """
+
+    fac_id: str
+    asns: tuple[int, ...]
+    is_recovery = False
+
+    def apply(self, failures: FailureState) -> None:
+        for asn in self.asns:
+            failures.presences.add((self.fac_id, asn))
+
+    def touched_facilities(self) -> tuple[str, ...]:
+        return (self.fac_id,)
+
+    def touched_ixps(self) -> tuple[str, ...]:
+        return ()
+
+    def touched_ases(self) -> tuple[int, ...]:
+        return self.asns
+
+    def touched_links(self) -> tuple[frozenset[int], ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class PartialFacilityRecovery:
+    fac_id: str
+    asns: tuple[int, ...]
+    is_recovery = True
+
+    def apply(self, failures: FailureState) -> None:
+        for asn in self.asns:
+            failures.presences.discard((self.fac_id, asn))
+
+
+@dataclass(frozen=True)
+class IXPFailure:
+    """Whole-fabric IXP outage (e.g. the AMS-IX loop of Section 6.2)."""
+
+    ixp_id: str
+    is_recovery = False
+
+    def apply(self, failures: FailureState) -> None:
+        failures.ixps.add(self.ixp_id)
+
+    def touched_facilities(self) -> tuple[str, ...]:
+        return ()
+
+    def touched_ixps(self) -> tuple[str, ...]:
+        return (self.ixp_id,)
+
+    def touched_ases(self) -> tuple[int, ...]:
+        return ()
+
+    def touched_links(self) -> tuple[frozenset[int], ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class IXPRecovery:
+    ixp_id: str
+    is_recovery = True
+
+    def apply(self, failures: FailureState) -> None:
+        failures.ixps.discard(self.ixp_id)
+
+
+@dataclass(frozen=True)
+class IXPPortFailure:
+    """Individual member ports down (partial IXP outage)."""
+
+    ixp_id: str
+    asns: tuple[int, ...]
+    is_recovery = False
+
+    def apply(self, failures: FailureState) -> None:
+        for asn in self.asns:
+            failures.ixp_ports.add((self.ixp_id, asn))
+
+    def touched_facilities(self) -> tuple[str, ...]:
+        return ()
+
+    def touched_ixps(self) -> tuple[str, ...]:
+        return (self.ixp_id,)
+
+    def touched_ases(self) -> tuple[int, ...]:
+        return self.asns
+
+    def touched_links(self) -> tuple[frozenset[int], ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class IXPPortRecovery:
+    ixp_id: str
+    asns: tuple[int, ...]
+    is_recovery = True
+
+    def apply(self, failures: FailureState) -> None:
+        for asn in self.asns:
+            failures.ixp_ports.discard((self.ixp_id, asn))
+
+
+@dataclass(frozen=True)
+class ASFailure:
+    """An AS withdraws entirely (e.g. terminates all its sessions)."""
+
+    asn: int
+    is_recovery = False
+
+    def apply(self, failures: FailureState) -> None:
+        failures.ases.add(self.asn)
+
+    def touched_facilities(self) -> tuple[str, ...]:
+        return ()
+
+    def touched_ixps(self) -> tuple[str, ...]:
+        return ()
+
+    def touched_ases(self) -> tuple[int, ...]:
+        return (self.asn,)
+
+    def touched_links(self) -> tuple[frozenset[int], ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class ASRecovery:
+    asn: int
+    is_recovery = True
+
+    def apply(self, failures: FailureState) -> None:
+        failures.ases.discard(self.asn)
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """Administrative de-peering of a single AS pair (Section 4.3)."""
+
+    asn_a: int
+    asn_b: int
+    is_recovery = False
+
+    def apply(self, failures: FailureState) -> None:
+        failures.links.add(frozenset((self.asn_a, self.asn_b)))
+
+    def touched_facilities(self) -> tuple[str, ...]:
+        return ()
+
+    def touched_ixps(self) -> tuple[str, ...]:
+        return ()
+
+    def touched_ases(self) -> tuple[int, ...]:
+        return ()
+
+    def touched_links(self) -> tuple[frozenset[int], ...]:
+        return (frozenset((self.asn_a, self.asn_b)),)
+
+
+@dataclass(frozen=True)
+class LinkRecovery:
+    asn_a: int
+    asn_b: int
+    is_recovery = True
+
+    def apply(self, failures: FailureState) -> None:
+        failures.links.discard(frozenset((self.asn_a, self.asn_b)))
+
+
+FailureEvent = Union[
+    FacilityFailure,
+    PartialFacilityFailure,
+    IXPFailure,
+    IXPPortFailure,
+    ASFailure,
+    LinkFailure,
+]
+RecoveryEvent = Union[
+    FacilityRecovery,
+    PartialFacilityRecovery,
+    IXPRecovery,
+    IXPPortRecovery,
+    ASRecovery,
+    LinkRecovery,
+]
+InfraEvent = Union[FailureEvent, RecoveryEvent]

@@ -1,0 +1,236 @@
+"""Gao-Rexford policy routing.
+
+Per-origin best-path computation under the standard economic model:
+
+* route preference: customer-learned > peer-learned > provider-learned,
+  then shortest AS path, then lowest next-hop ASN (deterministic);
+* export: customer routes go to everyone; peer- and provider-learned
+  routes go to customers only (valley-free paths).
+
+The three-phase BFS construction guarantees valley-freeness: phase 1
+builds customer routes (uphill only), phase 2 attaches single peer edges,
+phase 3 floods downhill through provider->customer edges.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+from repro.routing.interconnection import Adjacency, FailureState
+from repro.topology.entities import Topology
+
+
+class PathClass(enum.Enum):
+    """How the first hop of the route was learned."""
+
+    ORIGIN = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+
+@dataclass(frozen=True)
+class RouteInfo:
+    """Best route of one AS towards the origin."""
+
+    path: tuple[int, ...]  # from this AS to the origin, inclusive
+    path_class: PathClass
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+class AdjacencyIndex:
+    """Pre-computed neighbor lists with live/dead filtering.
+
+    Rebuilding neighbor lists per event would dominate runtime, so the
+    index keeps static neighbor lists and consults a per-event cache of
+    adjacency availability.
+    """
+
+    def __init__(
+        self, topo: Topology, adjacencies: dict[frozenset[int], Adjacency]
+    ) -> None:
+        self.adjacencies = adjacencies
+        self.providers_of: dict[int, tuple[int, ...]] = {}
+        self.customers_of: dict[int, tuple[int, ...]] = {}
+        self.peers_of: dict[int, tuple[int, ...]] = {}
+        providers: dict[int, list[int]] = {a: [] for a in topo.ases}
+        customers: dict[int, list[int]] = {a: [] for a in topo.ases}
+        peers: dict[int, list[int]] = {a: [] for a in topo.ases}
+        for asn in topo.ases:
+            for prov in topo.providers.get(asn, set()):
+                if frozenset((asn, prov)) in adjacencies:
+                    providers[asn].append(prov)
+                    customers[prov].append(asn)
+        for pair in topo.peers:
+            if pair not in adjacencies:
+                continue
+            a, b = sorted(pair)
+            peers[a].append(b)
+            peers[b].append(a)
+        for asn in topo.ases:
+            self.providers_of[asn] = tuple(sorted(providers[asn]))
+            self.customers_of[asn] = tuple(sorted(customers[asn]))
+            self.peers_of[asn] = tuple(sorted(peers[asn]))
+        self._up_cache: dict[frozenset[int], bool] = {}
+        self._failures: FailureState | None = None
+
+    def set_failures(self, failures: FailureState) -> None:
+        """Install the failure state for subsequent ``up`` queries."""
+        self._failures = failures
+        self._up_cache.clear()
+
+    def invalidate(self) -> None:
+        self._up_cache.clear()
+
+    def up(self, a: int, b: int) -> bool:
+        pair = frozenset((a, b))
+        cached = self._up_cache.get(pair)
+        if cached is not None:
+            return cached
+        adj = self.adjacencies.get(pair)
+        result = False
+        if adj is not None and self._failures is not None:
+            result = adj.is_up(self._failures)
+        elif adj is not None:
+            result = True
+        self._up_cache[pair] = result
+        return result
+
+
+def compute_routes(
+    index: AdjacencyIndex, origin: int, down_ases: frozenset[int] = frozenset()
+) -> dict[int, RouteInfo]:
+    """Best Gao-Rexford route of every AS towards ``origin``.
+
+    ASes with no policy-compliant path are absent from the result.
+    ``down_ases`` are excluded entirely (AS-level outages).
+    """
+    if origin in down_ases:
+        return {}
+    best: dict[int, RouteInfo] = {
+        origin: RouteInfo(path=(origin,), path_class=PathClass.ORIGIN)
+    }
+
+    # Phase 1: customer routes — BFS uphill over provider edges.
+    queue: deque[int] = deque([origin])
+    while queue:
+        u = queue.popleft()
+        route_u = best[u]
+        for p in index.providers_of[u]:
+            if p in down_ases or not index.up(u, p):
+                continue
+            candidate = RouteInfo(
+                path=(p,) + route_u.path, path_class=PathClass.CUSTOMER
+            )
+            incumbent = best.get(p)
+            if incumbent is None:
+                best[p] = candidate
+                queue.append(p)
+            elif _better(candidate, incumbent):
+                best[p] = candidate
+                # BFS order guarantees hops are non-decreasing, so a
+                # later candidate can only win on the ASN tie-break at
+                # equal length; no requeue needed (its own exports keep
+                # the same length and class).
+                if candidate.hops == incumbent.hops:
+                    queue.append(p)
+
+    customer_routes = dict(best)
+
+    # Phase 2: peer routes — one lateral step from a customer route.
+    for u in sorted(index.peers_of):
+        if u in best or u in down_ases:
+            continue
+        candidates: list[RouteInfo] = []
+        for v in index.peers_of[u]:
+            route_v = customer_routes.get(v)
+            if route_v is None or v in down_ases or not index.up(u, v):
+                continue
+            if u in route_v.path:
+                continue
+            candidates.append(
+                RouteInfo(path=(u,) + route_v.path, path_class=PathClass.PEER)
+            )
+        if candidates:
+            best[u] = min(candidates, key=_route_key)
+
+    # Phase 3: provider routes — flood downhill (provider -> customer).
+    frontier = sorted(best, key=lambda a: (best[a].hops, a))
+    queue = deque(frontier)
+    while queue:
+        u = queue.popleft()
+        route_u = best[u]
+        for c in index.customers_of[u]:
+            if c in down_ases or not index.up(c, u):
+                continue
+            if c in route_u.path:
+                continue
+            candidate = RouteInfo(
+                path=(c,) + route_u.path, path_class=PathClass.PROVIDER
+            )
+            incumbent = best.get(c)
+            if incumbent is None or _better(candidate, incumbent):
+                # Customer/peer routes always beat provider routes, so we
+                # only ever replace provider routes here.
+                if incumbent is not None and incumbent.path_class is not PathClass.PROVIDER:
+                    continue
+                best[c] = candidate
+                queue.append(c)
+    return best
+
+
+def _route_key(route: RouteInfo) -> tuple[int, int, int]:
+    next_hop = route.path[1] if len(route.path) > 1 else 0
+    return (route.path_class.value, route.hops, next_hop)
+
+
+def _better(a: RouteInfo, b: RouteInfo) -> bool:
+    return _route_key(a) < _route_key(b)
+
+
+def is_valley_free(
+    path: tuple[int, ...], topo: Topology
+) -> bool:
+    """Check the valley-free property of an AS path against ground truth.
+
+    Walking from the first AS (vantage) towards the origin, the sequence
+    of edge types must match ``down* lateral? up*`` when read in the
+    direction of route propagation (origin -> vantage): once a route has
+    been carried over a peer or provider edge it may only be exported to
+    customers.  Equivalently, read from the vantage side: provider edges
+    (towards origin: "up" = next hop is provider of current) may only
+    appear before the single peer edge and customer edges after it.
+    """
+    if len(path) < 2:
+        return True
+    # Edge labels walking vantage -> origin.
+    labels: list[str] = []
+    for u, v in zip(path, path[1:]):
+        if v in topo.providers.get(u, set()):
+            labels.append("up")
+        elif u in topo.providers.get(v, set()):
+            labels.append("down")
+        elif frozenset((u, v)) in topo.peers:
+            labels.append("peer")
+        else:
+            return False  # unknown edge
+    # Valid shape: up* (peer|nothing) down*
+    state = "up"
+    for label in labels:
+        if state == "up":
+            if label == "up":
+                continue
+            state = "down" if label == "down" else "peered"
+        elif state == "peered":
+            if label != "down":
+                return False
+            state = "down"
+        else:  # state == "down"
+            if label != "down":
+                return False
+    return True

@@ -1,0 +1,56 @@
+"""Internet topology substrate.
+
+Synthetic but realistic inter-domain topology: organizations with sibling
+ASes, tiered ASes, colocation facilities with building-level addresses,
+IXPs with multi-facility switching fabrics and route servers, memberships,
+private interconnects and remote peering, per-operator BGP community
+schemes, and noisy colocation-database exports (PeeringDB /
+DataCenterMap stand-ins).
+"""
+
+from repro.topology.entities import (
+    Address,
+    ASTier,
+    AutonomousSystem,
+    Facility,
+    IXP,
+    IXPPort,
+    Organization,
+    Relationship,
+    Topology,
+)
+from repro.topology.communities import (
+    CommunityScheme,
+    CommunityTag,
+    RouteServerScheme,
+    TagKind,
+)
+from repro.topology.builder import WorldParams, build_topology
+from repro.topology.sources import (
+    ColocationRecord,
+    IXPRecord,
+    export_datacentermap,
+    export_peeringdb,
+)
+
+__all__ = [
+    "Address",
+    "ASTier",
+    "AutonomousSystem",
+    "Facility",
+    "IXP",
+    "IXPPort",
+    "Organization",
+    "Relationship",
+    "Topology",
+    "CommunityScheme",
+    "CommunityTag",
+    "RouteServerScheme",
+    "TagKind",
+    "WorldParams",
+    "build_topology",
+    "ColocationRecord",
+    "IXPRecord",
+    "export_peeringdb",
+    "export_datacentermap",
+]

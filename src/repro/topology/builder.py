@@ -1,0 +1,596 @@
+"""Synthetic world builder.
+
+Generates the ground-truth :class:`~repro.topology.entities.Topology`:
+cities get facilities (EU/NA-heavy, matching Table 1), facilities get
+tenants with a skewed membership distribution (Figure 7b), IXPs span
+multiple facilities in their metro (the DE-CIX/Equinix-FR5 symbiosis of
+Section 2), ASes get Gao-Rexford relationships, physical interconnections
+and per-operator community schemes.
+
+Flagship infrastructures referenced by the paper's case studies (AMS-IX
+and the SARA facility; LINX, Telehouse East/North, Telecity Harbour
+Exchange; DE-CIX Frankfurt) are created deterministically with their real
+names so the benchmarks can replay the case studies of Section 6.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.geo.cities import City, WORLD_CITIES, city_by_name
+from repro.topology.communities import (
+    CommunityScheme,
+    CommunityTag,
+    OUTBOUND_ACTIONS,
+    RouteServerScheme,
+    TagKind,
+)
+from repro.topology.entities import (
+    Address,
+    ASTier,
+    AutonomousSystem,
+    Facility,
+    IXP,
+    IXPPort,
+    Organization,
+    Topology,
+)
+
+#: Facility operators used for generated names.
+FACILITY_OPERATORS = (
+    "Equinix",
+    "Interxion",
+    "Telehouse",
+    "Digital Realty",
+    "CoreSite",
+    "Global Switch",
+    "Telecity",
+    "NTT",
+    "Colt",
+    "Zayo",
+)
+
+#: Layer-2 resellers enabling remote peering (Section 6.4).
+RESELLERS = ("IXReach", "Console", "Epsilon", "Megaport")
+
+#: Share of generated facilities per continent (approximates Table 1:
+#: Europe 878/1742, North America 529, Asia/Pacific 233, SA 76, AF 26).
+CONTINENT_FACILITY_SHARE = {"EU": 0.50, "NA": 0.30, "AP": 0.13, "SA": 0.045, "AF": 0.025}
+
+#: Probability that an AS of a given tier uses (and documents) location
+#: communities.  Calibrated so ~50% of IPv4 paths carry a location tag
+#: (Figure 7c) and all-but-two Tier-1s are covered (Section 3.2).
+COMMUNITY_USE_RATE = {
+    ASTier.TIER1: 1.0,  # two Tier-1s are exempted explicitly below
+    ASTier.TIER2: 0.60,
+    ASTier.CONTENT: 0.45,
+    ASTier.ACCESS: 0.30,
+}
+
+
+@dataclass
+class WorldParams:
+    """Knobs of the synthetic world.  Defaults build a seconds-scale world."""
+
+    seed: int = 0
+    n_tier1: int = 8
+    n_tier2: int = 40
+    n_access: int = 130
+    n_content: int = 40
+    n_facilities: int = 90
+    n_ixps: int = 22
+    #: Fraction of IXP memberships that are remote (Castro et al.: ~20%).
+    remote_peering_rate: float = 0.20
+    #: Fraction of organizations operating sibling ASes.
+    sibling_rate: float = 0.08
+    #: Probability that a route-server member participates in multilateral
+    #: peering (Richter et al.: the large majority).
+    rs_participation: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.n_tier1 < 3:
+            raise ValueError("need at least 3 Tier-1 ASes for a clique")
+        if not 0.0 <= self.remote_peering_rate <= 1.0:
+            raise ValueError("remote_peering_rate must be a probability")
+
+
+# ----------------------------------------------------------------------
+# Flagship infrastructure (real names used by the paper's case studies)
+# ----------------------------------------------------------------------
+
+_FLAGSHIP_FACILITIES = (
+    # (fac_id, name, operator, city, street)
+    ("sara-ams", "SARA Amsterdam", "SURFsara", "Amsterdam", "Science Park 140"),
+    ("nikhef-ams", "Nikhef Amsterdam", "Nikhef", "Amsterdam", "Science Park 105"),
+    ("gs-ams", "Global Switch Amsterdam", "Global Switch", "Amsterdam", "Johan Huizingalaan 759"),
+    ("eqx-am3", "Equinix AM3", "Equinix", "Amsterdam", "Science Park 610"),
+    ("th-north", "Telehouse North", "Telehouse", "London", "Coriander Avenue 14"),
+    ("th-east", "Telehouse East", "Telehouse", "London", "Coriander Avenue 18"),
+    ("tc-hex89", "Telecity Harbour Exchange 8&9", "Telecity", "London", "Harbour Exchange Square 8"),
+    ("eqx-ld8", "Equinix LD8", "Equinix", "London", "Harbour Exchange Square 6"),
+    ("inx-lon1", "Interxion LON1", "Interxion", "London", "Hanbury Street 11"),
+    ("eqx-fr5", "Equinix FR5", "Equinix", "Frankfurt", "Kleyerstrasse 90"),
+    ("inx-fra3", "Interxion FRA3", "Interxion", "Frankfurt", "Weismuellerstrasse 19"),
+    ("ancotel-fra", "Ancotel Frankfurt", "Ancotel", "Frankfurt", "Kleyerstrasse 75"),
+    ("eqx-ny9", "Equinix NY9", "Equinix", "New York", "Hudson Street 111"),
+    ("eqx-dc2", "Equinix DC2", "Equinix", "Ashburn", "Filigree Court 21715"),
+)
+
+_FLAGSHIP_IXPS = (
+    # (ixp_id, name, city, fabric fac_ids)
+    ("ams-ix", "AMS-IX", "Amsterdam", ("sara-ams", "nikhef-ams", "gs-ams", "eqx-am3")),
+    ("linx", "LINX", "London", ("th-north", "th-east", "tc-hex89", "eqx-ld8")),
+    ("de-cix", "DE-CIX Frankfurt", "Frankfurt", ("eqx-fr5", "inx-fra3", "ancotel-fra")),
+)
+
+
+@dataclass
+class _Allocator:
+    """Deterministic ASN / prefix / id allocation."""
+
+    next_prefix_index: int = 0
+    next_v6_index: int = 0
+    tier_asn_next: dict[ASTier, int] = field(
+        default_factory=lambda: {
+            ASTier.TIER1: 100,
+            ASTier.TIER2: 1000,
+            ASTier.ACCESS: 20000,
+            ASTier.CONTENT: 30000,
+        }
+    )
+    rs_asn_next: int = 59000
+
+    def asn(self, tier: ASTier) -> int:
+        value = self.tier_asn_next[tier]
+        self.tier_asn_next[tier] = value + 1
+        return value
+
+    def rs_asn(self) -> int:
+        value = self.rs_asn_next
+        self.rs_asn_next += 1
+        return value
+
+    def prefix_v4(self) -> str:
+        idx = self.next_prefix_index
+        self.next_prefix_index += 1
+        return f"{10 + ((idx >> 16) & 0x7F)}.{(idx >> 8) & 0xFF}.{idx & 0xFF}.0/24"
+
+    def prefix_v6(self) -> str:
+        idx = self.next_v6_index
+        self.next_v6_index += 1
+        return f"2001:db8:{idx:x}::/48"
+
+
+def _postcode(rng: random.Random, city: City) -> str:
+    return f"{city.iata}{rng.randint(10, 99)} {rng.randint(1, 9)}{chr(rng.randint(65, 90))}"
+
+
+def _facility_coords(rng: random.Random, city: City) -> tuple[float, float]:
+    """Facilities scatter within ~15 km of the city centre."""
+    return (
+        city.lat + rng.uniform(-0.12, 0.12),
+        city.lon + rng.uniform(-0.12, 0.12),
+    )
+
+
+def _slug(text: str) -> str:
+    return "".join(ch if ch.isalnum() else "-" for ch in text.lower()).strip("-")
+
+
+class _Builder:
+    """Stateful builder; one instance per :func:`build_topology` call."""
+
+    def __init__(self, params: WorldParams) -> None:
+        self.params = params
+        self.rng = random.Random(params.seed)
+        self.alloc = _Allocator()
+        self.topo = Topology()
+        #: facility attractiveness weight (size proxy), fac_id -> weight
+        self.fac_weight: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def build(self) -> Topology:
+        self._build_facilities()
+        self._build_ixps()
+        self._build_ases()
+        self._assign_facility_presence()
+        self._assign_ixp_membership()
+        self._build_relationships()
+        self._build_pnis()
+        self._assign_prefixes()
+        self._assign_community_schemes()
+        self.topo.validate()
+        return self.topo
+
+    # ------------------------------------------------------------------
+    def _add_facility(
+        self, fac_id: str, name: str, operator: str, city: City, street: str
+    ) -> None:
+        lat, lon = _facility_coords(self.rng, city)
+        fac = Facility(
+            fac_id=fac_id,
+            name=name,
+            operator=operator,
+            city=city,
+            address=Address(
+                street=street,
+                postcode=_postcode(self.rng, city),
+                city_name=city.name,
+                country=city.country,
+            ),
+            lat=lat,
+            lon=lon,
+        )
+        self.topo.facilities[fac_id] = fac
+        self.topo.facility_tenants[fac_id] = set()
+        # Attractiveness: lognormal-ish, flagship sites get a boost below.
+        self.fac_weight[fac_id] = self.rng.lognormvariate(0.0, 1.0)
+
+    def _build_facilities(self) -> None:
+        for fac_id, name, operator, city_name, street in _FLAGSHIP_FACILITIES:
+            city = city_by_name(city_name)
+            assert city is not None
+            self._add_facility(fac_id, name, operator, city, street)
+            self.fac_weight[fac_id] += 4.0  # flagships are large hubs
+
+        remaining = max(0, self.params.n_facilities - len(_FLAGSHIP_FACILITIES))
+        cities_by_cont: dict[str, list[City]] = {}
+        for city in WORLD_CITIES:
+            cities_by_cont.setdefault(city.continent, []).append(city)
+        counters: dict[str, int] = {}
+        for _ in range(remaining):
+            cont = self.rng.choices(
+                list(CONTINENT_FACILITY_SHARE),
+                weights=list(CONTINENT_FACILITY_SHARE.values()),
+            )[0]
+            city = self.rng.choice(cities_by_cont[cont])
+            operator = self.rng.choice(FACILITY_OPERATORS)
+            counters[city.iata] = counters.get(city.iata, 0) + 1
+            name = f"{operator} {city.iata}{counters[city.iata]}"
+            fac_id = _slug(name)
+            if fac_id in self.topo.facilities:  # operator+city+idx collision
+                fac_id = f"{fac_id}-{len(self.topo.facilities)}"
+            street = f"{self.rng.randint(1, 400)} {self.rng.choice(('Main St', 'Docklands Rd', 'Industrieweg', 'Data Park', 'Exchange Sq'))}"
+            self._add_facility(fac_id, name, operator, city, street)
+
+    # ------------------------------------------------------------------
+    def _build_ixps(self) -> None:
+        for ixp_id, name, city_name, fabric in _FLAGSHIP_IXPS:
+            city = city_by_name(city_name)
+            assert city is not None
+            self._register_ixp(ixp_id, name, city, tuple(fabric))
+
+        remaining = max(0, self.params.n_ixps - len(_FLAGSHIP_IXPS))
+        # Candidate cities: have facilities, no IXP yet, weighted to EU.
+        by_city: dict[str, list[str]] = {}
+        for fac_id, fac in self.topo.facilities.items():
+            by_city.setdefault(fac.city.name, []).append(fac_id)
+        taken = {ixp.city.name for ixp in self.topo.ixps.values()}
+        candidates = [c for c in by_city if c not in taken]
+        self.rng.shuffle(candidates)
+        for city_name in candidates[:remaining]:
+            city = city_by_name(city_name)
+            assert city is not None
+            facs = sorted(by_city[city_name])
+            fabric_size = min(len(facs), self.rng.randint(1, 3))
+            fabric = tuple(self.rng.sample(facs, fabric_size))
+            name = f"{city.iata}-IX"
+            self._register_ixp(_slug(name), name, city, fabric)
+
+    def _register_ixp(
+        self, ixp_id: str, name: str, city: City, fabric: tuple[str, ...]
+    ) -> None:
+        rs_asn = self.alloc.rs_asn()
+        ixp = IXP(
+            ixp_id=ixp_id,
+            name=name,
+            rs_asn=rs_asn,
+            city=city,
+            website=f"https://www.{ixp_id}.net",
+            facility_ids=fabric,
+        )
+        self.topo.ixps[ixp_id] = ixp
+        self.topo.ixp_members[ixp_id] = set()
+        self.topo.rs_schemes[ixp_id] = RouteServerScheme(ixp_id=ixp_id, rs_asn=rs_asn)
+
+    # ------------------------------------------------------------------
+    def _build_ases(self) -> None:
+        tier_counts = (
+            (ASTier.TIER1, self.params.n_tier1),
+            (ASTier.TIER2, self.params.n_tier2),
+            (ASTier.ACCESS, self.params.n_access),
+            (ASTier.CONTENT, self.params.n_content),
+        )
+        org_counter = 0
+        for tier, count in tier_counts:
+            for i in range(count):
+                org_counter += 1
+                home = self._home_city(tier)
+                org_id = f"org-{org_counter}"
+                org_name = f"{tier.value.capitalize()} Networks {org_counter}"
+                self.topo.orgs[org_id] = Organization(org_id, org_name, home.country)
+                n_siblings = 1
+                if tier in (ASTier.TIER1, ASTier.TIER2) and (
+                    self.rng.random() < self.params.sibling_rate
+                ):
+                    n_siblings = self.rng.randint(2, 3)
+                for s in range(n_siblings):
+                    asn = self.alloc.asn(tier)
+                    suffix = "" if s == 0 else f" Sub{s}"
+                    self.topo.ases[asn] = AutonomousSystem(
+                        asn=asn,
+                        name=f"AS{asn} {org_name}{suffix}",
+                        org_id=org_id,
+                        tier=tier,
+                        home_city=home,
+                    )
+                    self.topo.as_facilities[asn] = set()
+
+    def _home_city(self, tier: ASTier) -> City:
+        cities_with_fac = sorted(
+            {fac.city.name for fac in self.topo.facilities.values()}
+        )
+        name = self.rng.choice(cities_with_fac)
+        city = city_by_name(name)
+        assert city is not None
+        return city
+
+    # ------------------------------------------------------------------
+    def _assign_facility_presence(self) -> None:
+        fac_ids = sorted(self.topo.facilities)
+        weights = [self.fac_weight[f] for f in fac_ids]
+        presence_range = {
+            ASTier.TIER1: (15, 35),
+            ASTier.TIER2: (4, 12),
+            ASTier.CONTENT: (3, 10),
+            ASTier.ACCESS: (1, 3),
+        }
+        for asn in sorted(self.topo.ases):
+            rec = self.topo.ases[asn]
+            lo, hi = presence_range[rec.tier]
+            count = min(len(fac_ids), self.rng.randint(lo, hi))
+            # Home-city facilities always included for non-global ASes.
+            home_facs = sorted(self.topo.facilities_in_city(rec.home_city.name))
+            chosen: set[str] = set()
+            if home_facs and rec.tier in (ASTier.ACCESS, ASTier.TIER2):
+                chosen.add(self.rng.choice(home_facs))
+            while len(chosen) < count:
+                pick = self.rng.choices(fac_ids, weights=weights)[0]
+                chosen.add(pick)
+            for fac_id in chosen:
+                self._place(asn, fac_id)
+
+    def _place(self, asn: int, fac_id: str) -> None:
+        self.topo.as_facilities[asn].add(fac_id)
+        self.topo.facility_tenants[fac_id].add(asn)
+
+    # ------------------------------------------------------------------
+    def _assign_ixp_membership(self) -> None:
+        join_rate = {
+            ASTier.TIER1: 0.25,
+            ASTier.TIER2: 0.65,
+            ASTier.CONTENT: 0.80,
+            ASTier.ACCESS: 0.70,
+        }
+        for ixp_id in sorted(self.topo.ixps):
+            ixp = self.topo.ixps[ixp_id]
+            fabric = set(ixp.facility_ids)
+            # Local members: tenants of fabric buildings.
+            local_candidates = sorted(
+                {
+                    asn
+                    for fac_id in fabric
+                    for asn in self.topo.facility_tenants[fac_id]
+                }
+            )
+            for asn in local_candidates:
+                if self.rng.random() >= join_rate[self.topo.ases[asn].tier]:
+                    continue
+                port_options = sorted(self.topo.as_facilities[asn] & fabric)
+                port_fac = self.rng.choice(port_options)
+                self._join_ixp(ixp_id, asn, port_fac, remote=False)
+            # Remote members via resellers (Section 6.4).
+            n_local = len(self.topo.ixp_members[ixp_id])
+            n_remote = int(
+                n_local
+                * self.params.remote_peering_rate
+                / max(1e-9, 1.0 - self.params.remote_peering_rate)
+            )
+            outsiders = sorted(
+                asn
+                for asn, rec in self.topo.ases.items()
+                if asn not in self.topo.ixp_members[ixp_id]
+                and rec.tier in (ASTier.ACCESS, ASTier.CONTENT, ASTier.TIER2)
+            )
+            for asn in self.rng.sample(outsiders, min(n_remote, len(outsiders))):
+                port_fac = self.rng.choice(sorted(fabric))
+                self._join_ixp(
+                    ixp_id, asn, port_fac, remote=True,
+                    reseller=self.rng.choice(RESELLERS),
+                )
+
+    def _join_ixp(
+        self,
+        ixp_id: str,
+        asn: int,
+        port_fac: str,
+        remote: bool,
+        reseller: str | None = None,
+    ) -> None:
+        self.topo.ixp_members[ixp_id].add(asn)
+        self.topo.ixp_ports[(ixp_id, asn)] = IXPPort(
+            ixp_id=ixp_id,
+            asn=asn,
+            facility_id=port_fac,
+            remote=remote,
+            reseller=reseller,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_relationships(self) -> None:
+        tiers: dict[ASTier, list[int]] = {t: [] for t in ASTier}
+        for asn in sorted(self.topo.ases):
+            tiers[self.topo.ases[asn].tier].append(asn)
+            self.topo.providers[asn] = set()
+
+        # Tier-1 clique.
+        t1 = tiers[ASTier.TIER1]
+        for i, a in enumerate(t1):
+            for b in t1[i + 1 :]:
+                self.topo.peers.add(frozenset((a, b)))
+
+        # Tier-2: 1-3 Tier-1 providers; peer with other Tier-2s at common IXPs.
+        for asn in tiers[ASTier.TIER2]:
+            for prov in self.rng.sample(t1, self.rng.randint(1, 3)):
+                self.topo.providers[asn].add(prov)
+        t2 = tiers[ASTier.TIER2]
+        for i, a in enumerate(t2):
+            for b in t2[i + 1 :]:
+                prob = 0.30 if self.topo.common_ixps(a, b) else 0.04
+                if self.rng.random() < prob:
+                    self.topo.peers.add(frozenset((a, b)))
+
+        # Edge ASes: providers from Tier-2 (mostly) or Tier-1.
+        for tier in (ASTier.ACCESS, ASTier.CONTENT):
+            for asn in tiers[tier]:
+                n_prov = self.rng.randint(1, 3)
+                pool = t2 if self.rng.random() < 0.85 else t1
+                for prov in self.rng.sample(pool, min(n_prov, len(pool))):
+                    self.topo.providers[asn].add(prov)
+
+        # Multilateral peering: route-server participants peer pairwise.
+        for ixp_id in sorted(self.topo.ixps):
+            participants = sorted(
+                asn
+                for asn in self.topo.ixp_members[ixp_id]
+                if self.rng.random() < self.params.rs_participation
+            )
+            for i, a in enumerate(participants):
+                for b in participants[i + 1 :]:
+                    if self._related(a, b):
+                        continue
+                    self.topo.peers.add(frozenset((a, b)))
+
+    def _related(self, a: int, b: int) -> bool:
+        return (
+            b in self.topo.providers.get(a, set())
+            or a in self.topo.providers.get(b, set())
+            or self.topo.ases[a].org_id == self.topo.ases[b].org_id
+        )
+
+    # ------------------------------------------------------------------
+    def _build_pnis(self) -> None:
+        """Realise links physically: PNIs for c2p and big p2p pairs."""
+        # Provider-customer links need at least one common building.
+        for asn in sorted(self.topo.providers):
+            for prov in sorted(self.topo.providers[asn]):
+                common = self.topo.common_facilities(asn, prov)
+                if not common:
+                    # Customer bought a cross-connect in a provider site.
+                    prov_facs = sorted(self.topo.as_facilities[prov])
+                    fac_id = self.rng.choice(prov_facs)
+                    self._place(asn, fac_id)
+                    common = {fac_id}
+                n_pnis = min(len(common), self.rng.randint(1, 2))
+                chosen = set(self.rng.sample(sorted(common), n_pnis))
+                self.topo.pnis[frozenset((asn, prov))] = chosen
+
+        # Some peer pairs with common buildings also hold PNIs (bilateral
+        # private peering); others rely purely on IXP fabric.
+        for pair in sorted(self.topo.peers, key=sorted):
+            a, b = sorted(pair)
+            tier_a, tier_b = self.topo.ases[a].tier, self.topo.ases[b].tier
+            common = self.topo.common_facilities(a, b)
+            if not common:
+                continue
+            prob = 0.9 if ASTier.TIER1 in (tier_a, tier_b) else 0.25
+            if self.rng.random() < prob:
+                n_pnis = min(len(common), self.rng.randint(1, 3))
+                self.topo.pnis[pair] = set(self.rng.sample(sorted(common), n_pnis))
+
+    # ------------------------------------------------------------------
+    def _assign_prefixes(self) -> None:
+        count_range = {
+            ASTier.TIER1: (2, 4),
+            ASTier.TIER2: (2, 6),
+            ASTier.CONTENT: (2, 8),
+            ASTier.ACCESS: (1, 6),
+        }
+        for asn in sorted(self.topo.ases):
+            rec = self.topo.ases[asn]
+            lo, hi = count_range[rec.tier]
+            n_v4 = self.rng.randint(lo, hi)
+            rec.prefixes_v4 = tuple(self.alloc.prefix_v4() for _ in range(n_v4))
+            # IPv6 deployment is partial: ~60% of ASes.
+            if self.rng.random() < 0.6:
+                n_v6 = max(1, n_v4 // 2)
+                rec.prefixes_v6 = tuple(
+                    self.alloc.prefix_v6() for _ in range(n_v6)
+                )
+
+    # ------------------------------------------------------------------
+    def _assign_community_schemes(self) -> None:
+        non_users_left = 2  # the two Tier-1s absent from the dictionary
+        for asn in sorted(self.topo.ases):
+            rec = self.topo.ases[asn]
+            use = self.rng.random() < COMMUNITY_USE_RATE[rec.tier]
+            if rec.tier is ASTier.TIER1 and non_users_left > 0 and (
+                asn % 5 == 3  # deterministic pick of the exempt Tier-1s
+            ):
+                use = False
+                non_users_left -= 1
+            if not use:
+                continue
+            rec.uses_communities = True
+            rec.scheme = self._make_scheme(asn)
+
+    def _make_scheme(self, asn: int) -> CommunityScheme:
+        rec = self.topo.ases[asn]
+        base = self.rng.choice((1000, 2000, 3000, 10000, 20000, 50000))
+        granularity_roll = self.rng.random()
+        ingress: dict[int, CommunityTag] = {}
+        value = base
+        cities = sorted(
+            {self.topo.facilities[f].city.name for f in self.topo.as_facilities[asn]}
+        )
+        if granularity_roll < 0.30 and rec.tier in (ASTier.TIER1, ASTier.TIER2):
+            # Facility-granularity scheme (plus IXP tags, like Init7).
+            for fac_id in sorted(self.topo.as_facilities[asn]):
+                ingress[value] = CommunityTag(TagKind.FACILITY, fac_id)
+                value += 1
+            for ixp_id in sorted(self.topo.as_ixps(asn)):
+                ingress[value] = CommunityTag(TagKind.IXP, ixp_id)
+                value += 1
+        elif granularity_roll < 0.45:
+            # IXP-granularity scheme.
+            for ixp_id in sorted(self.topo.as_ixps(asn)):
+                ingress[value] = CommunityTag(TagKind.IXP, ixp_id)
+                value += 1
+            if not ingress:  # no IXPs: fall back to city tags
+                for city in cities:
+                    ingress[value] = CommunityTag(TagKind.CITY, city)
+                    value += 1
+        else:
+            # City-granularity scheme (the majority, Section 3.3).
+            for city in cities:
+                ingress[value] = CommunityTag(TagKind.CITY, city)
+                value += 1
+        outbound: dict[int, str] = {}
+        out_value = base + 500
+        for action in self.rng.sample(
+            OUTBOUND_ACTIONS, self.rng.randint(1, len(OUTBOUND_ACTIONS))
+        ):
+            outbound[out_value] = action
+            out_value += 1
+        return CommunityScheme(
+            asn=asn,
+            ingress=ingress,
+            outbound=outbound,
+            ipv6_tagging_rate=self.rng.uniform(0.4, 0.8),
+        )
+
+
+def build_topology(params: WorldParams | None = None) -> Topology:
+    """Build a ground-truth world from ``params`` (defaults if omitted)."""
+    return _Builder(params or WorldParams()).build()

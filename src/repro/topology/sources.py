@@ -1,0 +1,166 @@
+"""Noisy colocation-database exports (PeeringDB / DataCenterMap stand-ins).
+
+Section 3.3: "Since names of facilities and facility operators are not
+standardized, we use the facility address (postcode and country) to
+identify common facilities among the different data sources.  We then
+merge the tenants listed in each data source for the same facility ...
+To identify and merge the records that refer to the same IXP we use the
+URLs of the IXP websites, and the location (city/country)."
+
+These exporters deliberately mangle names, drop tenants and omit records
+so the colocation-map builder (:mod:`repro.core.colocation`) has the same
+reconciliation problem the paper solves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.topology.entities import Topology
+
+
+@dataclass(frozen=True)
+class ColocationRecord:
+    """One facility record as published by a colocation database."""
+
+    source: str
+    name: str
+    operator: str
+    street: str
+    postcode: str
+    city_name: str
+    country: str
+    tenants: tuple[int, ...]
+    fac_id_hint: str  # carried for evaluation only, never used for merging
+
+
+@dataclass(frozen=True)
+class IXPRecord:
+    """One IXP record as published by a colocation database."""
+
+    source: str
+    name: str
+    website: str
+    city_name: str
+    country: str
+    members: tuple[int, ...]
+    facility_postcodes: tuple[str, ...]
+    ixp_id_hint: str
+
+
+def _mangle_name(rng: random.Random, name: str, style: str) -> str:
+    """Source-specific naming conventions for the same building."""
+    if style == "dcm":
+        # DataCenterMap style: "OPERATOR - City (campus)" variations.
+        parts = name.split()
+        if len(parts) >= 2:
+            return f"{parts[0].upper()} - {' '.join(parts[1:])}"
+        return name.upper()
+    if style == "abbrev" and len(name) > 12:
+        return name.replace("Amsterdam", "AMS").replace("Frankfurt", "FRA")
+    return name
+
+
+def export_peeringdb(
+    topo: Topology, seed: int = 0
+) -> tuple[list[ColocationRecord], list[IXPRecord]]:
+    """High-coverage export: ~97% of facilities, ~90% of tenants listed."""
+    rng = random.Random(seed ^ 0x5EED)
+    fac_records: list[ColocationRecord] = []
+    for fac_id in sorted(topo.facilities):
+        fac = topo.facilities[fac_id]
+        if rng.random() < 0.03:  # a few facilities simply missing
+            continue
+        tenants = sorted(
+            asn for asn in topo.facility_tenants[fac_id] if rng.random() < 0.95
+        )
+        fac_records.append(
+            ColocationRecord(
+                source="peeringdb",
+                name=_mangle_name(rng, fac.name, "abbrev"),
+                operator=fac.operator,
+                street=fac.address.street,
+                postcode=fac.address.postcode,
+                city_name=fac.address.city_name,
+                country=fac.address.country,
+                tenants=tuple(tenants),
+                fac_id_hint=fac_id,
+            )
+        )
+    ixp_records: list[IXPRecord] = []
+    for ixp_id in sorted(topo.ixps):
+        ixp = topo.ixps[ixp_id]
+        members = sorted(
+            asn for asn in topo.ixp_members[ixp_id] if rng.random() < 0.95
+        )
+        postcodes = tuple(
+            topo.facilities[f].address.postcode for f in ixp.facility_ids
+        )
+        ixp_records.append(
+            IXPRecord(
+                source="peeringdb",
+                name=ixp.name,
+                website=ixp.website,
+                city_name=ixp.city.name,
+                country=ixp.city.country,
+                members=tuple(members),
+                facility_postcodes=postcodes,
+                ixp_id_hint=ixp_id,
+            )
+        )
+    return fac_records, ixp_records
+
+
+def export_datacentermap(
+    topo: Topology, seed: int = 0
+) -> tuple[list[ColocationRecord], list[IXPRecord]]:
+    """Lower-coverage export with different naming and tenant subsets."""
+    rng = random.Random(seed ^ 0xDC3A)
+    fac_records: list[ColocationRecord] = []
+    for fac_id in sorted(topo.facilities):
+        fac = topo.facilities[fac_id]
+        if rng.random() < 0.20:  # notably less complete than PeeringDB
+            continue
+        tenants = sorted(
+            asn for asn in topo.facility_tenants[fac_id] if rng.random() < 0.85
+        )
+        fac_records.append(
+            ColocationRecord(
+                source="datacentermap",
+                name=_mangle_name(rng, fac.name, "dcm"),
+                operator=fac.operator.upper(),
+                street=fac.address.street,
+                postcode=fac.address.postcode,
+                city_name=fac.address.city_name,
+                country=fac.address.country,
+                tenants=tuple(tenants),
+                fac_id_hint=fac_id,
+            )
+        )
+    ixp_records: list[IXPRecord] = []
+    for ixp_id in sorted(topo.ixps):
+        ixp = topo.ixps[ixp_id]
+        if rng.random() < 0.25:
+            continue
+        members = sorted(
+            asn for asn in topo.ixp_members[ixp_id] if rng.random() < 0.75
+        )
+        # DataCenterMap styles IXP names differently ("AMS-IX Amsterdam").
+        name = f"{ixp.name} {ixp.city.name}" if ixp.city.name not in ixp.name else ixp.name
+        postcodes = tuple(
+            topo.facilities[f].address.postcode for f in ixp.facility_ids
+        )
+        ixp_records.append(
+            IXPRecord(
+                source="datacentermap",
+                name=name,
+                website=ixp.website,
+                city_name=ixp.city.name,
+                country=ixp.city.country,
+                members=tuple(members),
+                facility_postcodes=postcodes,
+                ixp_id_hint=ixp_id,
+            )
+        )
+    return fac_records, ixp_records

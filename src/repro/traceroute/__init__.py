@@ -1,0 +1,33 @@
+"""Traceroute substrate.
+
+Path-level traceroute simulation over the ground-truth topology with a
+geographic RTT model, a rate-limited measurement platform (RIPE Atlas
+stand-in), weekly archived dumps (PathCache/Ark/iplane stand-in),
+traIXroute-style hop-to-infrastructure mapping, DRoP-style interface
+geolocation, and the data-plane validator Kepler plugs in (Section 4.4).
+"""
+
+from repro.traceroute.addressing import AddressPlan, InterfaceInfo
+from repro.traceroute.simulator import Traceroute, TracerouteHop, TracerouteSimulator
+from repro.traceroute.platform import MeasurementPlatform, Probe, RateLimitExceeded
+from repro.traceroute.archive import TraceArchive, StableSubpath
+from repro.traceroute.mapping import HopAnnotation, HopMapper
+from repro.traceroute.geolocate import geolocate_interface
+from repro.traceroute.validator import TracerouteValidator
+
+__all__ = [
+    "AddressPlan",
+    "InterfaceInfo",
+    "Traceroute",
+    "TracerouteHop",
+    "TracerouteSimulator",
+    "MeasurementPlatform",
+    "Probe",
+    "RateLimitExceeded",
+    "TraceArchive",
+    "StableSubpath",
+    "HopAnnotation",
+    "HopMapper",
+    "geolocate_interface",
+    "TracerouteValidator",
+]

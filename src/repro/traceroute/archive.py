@@ -1,0 +1,125 @@
+"""Archived traceroute dumps and stable-subpath extraction (§4.4).
+
+"We follow an approach similar to PathCache and consume the publicly
+available traceroute paths collected by RIPE Atlas, CAIDA's Ark, and
+iplane ... if an AS pair appears to consistently interconnect over the
+same IXP or facility hops in the traces of the last four consecutive
+weekly path dumps, we include the corresponding paths in our baseline."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.traceroute.mapping import HopMapper
+from repro.traceroute.platform import MeasurementPlatform
+from repro.traceroute.simulator import Traceroute
+
+#: Weekly dumps required for a stable subpath.
+STABLE_WEEKS = 4
+WEEK_S = 7 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class StableSubpath:
+    """An AS pair consistently crossing the same infrastructure."""
+
+    src_asn: int
+    dst_asn: int
+    near_asn: int
+    far_asn: int
+    pop_kind: str  # "ixp" | "facility"
+    pop_map_id: str
+
+
+@dataclass
+class TraceArchive:
+    """Weekly dump store + stable-subpath computation."""
+
+    mapper: HopMapper
+    #: week start time -> list of traces
+    dumps: dict[float, list[Traceroute]] = field(default_factory=dict)
+
+    def add_dump(self, week_start: float, traces: list[Traceroute]) -> None:
+        self.dumps[week_start] = list(traces)
+
+    def collect_weekly(
+        self,
+        platform: MeasurementPlatform,
+        targets: list[int],
+        start_time: float,
+        weeks: int = STABLE_WEEKS,
+    ) -> None:
+        """Run ``weeks`` weekly campaigns from every probe to targets.
+
+        Uses the raw simulator (archives aggregate public measurements,
+        they are not charged to our platform budget).
+        """
+        for week in range(weeks):
+            when = start_time + week * WEEK_S
+            traces: list[Traceroute] = []
+            for probe in platform.probes:
+                for target in targets:
+                    if target == probe.asn:
+                        continue
+                    traces.append(
+                        platform.simulator.trace(probe.asn, target, when)
+                    )
+            self.add_dump(when, traces)
+
+    # ------------------------------------------------------------------
+    def _subpaths_of(self, trace: Traceroute) -> set[StableSubpath]:
+        out: set[StableSubpath] = set()
+        annotations = self.mapper.annotate(trace)
+        for i, annotation in enumerate(annotations):
+            if annotation.asn is None:
+                continue
+            near = annotations[i - 1].asn if i > 0 else trace.src_asn
+            if near is None:
+                continue
+            if annotation.ixp_map_id is not None:
+                out.add(
+                    StableSubpath(
+                        src_asn=trace.src_asn,
+                        dst_asn=trace.dst_asn,
+                        near_asn=near,
+                        far_asn=annotation.asn,
+                        pop_kind="ixp",
+                        pop_map_id=annotation.ixp_map_id,
+                    )
+                )
+            if annotation.facility_map_id is not None:
+                out.add(
+                    StableSubpath(
+                        src_asn=trace.src_asn,
+                        dst_asn=trace.dst_asn,
+                        near_asn=near,
+                        far_asn=annotation.asn,
+                        pop_kind="facility",
+                        pop_map_id=annotation.facility_map_id,
+                    )
+                )
+        return out
+
+    def stable_subpaths(self, weeks: int = STABLE_WEEKS) -> set[StableSubpath]:
+        """Subpaths present in each of the last ``weeks`` dumps."""
+        if len(self.dumps) < weeks:
+            return set()
+        recent = sorted(self.dumps)[-weeks:]
+        result: set[StableSubpath] | None = None
+        for week_start in recent:
+            week_subpaths: set[StableSubpath] = set()
+            for trace in self.dumps[week_start]:
+                week_subpaths.update(self._subpaths_of(trace))
+            result = week_subpaths if result is None else (result & week_subpaths)
+        return result or set()
+
+    def baseline_pairs_for_pop(
+        self, kind: str, map_id: str, weeks: int = STABLE_WEEKS
+    ) -> set[tuple[int, int]]:
+        """(src, dst) pairs whose stable path crosses the given PoP."""
+        return {
+            (sp.src_asn, sp.dst_asn)
+            for sp in self.stable_subpaths(weeks)
+            if sp.pop_kind == kind and sp.pop_map_id == map_id
+        }

@@ -1,0 +1,91 @@
+"""Hop-to-infrastructure mapping (traIXroute + CoNEXT'15 stand-in).
+
+Maps the interface addresses revealed by traceroutes to Kepler-visible
+infrastructure identities (colocation-map ids):
+
+* **IXPs** — an address inside a known IXP peering-LAN prefix
+  (published in PeeringDB) pins the hop to that exchange, the
+  traIXroute technique;
+* **facilities** — interface-to-facility resolution follows the
+  constrained facility search of Giotsas et al. (CoNEXT 2015); its
+  output is modelled as a lookup table derived from the address plan,
+  with a configurable resolution rate (the real method resolves most
+  but not all interfaces).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.traceroute.addressing import AddressPlan
+from repro.traceroute.simulator import Traceroute
+
+
+@dataclass(frozen=True)
+class HopAnnotation:
+    """Kepler-visible annotation of one traceroute hop."""
+
+    ip: str
+    asn: int | None
+    ixp_map_id: str | None
+    facility_map_id: str | None
+
+
+def _stable_fraction(key: str) -> float:
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class HopMapper:
+    """Annotates traceroute hops with map-space infrastructure ids."""
+
+    def __init__(
+        self,
+        plan: AddressPlan,
+        ixp_truth_to_map: dict[str, str],
+        fac_truth_to_map: dict[str, str],
+        facility_resolution_rate: float = 0.9,
+    ) -> None:
+        if not 0.0 <= facility_resolution_rate <= 1.0:
+            raise ValueError("facility_resolution_rate must be a probability")
+        self.plan = plan
+        self.ixp_truth_to_map = dict(ixp_truth_to_map)
+        self.fac_truth_to_map = dict(fac_truth_to_map)
+        self.facility_resolution_rate = facility_resolution_rate
+
+    def annotate(self, trace: Traceroute) -> list[HopAnnotation]:
+        out: list[HopAnnotation] = []
+        for hop in trace.hops:
+            info = self.plan.lookup(hop.ip)
+            ixp_map = None
+            fac_map = None
+            if info is not None:
+                if info.ixp_id is not None:
+                    ixp_map = self.ixp_truth_to_map.get(info.ixp_id)
+                if info.facility_id is not None:
+                    resolvable = (
+                        _stable_fraction("facres:" + hop.ip)
+                        < self.facility_resolution_rate
+                    )
+                    if resolvable:
+                        fac_map = self.fac_truth_to_map.get(info.facility_id)
+            out.append(
+                HopAnnotation(
+                    ip=hop.ip,
+                    asn=hop.asn,
+                    ixp_map_id=ixp_map,
+                    facility_map_id=fac_map,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def trace_crosses_pop(self, trace: Traceroute, kind: str, map_id: str) -> bool:
+        """Does the annotated trace cross the given map-space PoP?"""
+        for annotation in self.annotate(trace):
+            if kind == "ixp" and annotation.ixp_map_id == map_id:
+                return True
+            if kind == "facility" and annotation.facility_map_id == map_id:
+                return True
+        return False

@@ -1,0 +1,166 @@
+"""Traceroute path simulation.
+
+Traces follow the same Gao-Rexford policy routes as the control plane —
+computed against the *current* failure state of the shared routing
+engine — and reveal the interface addresses of the address plan: the
+border router of each AS at its ingress building, plus the IXP port
+address when a hop crosses a peering LAN (which is how traIXroute spots
+IXPs in the wild).
+
+RTTs accumulate geographic fiber latency between consecutive hop
+locations plus queueing jitter, giving Figure 10c its shape: paths
+re-routed over distant infrastructure gain tens of milliseconds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.geo.distance import fiber_rtt_ms, haversine_km
+from repro.routing.engine import RoutingEngine
+from repro.routing.interconnection import Interconnection
+from repro.routing.policy import compute_routes
+from repro.traceroute.addressing import AddressPlan
+
+
+@dataclass(frozen=True)
+class TracerouteHop:
+    """One hop of a traceroute."""
+
+    ip: str
+    asn: int | None
+    rtt_ms: float
+    lat: float
+    lon: float
+    facility_id: str | None = None
+    ixp_id: str | None = None
+
+
+@dataclass
+class Traceroute:
+    """A completed (or failed) measurement."""
+
+    src_asn: int
+    dst_asn: int
+    time: float
+    hops: list[TracerouteHop] = field(default_factory=list)
+    reached: bool = False
+
+    @property
+    def as_path(self) -> tuple[int, ...]:
+        seen: list[int] = []
+        for hop in self.hops:
+            if hop.asn is not None and (not seen or seen[-1] != hop.asn):
+                seen.append(hop.asn)
+        return tuple(seen)
+
+    @property
+    def end_to_end_rtt_ms(self) -> float | None:
+        return self.hops[-1].rtt_ms if self.hops else None
+
+    def crosses_facility(self, fac_id: str) -> bool:
+        return any(hop.facility_id == fac_id for hop in self.hops)
+
+    def crosses_ixp(self, ixp_id: str) -> bool:
+        return any(hop.ixp_id == ixp_id for hop in self.hops)
+
+
+class TracerouteSimulator:
+    """Issues traceroutes against the live world state."""
+
+    def __init__(
+        self, engine: RoutingEngine, plan: AddressPlan, seed: int = 0
+    ) -> None:
+        self.engine = engine
+        self.plan = plan
+        self.topo = engine.topo
+        self._rng = random.Random(seed ^ 0x7ACE)
+        self.trace_count = 0
+
+    # ------------------------------------------------------------------
+    def trace(self, src_asn: int, dst_asn: int, time: float) -> Traceroute:
+        """Traceroute from a host in ``src_asn`` to a host in ``dst_asn``.
+
+        Probes observe the network as of ``time``: the engine's failure
+        state is reconstructed from its event log, so a trace issued
+        mid-outage sees the outage even if the engine has since moved on.
+        """
+        self.trace_count += 1
+        result = Traceroute(src_asn=src_asn, dst_asn=dst_asn, time=time)
+        if src_asn not in self.topo.ases or dst_asn not in self.topo.ases:
+            return result
+        if src_asn == dst_asn:
+            result.reached = True
+            return result
+        failures = self.engine.failures_at(time)
+        saved = self.engine.failures
+        self.engine.index.set_failures(failures)
+        try:
+            tree = compute_routes(
+                self.engine.index, dst_asn, frozenset(failures.ases)
+            )
+            info = tree.get(src_asn)
+            state = (
+                self.engine._realise(info.path, failures)
+                if info is not None
+                else None
+            )
+        finally:
+            self.engine.index.set_failures(saved)
+        if state is None:
+            return result  # destination unreachable: trace dies
+        self._expand_hops(result, state.path, state.interconnections)
+        result.reached = True
+        return result
+
+    # ------------------------------------------------------------------
+    def _expand_hops(
+        self,
+        result: Traceroute,
+        path: tuple[int, ...],
+        ics: tuple[Interconnection, ...],
+    ) -> None:
+        src_city = self.topo.ases[path[0]].home_city
+        prev_lat, prev_lon = src_city.lat, src_city.lon
+        rtt = self._rng.uniform(0.2, 1.5)  # first-hop LAN latency
+        for i, ic in enumerate(ics):
+            near, far = path[i], path[i + 1]
+            # The far side's border interface as seen by the probe: for
+            # IXP crossings the peering-LAN port address appears.
+            if ic.ixp_id is not None:
+                ip = self.plan.port_ip(ic.ixp_id, far)
+                fac_id = ic.facility_of(far)
+            else:
+                fac_id = ic.facility_of(far)
+                ip = self.plan.router_ip(far, fac_id)
+            if ip is None:  # remote peer port without address: synthesise
+                ip = self.plan.host_ip(far)
+            fac = self.topo.facilities[fac_id]
+            leg_km = haversine_km(prev_lat, prev_lon, fac.lat, fac.lon)
+            rtt += fiber_rtt_ms(leg_km) + self._rng.uniform(0.05, 0.8)
+            result.hops.append(
+                TracerouteHop(
+                    ip=ip,
+                    asn=far,
+                    rtt_ms=rtt,
+                    lat=fac.lat,
+                    lon=fac.lon,
+                    facility_id=fac_id,
+                    ixp_id=ic.ixp_id,
+                )
+            )
+            prev_lat, prev_lon = fac.lat, fac.lon
+        # Final hop: destination host in its home city.
+        dst_city = self.topo.ases[path[-1]].home_city
+        leg_km = haversine_km(prev_lat, prev_lon, dst_city.lat, dst_city.lon)
+        rtt += fiber_rtt_ms(leg_km) + self._rng.uniform(0.05, 0.8)
+        result.hops.append(
+            TracerouteHop(
+                ip=self.plan.host_ip(path[-1]),
+                asn=path[-1],
+                rtt_ms=rtt,
+                lat=dst_city.lat,
+                lon=dst_city.lon,
+            )
+        )

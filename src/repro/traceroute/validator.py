@@ -1,0 +1,100 @@
+"""Traceroute-based data-plane validation (Section 4.4).
+
+Implements :class:`repro.core.dataplane.DataPlaneValidator`:
+
+* ``validate(pop, time)``: select the archived baseline (src, dst) pairs
+  whose stable paths cross the PoP, re-probe them, and compare the
+  fraction still crossing against ``Tfail`` — below confirms the outage,
+  clearly above rejects it (false positive / already restored);
+* ``restored_fraction(pop, time)``: fraction of the same baseline pairs
+  whose current trace crosses the PoP again, used to time restoration.
+
+Probing is budgeted: at most ``max_pairs`` pairs are probed per check to
+respect platform rate limits, preferring pairs with distinct sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dataplane import ValidationOutcome
+from repro.core.monitor import DEFAULT_T_FAIL
+from repro.docmine.dictionary import PoP, PoPKind
+from repro.traceroute.archive import TraceArchive
+from repro.traceroute.mapping import HopMapper
+from repro.traceroute.platform import MeasurementPlatform, RateLimitExceeded
+
+
+@dataclass
+class TracerouteValidator:
+    """Plugs the measurement substrate into Kepler."""
+
+    platform: MeasurementPlatform
+    archive: TraceArchive
+    mapper: HopMapper
+    t_fail: float = DEFAULT_T_FAIL
+    max_pairs: int = 25
+    validations: int = field(default=0, init=False)
+
+    def _pairs_for(self, pop: PoP) -> list[tuple[int, int]]:
+        kind = "ixp" if pop.kind is PoPKind.IXP else "facility"
+        if pop.kind is PoPKind.CITY:
+            return []  # city PoPs are validated via their facilities
+        pairs = sorted(self.archive.baseline_pairs_for_pop(kind, pop.pop_id))
+        # Budget: prefer source diversity.
+        picked: list[tuple[int, int]] = []
+        seen_src: set[int] = set()
+        for src, dst in pairs:
+            if src in seen_src:
+                continue
+            picked.append((src, dst))
+            seen_src.add(src)
+            if len(picked) >= self.max_pairs:
+                return picked
+        for pair in pairs:
+            if pair in picked:
+                continue
+            picked.append(pair)
+            if len(picked) >= self.max_pairs:
+                break
+        return picked
+
+    def _crossing_fraction(self, pop: PoP, time: float) -> float | None:
+        pairs = self._pairs_for(pop)
+        if not pairs:
+            return None
+        kind = "ixp" if pop.kind is PoPKind.IXP else "facility"
+        probes_by_asn = {p.asn: p for p in self.platform.probes}
+        crossing = 0
+        measured = 0
+        for src, dst in pairs:
+            probe = probes_by_asn.get(src)
+            if probe is None:
+                continue
+            try:
+                trace = self.platform.traceroute(probe, dst, time)
+            except RateLimitExceeded:
+                break
+            measured += 1
+            if trace.reached and self.mapper.trace_crosses_pop(
+                trace, kind, pop.pop_id
+            ):
+                crossing += 1
+        if measured == 0:
+            return None
+        return crossing / measured
+
+    # ------------------------------------------------------------------
+    def validate(self, pop: PoP, time: float) -> ValidationOutcome:
+        self.validations += 1
+        fraction = self._crossing_fraction(pop, time)
+        if fraction is None:
+            return ValidationOutcome.INCONCLUSIVE
+        if fraction < self.t_fail:
+            return ValidationOutcome.CONFIRMED
+        if fraction > 0.5:
+            return ValidationOutcome.REJECTED
+        return ValidationOutcome.INCONCLUSIVE
+
+    def restored_fraction(self, pop: PoP, time: float) -> float | None:
+        return self._crossing_fraction(pop, time)

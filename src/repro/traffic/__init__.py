@@ -1,0 +1,18 @@
+"""Traffic substrate.
+
+Gravity-model traffic matrix between IXP members, diurnal modulation,
+direction-asymmetric interconnection selection, and IPFIX-style sampled
+flow export at an IXP fabric — reproducing the remote traffic impact of
+Section 6.4 (Figure 10d).
+"""
+
+from repro.traffic.diurnal import diurnal_multiplier
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.ipfix import IXPTrafficObserver, TrafficSample
+
+__all__ = [
+    "diurnal_multiplier",
+    "TrafficMatrix",
+    "IXPTrafficObserver",
+    "TrafficSample",
+]

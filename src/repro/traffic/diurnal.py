@@ -1,0 +1,25 @@
+"""Diurnal traffic pattern.
+
+IXP traffic follows a strong daily cycle (evening peak, night trough).
+The multiplier is a smooth positive function of local time of day,
+normalised to mean ~1.0 over 24 h, so outage effects (Figure 10d) ride
+on a realistic baseline; the paper notes "moderate traffic increases are
+typical during this time of the day" when interpreting the drop.
+"""
+
+from __future__ import annotations
+
+import math
+
+DAY_S = 86400.0
+
+
+def diurnal_multiplier(time_s: float, peak_hour: float = 20.0) -> float:
+    """Traffic multiplier at ``time_s`` (simulation epoch seconds).
+
+    Sinusoidal with a 0.35 amplitude around 1.0, peaking at
+    ``peak_hour`` local time.
+    """
+    hour = (time_s % DAY_S) / 3600.0
+    phase = 2.0 * math.pi * (hour - peak_hour) / 24.0
+    return 1.0 + 0.35 * math.cos(phase)

@@ -1,0 +1,163 @@
+"""IPFIX-style traffic observation at one IXP (Section 6.4, Figure 10d).
+
+Models what the paper measured at "EU-IXP" with sampled IPFIX at the
+switching fabric: per-interval aggregate member traffic.  The mechanisms
+that make a *remote* outage visible locally are reproduced explicitly:
+
+* **direction-asymmetric interconnection choice** — each ordered AS pair
+  hashes to its own preference among the live interconnections, so A->B
+  may cross AMS-IX while B->A crosses EU-IXP (the paper: >10 % of
+  member pairs);
+* **peering-over-transit preference** — when the chosen peering
+  interconnection dies, traffic falls to transit and the pair's
+  throughput degrades (request/response coupling shrinks the reverse
+  direction too);
+* **post-recovery rebound** — buffered demand briefly lifts volumes
+  above baseline after restoration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.routing.engine import RoutingEngine
+from repro.routing.interconnection import Interconnection
+from repro.traffic.diurnal import diurnal_multiplier
+from repro.traffic.matrix import TrafficMatrix
+
+#: Throughput factor for pairs pushed from peering onto transit.
+TRANSIT_DEGRADATION = 0.45
+#: Rebound factor and duration after a pair's peering path returns.
+REBOUND_FACTOR = 1.12
+REBOUND_WINDOW_S = 900.0
+
+
+@dataclass(frozen=True)
+class TrafficSample:
+    """One observation interval at the IXP."""
+
+    time: float
+    total_gbps: float
+    per_member_gbps: dict[int, float] = field(hash=False, default_factory=dict)
+
+
+def _stable_fraction(*parts: object) -> float:
+    digest = hashlib.sha256("|".join(str(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass
+class IXPTrafficObserver:
+    """Computes the fabric-visible traffic of one IXP over time."""
+
+    engine: RoutingEngine
+    matrix: TrafficMatrix
+    ixp_id: str
+    sampling_rate: float = 1e-4  # IPFIX 1/10K, reporting is rescaled
+    _recovered_at: dict[tuple[int, int], float] = field(default_factory=dict)
+    _was_degraded: set[tuple[int, int]] = field(default_factory=set)
+
+    def _select_directional(
+        self, src: int, dst: int, failures=None
+    ) -> Interconnection | None:
+        """The interconnection carrying src->dst traffic at a moment.
+
+        Forward and reverse direction hash to different preferences
+        among the live interconnections, producing asymmetric paths.
+        """
+        state = failures if failures is not None else self.engine.failures
+        adj = self.engine.adjacencies.get(frozenset((src, dst)))
+        if adj is None:
+            return None
+        live = [
+            ic
+            for ic in adj.interconnections
+            if state.interconnection_up(ic)
+        ]
+        if adj.pair in state.links:
+            return None
+        if src in state.ases or dst in state.ases:
+            return None
+        if not live:
+            return None
+        index = int(_stable_fraction("dir", src, dst) * len(live))
+        return live[min(index, len(live) - 1)]
+
+    # ------------------------------------------------------------------
+    def sample(self, time: float) -> TrafficSample:
+        """Aggregate member traffic crossing this IXP at ``time``."""
+        from repro.routing.interconnection import FailureState
+
+        failures = self.engine.failures_at(time)
+        healthy = FailureState()
+        members = sorted(self.engine.topo.ixp_members.get(self.ixp_id, set()))
+        per_member: dict[int, float] = {m: 0.0 for m in members}
+        total = 0.0
+        mult = diurnal_multiplier(time)
+        for src in members:
+            for dst in members:
+                if src == dst:
+                    continue
+                demand = self.matrix.demand(src, dst)
+                if demand <= 0.0:
+                    continue
+                pair = (src, dst)
+                ic = self._select_directional(src, dst, failures)
+                # A flow is *disturbed* when either direction is off its
+                # healthy interconnection: re-routing onto transit or a
+                # secondary exchange degrades throughput, and the
+                # request/response coupling drags the reverse leg down
+                # with it (the Section 6.4 mechanism behind the remote
+                # traffic drop).
+                disturbed = (
+                    ic != self._select_directional(src, dst, healthy)
+                    or self._select_directional(dst, src, failures)
+                    != self._select_directional(dst, src, healthy)
+                )
+                if disturbed:
+                    self._was_degraded.add(pair)
+                    demand *= TRANSIT_DEGRADATION
+                elif pair in self._was_degraded:
+                    self._was_degraded.discard(pair)
+                    self._recovered_at[pair] = time
+                recovered = self._recovered_at.get(pair)
+                if recovered is not None and time - recovered < REBOUND_WINDOW_S:
+                    demand *= REBOUND_FACTOR
+                if ic is None or ic.ixp_id != self.ixp_id:
+                    continue  # not crossing this fabric: invisible here
+                volume = demand * mult
+                total += volume
+                per_member[src] += volume
+        return TrafficSample(time=time, total_gbps=total, per_member_gbps=per_member)
+
+    def series(self, start: float, end: float, step_s: float = 60.0) -> list[TrafficSample]:
+        out: list[TrafficSample] = []
+        t = start
+        while t <= end:
+            out.append(self.sample(t))
+            t += step_s
+        return out
+
+    # ------------------------------------------------------------------
+    def asymmetric_pair_fraction(self) -> float:
+        """Fraction of member pairs with direction-dependent paths."""
+        members = sorted(self.engine.topo.ixp_members.get(self.ixp_id, set()))
+        asymmetric = 0
+        comparable = 0
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                fwd = self._select_directional(a, b)
+                rev = self._select_directional(b, a)
+                if fwd is None or rev is None:
+                    continue
+                comparable += 1
+                if (fwd.ixp_id, fwd.facility_a, fwd.facility_b) != (
+                    rev.ixp_id,
+                    rev.facility_b,
+                    rev.facility_a,
+                ):
+                    asymmetric += 1
+        if comparable == 0:
+            return 0.0
+        return asymmetric / comparable

@@ -1,0 +1,201 @@
+"""Shared fixtures.
+
+``world`` is session-scoped and must be treated as **read-only** (no
+engine events) — use ``fresh_world`` for tests that mutate routing
+state.  ``small_topo`` is a hand-built six-AS topology with known
+ground truth, used by the unit tests of the Kepler core.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geo.cities import city_by_name
+from repro.scenarios import World, build_world
+from repro.topology.builder import WorldParams
+from repro.topology.communities import (
+    CommunityScheme,
+    CommunityTag,
+    RouteServerScheme,
+    TagKind,
+)
+from repro.topology.entities import (
+    Address,
+    ASTier,
+    AutonomousSystem,
+    Facility,
+    IXP,
+    IXPPort,
+    Organization,
+    Topology,
+)
+
+#: Smaller world for speedier construction in tests that need fresh state.
+SMALL_WORLD = WorldParams(
+    seed=7,
+    n_tier1=5,
+    n_tier2=20,
+    n_access=60,
+    n_content=18,
+    n_facilities=50,
+    n_ixps=12,
+)
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    """The default world; read-only in tests."""
+    return build_world(seed=1)
+
+
+@pytest.fixture()
+def fresh_world() -> World:
+    """A smaller world rebuilt per test; safe to mutate."""
+    return build_world(seed=7, world_params=SMALL_WORLD)
+
+
+def _facility(fac_id: str, name: str, city_name: str, postcode: str) -> Facility:
+    city = city_by_name(city_name)
+    assert city is not None
+    return Facility(
+        fac_id=fac_id,
+        name=name,
+        operator=name.split()[0],
+        city=city,
+        address=Address(
+            street="1 Test St",
+            postcode=postcode,
+            city_name=city.name,
+            country=city.country,
+        ),
+        lat=city.lat,
+        lon=city.lon,
+    )
+
+
+def build_small_topology() -> Topology:
+    """Six ASes, three facilities in two cities, one IXP.
+
+    Layout (all in London except F3 in Amsterdam):
+
+    * F1 hosts AS10, AS20, AS30 and the IXP fabric (segment 1)
+    * F2 hosts AS40, AS50 and the IXP fabric (segment 2)
+    * F3 (Amsterdam) hosts AS60
+    * AS10 is a transit provider for AS30, AS50, AS60 (PNIs)
+    * AS20-AS40 peer over the IXP; AS30-AS50 peer over the IXP
+    * every AS originates one IPv4 prefix; AS10/AS20 tag facilities,
+      AS30/AS40 tag cities, AS50 tags the IXP, AS60 has no communities
+    """
+    topo = Topology()
+    for fac in (
+        _facility("f1", "Test DC One", "London", "E14 1AA"),
+        _facility("f2", "Test DC Two", "London", "E14 2BB"),
+        _facility("f3", "Test DC Three", "Amsterdam", "1098 XG"),
+    ):
+        topo.facilities[fac.fac_id] = fac
+        topo.facility_tenants[fac.fac_id] = set()
+
+    london = city_by_name("London")
+    amsterdam = city_by_name("Amsterdam")
+    assert london is not None and amsterdam is not None
+    homes = {10: london, 20: london, 30: london, 40: london, 50: london, 60: amsterdam}
+    tiers = {
+        10: ASTier.TIER1,
+        20: ASTier.TIER2,
+        30: ASTier.ACCESS,
+        40: ASTier.CONTENT,
+        50: ASTier.ACCESS,
+        60: ASTier.ACCESS,
+    }
+    for asn in (10, 20, 30, 40, 50, 60):
+        org_id = f"org{asn}"
+        topo.orgs[org_id] = Organization(org_id, f"Org {asn}", homes[asn].country)
+        topo.ases[asn] = AutonomousSystem(
+            asn=asn,
+            name=f"AS{asn}",
+            org_id=org_id,
+            tier=tiers[asn],
+            home_city=homes[asn],
+            prefixes_v4=(f"10.{asn}.0.0/24",),
+        )
+        topo.as_facilities[asn] = set()
+        topo.providers[asn] = set()
+
+    def place(asn: int, fac_id: str) -> None:
+        topo.as_facilities[asn].add(fac_id)
+        topo.facility_tenants[fac_id].add(asn)
+
+    for asn in (10, 20, 30):
+        place(asn, "f1")
+    for asn in (40, 50):
+        place(asn, "f2")
+    place(60, "f3")
+    place(10, "f2")  # the transit provider is present in both buildings
+    place(10, "f3")
+
+    topo.ixps["ix1"] = IXP(
+        ixp_id="ix1",
+        name="TEST-IX",
+        rs_asn=59900,
+        city=london,
+        website="https://www.test-ix.net",
+        facility_ids=("f1", "f2"),
+    )
+    topo.ixp_members["ix1"] = {20, 30, 40, 50}
+    for asn, port_fac in ((20, "f1"), (30, "f1"), (40, "f2"), (50, "f2")):
+        topo.ixp_ports[("ix1", asn)] = IXPPort(
+            ixp_id="ix1", asn=asn, facility_id=port_fac
+        )
+    topo.rs_schemes["ix1"] = RouteServerScheme(ixp_id="ix1", rs_asn=59900)
+
+    # Relationships: AS10 provides transit to everyone else.
+    for customer in (20, 30, 40, 50, 60):
+        topo.providers[customer].add(10)
+    topo.peers.add(frozenset((20, 40)))
+    topo.peers.add(frozenset((30, 50)))
+
+    # PNIs for transit links.
+    topo.pnis[frozenset((10, 20))] = {"f1"}
+    topo.pnis[frozenset((10, 30))] = {"f1"}
+    topo.pnis[frozenset((10, 40))] = {"f2"}
+    topo.pnis[frozenset((10, 50))] = {"f2"}
+    topo.pnis[frozenset((10, 60))] = {"f3"}
+
+    # Community schemes.
+    topo.ases[10].uses_communities = True
+    topo.ases[10].scheme = CommunityScheme(
+        asn=10,
+        ingress={
+            101: CommunityTag(TagKind.FACILITY, "f1"),
+            102: CommunityTag(TagKind.FACILITY, "f2"),
+            103: CommunityTag(TagKind.FACILITY, "f3"),
+        },
+        outbound={900: "announce"},
+    )
+    topo.ases[20].uses_communities = True
+    topo.ases[20].scheme = CommunityScheme(
+        asn=20,
+        ingress={
+            201: CommunityTag(TagKind.FACILITY, "f1"),
+            210: CommunityTag(TagKind.IXP, "ix1"),
+        },
+    )
+    topo.ases[30].uses_communities = True
+    topo.ases[30].scheme = CommunityScheme(
+        asn=30, ingress={301: CommunityTag(TagKind.CITY, "London")}
+    )
+    topo.ases[40].uses_communities = True
+    topo.ases[40].scheme = CommunityScheme(
+        asn=40, ingress={401: CommunityTag(TagKind.CITY, "London")}
+    )
+    topo.ases[50].uses_communities = True
+    topo.ases[50].scheme = CommunityScheme(
+        asn=50, ingress={501: CommunityTag(TagKind.IXP, "ix1")}
+    )
+    topo.validate()
+    return topo
+
+
+@pytest.fixture()
+def small_topo() -> Topology:
+    return build_small_topology()

@@ -1,0 +1,280 @@
+"""Tests for the BGP substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.collector import Collector, CollectorPeer
+from repro.bgp.communities import Community, communities_from_asn, parse_communities
+from repro.bgp.messages import (
+    BGPStateMessage,
+    BGPUpdate,
+    ElemType,
+    SessionState,
+    UpdateBatch,
+)
+from repro.bgp.rib import RoutingInformationBase
+from repro.bgp.sanitize import (
+    deprepend,
+    has_as_loop,
+    is_private_asn,
+    is_special_purpose_asn,
+    sanitize_path,
+)
+from repro.bgp.stream import BGPStream, split_by_type
+
+
+def _announce(time=0.0, collector="rrc00", peer=100, prefix="10.0.0.0/24",
+              path=(100, 200, 300), communities=(), afi=4):
+    return BGPUpdate(
+        time=time,
+        collector=collector,
+        peer_asn=peer,
+        prefix=prefix,
+        elem_type=ElemType.ANNOUNCEMENT,
+        as_path=tuple(path),
+        communities=tuple(communities),
+        afi=afi,
+    )
+
+
+def _withdraw(time=0.0, collector="rrc00", peer=100, prefix="10.0.0.0/24"):
+    return BGPUpdate(
+        time=time,
+        collector=collector,
+        peer_asn=peer,
+        prefix=prefix,
+        elem_type=ElemType.WITHDRAWAL,
+    )
+
+
+class TestCommunity:
+    def test_parse_roundtrip(self):
+        c = Community.parse("13030:51904")
+        assert c == Community(13030, 51904)
+        assert str(c) == "13030:51904"
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("", "abc", "1:2:3", "13030", ":42", "13030:"):
+            with pytest.raises(ValueError):
+                Community.parse(bad)
+
+    def test_value_range_enforced(self):
+        with pytest.raises(ValueError):
+            Community(-1, 5)
+        with pytest.raises(ValueError):
+            Community(1, 2**33)
+
+    def test_is_extended(self):
+        assert not Community(13030, 51904).is_extended
+        assert Community(200000, 1).is_extended
+
+    def test_ordering_is_total(self):
+        assert Community(1, 2) < Community(1, 3) < Community(2, 0)
+
+    def test_parse_communities_skips_malformed_tokens(self):
+        out = parse_communities("13030:51904 junk 2914:420 9:9:9")
+        assert out == (Community(13030, 51904), Community(2914, 420))
+
+    def test_communities_from_asn(self):
+        cs = (Community(1, 1), Community(2, 2), Community(1, 3))
+        assert communities_from_asn(cs, 1) == (Community(1, 1), Community(1, 3))
+
+
+class TestMessages:
+    def test_withdrawal_with_path_rejected(self):
+        with pytest.raises(ValueError):
+            BGPUpdate(
+                time=0.0, collector="c", peer_asn=1, prefix="p",
+                elem_type=ElemType.WITHDRAWAL, as_path=(1, 2),
+            )
+
+    def test_announcement_without_path_rejected(self):
+        with pytest.raises(ValueError):
+            BGPUpdate(
+                time=0.0, collector="c", peer_asn=1, prefix="p",
+                elem_type=ElemType.ANNOUNCEMENT,
+            )
+
+    def test_invalid_afi_rejected(self):
+        with pytest.raises(ValueError):
+            _announce(afi=5)
+
+    def test_origin_asn(self):
+        assert _announce(path=(1, 2, 3)).origin_asn == 3
+        assert _withdraw().origin_asn is None
+
+    def test_state_message_transitions(self):
+        loss = BGPStateMessage(
+            time=0.0, collector="c", peer_asn=1,
+            old_state=SessionState.ESTABLISHED, new_state=SessionState.IDLE,
+        )
+        assert loss.is_session_loss and not loss.is_session_recovery
+        recovery = BGPStateMessage(
+            time=1.0, collector="c", peer_asn=1,
+            old_state=SessionState.IDLE, new_state=SessionState.ESTABLISHED,
+        )
+        assert recovery.is_session_recovery and not recovery.is_session_loss
+
+    def test_update_batch_partition(self):
+        batch = UpdateBatch()
+        batch.append(_announce(time=2.0))
+        batch.append(_withdraw(time=1.0))
+        assert len(batch) == 2
+        assert len(batch.announcements()) == 1
+        assert len(batch.withdrawals()) == 1
+        assert [e.time for e in batch.sorted()] == [1.0, 2.0]
+
+
+class TestSanitize:
+    def test_private_asn_ranges(self):
+        assert is_private_asn(64512)
+        assert is_private_asn(65000)
+        assert is_private_asn(4200000000)
+        assert not is_private_asn(3356)
+
+    def test_special_purpose(self):
+        assert is_special_purpose_asn(0)
+        assert is_special_purpose_asn(23456)
+        assert is_special_purpose_asn(65535)
+        assert not is_special_purpose_asn(174)
+
+    def test_prepending_is_not_a_loop(self):
+        assert not has_as_loop((1, 2, 2, 2, 3))
+
+    def test_real_loop_detected(self):
+        assert has_as_loop((1, 2, 3, 2))
+
+    def test_deprepend(self):
+        assert deprepend((1, 2, 2, 3, 3, 3)) == (1, 2, 3)
+
+    def test_sanitize_removes_prepending(self):
+        assert sanitize_path((10, 20, 20, 30)) == (10, 20, 30)
+
+    def test_sanitize_discards_loops(self):
+        assert sanitize_path((1, 2, 1)) is None
+
+    def test_sanitize_discards_private_asn(self):
+        assert sanitize_path((10, 64512, 30)) is None
+
+    def test_sanitize_discards_empty(self):
+        assert sanitize_path(()) is None
+
+
+class TestRib:
+    def test_announce_then_lookup(self):
+        rib = RoutingInformationBase("rrc00")
+        rib.apply(_announce())
+        entry = rib.lookup(100, "10.0.0.0/24")
+        assert entry is not None and entry.as_path == (100, 200, 300)
+
+    def test_withdrawal_removes_entry(self):
+        rib = RoutingInformationBase("rrc00")
+        rib.apply(_announce())
+        rib.apply(_withdraw())
+        assert rib.lookup(100, "10.0.0.0/24") is None
+        assert len(rib) == 0
+
+    def test_reannouncement_replaces(self):
+        rib = RoutingInformationBase("rrc00")
+        rib.apply(_announce(path=(100, 200, 300)))
+        rib.apply(_announce(time=5.0, path=(100, 400, 300)))
+        entry = rib.lookup(100, "10.0.0.0/24")
+        assert entry is not None and entry.as_path == (100, 400, 300)
+
+    def test_wrong_collector_rejected(self):
+        rib = RoutingInformationBase("rrc00")
+        with pytest.raises(ValueError):
+            rib.apply(_announce(collector="route-views2"))
+
+    def test_drop_peer(self):
+        rib = RoutingInformationBase("rrc00")
+        rib.apply(_announce(peer=100))
+        rib.apply(_announce(peer=200, prefix="10.1.0.0/24", path=(200, 300)))
+        assert rib.drop_peer(100) == 1
+        assert rib.peer_asns() == {200}
+
+    def test_snapshot_emits_rib_elements(self):
+        rib = RoutingInformationBase("rrc00")
+        rib.apply(_announce())
+        snap = rib.snapshot_updates(99.0)
+        assert len(snap) == 1
+        assert snap[0].elem_type is ElemType.RIB
+        assert snap[0].time == 99.0
+
+
+class TestCollector:
+    def _collector(self, lag=False):
+        return Collector(
+            name="rrc00",
+            peers=[CollectorPeer(peer_asn=100, collector="rrc00")],
+            apply_lag=lag,
+        )
+
+    def test_observe_feeds_rib(self):
+        coll = self._collector()
+        out = coll.observe(_announce())
+        assert out is not None and out.time == 0.0
+        assert len(coll.rib) == 1
+
+    def test_unknown_peer_rejected(self):
+        coll = self._collector()
+        with pytest.raises(ValueError):
+            coll.observe(_announce(peer=999))
+
+    def test_publication_lag_bounds(self):
+        coll = self._collector(lag=True)
+        out = coll.observe(_announce(time=1000.0))
+        assert out is not None
+        assert 1300.0 <= out.time <= 1900.0
+
+    def test_session_loss_drops_routes_and_blocks_updates(self):
+        coll = self._collector()
+        coll.observe(_announce())
+        msg = coll.set_session(100, up=False, time=5.0)
+        assert msg.is_session_loss
+        assert len(coll.rib) == 0
+        assert coll.observe(_announce(time=6.0)) is None
+
+    def test_session_recovery(self):
+        coll = self._collector()
+        coll.set_session(100, up=False, time=5.0)
+        msg = coll.set_session(100, up=True, time=9.0)
+        assert msg.is_session_recovery
+        assert coll.observe(_announce(time=10.0)) is not None
+
+
+class TestStream:
+    def test_merge_is_time_sorted(self):
+        stream = BGPStream()
+        stream.push(_announce(time=5.0))
+        stream.push(_announce(time=1.0, collector="route-views2"))
+        stream.push(_announce(time=3.0))
+        times = [e.sort_key()[0] for e in stream.drain()]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_drain_until(self):
+        stream = BGPStream.from_elements(
+            [_announce(time=t) for t in (1.0, 2.0, 3.0, 4.0)]
+        )
+        early = list(stream.drain_until(2.5))
+        assert len(early) == 2
+        assert len(stream) == 2
+
+    def test_pop_empty_returns_none(self):
+        assert BGPStream().pop() is None
+
+    def test_split_by_type(self):
+        state = BGPStateMessage(
+            time=0.0, collector="c", peer_asn=1,
+            old_state=SessionState.ESTABLISHED, new_state=SessionState.IDLE,
+        )
+        updates, states = split_by_type([_announce(), state])
+        assert len(updates) == 1 and len(states) == 1
+
+    def test_stable_order_for_equal_keys(self):
+        # Equal sort keys must not raise (heap falls back to counter).
+        a = _announce(time=1.0)
+        b = _announce(time=1.0)
+        stream = BGPStream.from_elements([a, b])
+        assert len(list(stream.drain())) == 2

@@ -1,0 +1,250 @@
+"""Tests for the input module and colocation map construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.communities import Community
+from repro.bgp.messages import BGPUpdate, ElemType
+from repro.core.colocation import (
+    ColocationMap,
+    MIN_TRACKABLE_MEMBERS,
+    build_colocation_map,
+)
+from repro.core.input import InputModule
+from repro.docmine.dictionary import (
+    CommunityDictionary,
+    DictionaryEntry,
+    PoP,
+    PoPKind,
+)
+from repro.topology.sources import (
+    ColocationRecord,
+    IXPRecord,
+    export_datacentermap,
+    export_peeringdb,
+)
+
+
+def make_dictionary() -> CommunityDictionary:
+    d = CommunityDictionary()
+    for community, pop in [
+        (Community(10, 101), PoP(PoPKind.FACILITY, "mf1")),
+        (Community(30, 301), PoP(PoPKind.CITY, "London")),
+    ]:
+        d.entries[community] = DictionaryEntry(
+            community=community, pop=pop, source_url="test", surface="x"
+        )
+    d.rs_asn_to_pop[59900] = PoP(PoPKind.IXP, "mix1")
+    return d
+
+
+def make_colo() -> ColocationMap:
+    records = [
+        ColocationRecord(
+            source="peeringdb", name="Test DC", operator="Test",
+            street="1 st", postcode="E14 1AA", city_name="London",
+            country="GB", tenants=(10, 20, 30), fac_id_hint="f1",
+        )
+    ]
+    ixp_records = [
+        IXPRecord(
+            source="peeringdb", name="TEST-IX", website="https://t.ix",
+            city_name="London", country="GB", members=(20, 30, 40),
+            facility_postcodes=("E14 1AA",), ixp_id_hint="ix1",
+        )
+    ]
+    colo = build_colocation_map(records, ixp_records)
+    # Rename the IXP map id for the dictionary above.
+    ixp = colo.ixps.pop("https://t.ix")
+    ixp.map_id = "mix1"
+    colo.ixps["mix1"] = ixp
+    colo.reindex()
+    return colo
+
+
+def update(path, communities, withdraw=False, time=0.0, prefix="10.0.0.0/24"):
+    return BGPUpdate(
+        time=time,
+        collector="rrc00",
+        peer_asn=path[0] if path else 1,
+        prefix=prefix,
+        elem_type=ElemType.WITHDRAWAL if withdraw else ElemType.ANNOUNCEMENT,
+        as_path=tuple(path),
+        communities=tuple(communities),
+    )
+
+
+class TestInputModule:
+    def _module(self):
+        return InputModule(make_dictionary(), make_colo())
+
+    def test_known_community_mapped_with_near_and_far(self):
+        mod = self._module()
+        tagged = mod.process(update((1, 10, 30), [Community(10, 101)]))
+        assert tagged is not None
+        assert len(tagged.tags) == 1
+        tag = tagged.tags[0]
+        assert tag.pop == PoP(PoPKind.FACILITY, "mf1")
+        assert tag.near_asn == 10
+        assert tag.far_asn == 30
+
+    def test_unknown_community_ignored(self):
+        mod = self._module()
+        tagged = mod.process(update((1, 10, 30), [Community(999, 1)]))
+        assert tagged is not None and tagged.tags == ()
+
+    def test_offpath_community_ignored(self):
+        # 10:101 is known but AS10 is not on the path: leaked community.
+        mod = self._module()
+        tagged = mod.process(update((1, 2, 3), [Community(10, 101)]))
+        assert tagged is not None and tagged.tags == ()
+
+    def test_origin_tagger_has_no_far_end(self):
+        mod = self._module()
+        tagged = mod.process(update((1, 10), [Community(10, 101)]))
+        assert tagged is not None
+        assert tagged.tags[0].far_asn is None
+
+    def test_route_server_community_attributed_to_member_pair(self):
+        mod = self._module()
+        tagged = mod.process(update((20, 30, 5), [Community(59900, 0)]))
+        assert tagged is not None
+        tag = tagged.tags[0]
+        assert tag.pop == PoP(PoPKind.IXP, "mix1")
+        assert (tag.near_asn, tag.far_asn) == (20, 30)
+
+    def test_route_server_without_member_pair_unattributed(self):
+        mod = self._module()
+        tagged = mod.process(update((1, 2, 3), [Community(59900, 0)]))
+        assert tagged is not None
+        tag = tagged.tags[0]
+        assert tag.near_asn is None and tag.far_asn is None
+
+    def test_withdrawal_passes_through(self):
+        mod = self._module()
+        tagged = mod.process(update((), [], withdraw=True))
+        assert tagged is not None and tagged.is_withdrawal
+
+    def test_looped_path_discarded(self):
+        mod = self._module()
+        assert mod.process(update((1, 2, 1), [])) is None
+        assert mod.discarded_count == 1
+
+    def test_prepending_cleaned_before_tagging(self):
+        mod = self._module()
+        tagged = mod.process(update((1, 10, 10, 30), [Community(10, 101)]))
+        assert tagged is not None
+        assert tagged.as_path == (1, 10, 30)
+        assert tagged.tags[0].far_asn == 30
+
+    def test_duplicate_tags_deduplicated(self):
+        mod = self._module()
+        tagged = mod.process(
+            update((1, 10, 30), [Community(10, 101), Community(10, 101)])
+        )
+        assert tagged is not None and len(tagged.tags) == 1
+
+
+class TestColocationMap:
+    def test_merge_by_postcode(self):
+        records = [
+            ColocationRecord(
+                source="peeringdb", name="Telehouse North", operator="T",
+                street="s", postcode="E14 9YY", city_name="London",
+                country="GB", tenants=(1, 2), fac_id_hint="f1",
+            ),
+            ColocationRecord(
+                source="datacentermap", name="TELEHOUSE - North", operator="T",
+                street="s", postcode="E14 9YY", city_name="London",
+                country="GB", tenants=(2, 3), fac_id_hint="f1",
+            ),
+        ]
+        colo = build_colocation_map(records, [])
+        assert len(colo.facilities) == 1
+        fac = next(iter(colo.facilities.values()))
+        assert fac.tenants == {1, 2, 3}
+        assert fac.sources == {"peeringdb", "datacentermap"}
+
+    def test_different_postcodes_stay_apart(self):
+        records = [
+            ColocationRecord(
+                source="peeringdb", name="A", operator="a", street="s",
+                postcode="P1", city_name="London", country="GB",
+                tenants=(1,), fac_id_hint="fa",
+            ),
+            ColocationRecord(
+                source="peeringdb", name="B", operator="b", street="s",
+                postcode="P2", city_name="London", country="GB",
+                tenants=(2,), fac_id_hint="fb",
+            ),
+        ]
+        colo = build_colocation_map(records, [])
+        assert len(colo.facilities) == 2
+
+    def test_ixp_merge_by_website(self):
+        recs = [
+            IXPRecord(
+                source="peeringdb", name="LINX", website="https://linx.net",
+                city_name="London", country="GB", members=(1, 2),
+                facility_postcodes=(), ixp_id_hint="linx",
+            ),
+            IXPRecord(
+                source="datacentermap", name="LINX London",
+                website="https://linx.net", city_name="London", country="GB",
+                members=(2, 3), facility_postcodes=(), ixp_id_hint="linx",
+            ),
+        ]
+        colo = build_colocation_map([], recs)
+        assert len(colo.ixps) == 1
+        assert next(iter(colo.ixps.values())).members == {1, 2, 3}
+
+    def test_ixp_facility_links_resolved_via_postcodes(self):
+        fac = ColocationRecord(
+            source="peeringdb", name="DC", operator="d", street="s",
+            postcode="E14 1AA", city_name="London", country="GB",
+            tenants=(1,), fac_id_hint="f1",
+        )
+        ixp = IXPRecord(
+            source="peeringdb", name="IX", website="https://ix.net",
+            city_name="London", country="GB", members=(1,),
+            facility_postcodes=("E14 1AA",), ixp_id_hint="ix1",
+        )
+        colo = build_colocation_map([fac], [ixp])
+        ixp_rec = next(iter(colo.ixps.values()))
+        assert len(ixp_rec.facility_map_ids) == 1
+
+    def test_trackable_facilities_threshold(self):
+        colo = make_colo()
+        # 3 tenants, all locatable: still below MIN_TRACKABLE_MEMBERS.
+        assert MIN_TRACKABLE_MEMBERS > 3
+        assert colo.trackable_facilities({10, 20, 30}) == set()
+        fac = next(iter(colo.facilities.values()))
+        fac.tenants.update({40, 50, 60})
+        colo.reindex()
+        assert colo.trackable_facilities({10, 20, 30, 40, 50, 60})
+
+    def test_reindex_consistency(self):
+        colo = make_colo()
+        for map_id, fac in colo.facilities.items():
+            for asn in fac.tenants:
+                assert map_id in colo.facilities_of_as(asn)
+
+    def test_full_world_merge_quality(self, world):
+        # Nearly every ground-truth facility must end up in the map
+        # exactly once (postcode merging, no spurious splits).
+        hint_counts: dict[str, int] = {}
+        for fac in world.colo.facilities.values():
+            for hint in fac.fac_id_hints:
+                hint_counts[hint] = hint_counts.get(hint, 0) + 1
+        assert all(count == 1 for count in hint_counts.values())
+        coverage = len(hint_counts) / len(world.topo.facilities)
+        assert coverage >= 0.9
+
+    def test_full_world_tenant_union_superset_of_sources(self, world):
+        fac_pdb, _ = export_peeringdb(world.topo, seed=world.seed)
+        by_hint = {r.fac_id_hint: set(r.tenants) for r in fac_pdb}
+        for fac in world.colo.facilities.values():
+            for hint in fac.fac_id_hints:
+                if hint in by_hint:
+                    assert by_hint[hint] <= fac.tenants

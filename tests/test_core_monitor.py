@@ -1,0 +1,215 @@
+"""Unit tests for the monitoring module (Section 4.2 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.messages import BGPStateMessage, ElemType, SessionState
+from repro.core.input import PoPTag, TaggedPath
+from repro.core.monitor import MonitorParams, OutageMonitor
+from repro.docmine.dictionary import PoP, PoPKind
+
+POP_F = PoP(PoPKind.FACILITY, "f1")
+POP_C = PoP(PoPKind.CITY, "London")
+
+
+def tagged(key, time, pops=(POP_F,), near=10, far=30, withdraw=False, path=(1, 10, 30)):
+    tags = tuple(PoPTag(pop=p, near_asn=near, far_asn=far) for p in pops)
+    return TaggedPath(
+        key=key,
+        time=time,
+        elem_type=ElemType.WITHDRAWAL if withdraw else ElemType.ANNOUNCEMENT,
+        as_path=() if withdraw else tuple(path),
+        tags=() if withdraw else tags,
+        afi=4,
+    )
+
+
+def key(i: int):
+    return ("rrc00", 100, f"10.0.{i}.0/24")
+
+
+def primed_monitor(n_paths=10, t_fail=0.10):
+    monitor = OutageMonitor(MonitorParams(t_fail=t_fail))
+    for i in range(n_paths):
+        monitor.prime(tagged(key(i), time=0.0))
+    return monitor
+
+
+class TestBaseline:
+    def test_prime_installs_baseline(self):
+        monitor = primed_monitor(5)
+        assert monitor.baseline_size(POP_F) == 5
+
+    def test_baseline_links_exposed(self):
+        monitor = primed_monitor(3)
+        assert monitor.baseline_links(POP_F) == {(10, 30)}
+        assert monitor.baseline_far_ases(POP_F) == {30}
+
+    def test_pending_promotion_after_stable_window(self):
+        params = MonitorParams(stable_window_s=120.0, bin_interval_s=60.0)
+        monitor = OutageMonitor(params)
+        monitor.observe(tagged(key(1), time=10.0))
+        assert monitor.baseline_size(POP_F) == 0
+        # Advance past the stable window with later updates.
+        monitor.observe(tagged(key(1), time=70.0))
+        monitor.observe(tagged(key(1), time=200.0))
+        assert monitor.baseline_size(POP_F) == 1
+
+    def test_tag_flap_resets_pending(self):
+        params = MonitorParams(stable_window_s=120.0, bin_interval_s=60.0)
+        monitor = OutageMonitor(params)
+        monitor.observe(tagged(key(1), time=10.0))
+        # Tag disappears: candidate resets.
+        monitor.observe(tagged(key(1), time=50.0, pops=()))
+        monitor.observe(tagged(key(1), time=130.0))
+        monitor.observe(tagged(key(1), time=140.0))
+        # Window restarted at t=130: not yet stable at t=200.
+        monitor.observe(tagged(key(1), time=200.0))
+        assert monitor.baseline_size(POP_F) == 0
+
+
+class TestDivergence:
+    def test_withdrawal_raises_signal(self):
+        monitor = primed_monitor(10)
+        for i in range(3):
+            monitor.observe(tagged(key(i), time=10.0, withdraw=True))
+        signals = monitor.close_bin()
+        # One signal per involved AS: near-end 10 and far-end 30.
+        assert {s.near_asn for s in signals} == {10, 30}
+        for signal in signals:
+            assert signal.pop == POP_F
+            assert signal.diverted_paths == 3
+            assert signal.baseline_paths == 10
+
+    def test_community_change_is_implicit_withdrawal(self):
+        monitor = primed_monitor(10)
+        # Same AS path, tag for a different PoP: divergence for POP_F.
+        other = PoP(PoPKind.FACILITY, "f2")
+        for i in range(2):
+            monitor.observe(tagged(key(i), time=10.0, pops=(other,)))
+        signals = monitor.close_bin()
+        assert signals and signals[0].pop == POP_F
+
+    def test_as_path_change_keeping_tag_is_not_divergence(self):
+        monitor = primed_monitor(10)
+        monitor.observe(tagged(key(0), time=10.0, path=(1, 2, 10, 30)))
+        assert monitor.close_bin() == []
+
+    def test_below_threshold_no_signal(self):
+        monitor = primed_monitor(20, t_fail=0.25)
+        monitor.observe(tagged(key(0), time=10.0, withdraw=True))
+        assert monitor.close_bin() == []
+
+    def test_per_as_grouping_catches_partial_outage(self):
+        # 100 paths of a big AS (near=10) plus 5 of a small AS (near=77).
+        monitor = OutageMonitor(MonitorParams(t_fail=0.10))
+        for i in range(100):
+            monitor.prime(tagged(key(i), time=0.0, near=10))
+        small_keys = [("rrc00", 100, f"10.9.{i}.0/24") for i in range(5)]
+        for k in small_keys:
+            monitor.prime(tagged(k, time=0.0, near=77))
+        # All of the small AS's paths divert: 5/105 < Tfail overall,
+        # but 5/5 for AS77 (the false-negative case of Section 4.2).
+        for k in small_keys:
+            monitor.observe(tagged(k, time=10.0, withdraw=True))
+        signals = monitor.close_bin()
+        assert len(signals) == 1
+        assert signals[0].near_asn == 77
+
+    def test_diverted_paths_removed_from_baseline(self):
+        monitor = primed_monitor(10)
+        monitor.observe(tagged(key(0), time=10.0, withdraw=True))
+        monitor.close_bin()
+        assert monitor.baseline_size(POP_F) == 9
+
+    def test_signal_carries_affected_links(self):
+        monitor = primed_monitor(5)
+        monitor.observe(tagged(key(0), time=10.0, withdraw=True))
+        signals = monitor.close_bin()
+        assert signals[0].links == frozenset({(10, 30)})
+
+    def test_multiple_bins_advance(self):
+        monitor = primed_monitor(10)
+        monitor.observe(tagged(key(0), time=10.0, withdraw=True))
+        # An element 3 bins later closes the open bins in order.
+        signals = monitor.observe(tagged(key(1), time=200.0))
+        assert {s.near_asn for s in signals} == {10, 30}
+        assert monitor.bins_processed >= 1
+
+
+class TestFeedGaps:
+    def _loss(self, time):
+        return BGPStateMessage(
+            time=time,
+            collector="rrc00",
+            peer_asn=100,
+            old_state=SessionState.ESTABLISHED,
+            new_state=SessionState.IDLE,
+        )
+
+    def _recovery(self, time):
+        return BGPStateMessage(
+            time=time,
+            collector="rrc00",
+            peer_asn=100,
+            old_state=SessionState.IDLE,
+            new_state=SessionState.ESTABLISHED,
+        )
+
+    def test_gapped_peer_paths_not_counted(self):
+        monitor = primed_monitor(10)
+        monitor.observe_state(self._loss(5.0))
+        for i in range(10):
+            monitor.observe(tagged(key(i), time=10.0, withdraw=True))
+        assert monitor.close_bin() == []
+
+    def test_recovery_resumes_monitoring(self):
+        monitor = primed_monitor(10)
+        monitor.observe_state(self._loss(5.0))
+        monitor.observe_state(self._recovery(6.0))
+        for i in range(5):
+            monitor.observe(tagged(key(i), time=10.0, withdraw=True))
+        assert monitor.close_bin()
+
+
+class TestReturnTracking:
+    def test_fraction_returned(self):
+        monitor = primed_monitor(4)
+        keys = {key(i) for i in range(4)}
+        monitor.start_tracking(POP_F, keys)
+        assert monitor.returned_fraction(POP_F) == 0.0
+        monitor.observe(tagged(key(0), time=10.0))
+        monitor.observe(tagged(key(1), time=11.0))
+        assert monitor.returned_fraction(POP_F) == pytest.approx(0.5)
+
+    def test_oscillation_unreturns(self):
+        monitor = primed_monitor(2)
+        monitor.start_tracking(POP_F, {key(0), key(1)})
+        monitor.observe(tagged(key(0), time=10.0))
+        monitor.observe(tagged(key(0), time=20.0, withdraw=True))
+        assert monitor.returned_fraction(POP_F) == 0.0
+
+    def test_stop_tracking(self):
+        monitor = primed_monitor(2)
+        monitor.start_tracking(POP_F, {key(0)})
+        monitor.stop_tracking(POP_F)
+        assert monitor.returned_fraction(POP_F) is None
+
+    def test_last_diverted_exposed_for_tracking(self):
+        monitor = primed_monitor(5)
+        monitor.observe(tagged(key(0), time=10.0, withdraw=True))
+        monitor.close_bin()
+        assert monitor.last_diverted.get(POP_F) == {key(0)}
+
+
+class TestParams:
+    def test_invalid_bin_interval(self):
+        with pytest.raises(ValueError):
+            MonitorParams(bin_interval_s=0.0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            MonitorParams(t_fail=0.0)
+        with pytest.raises(ValueError):
+            MonitorParams(t_fail=1.5)
