@@ -61,6 +61,8 @@ def main() -> None:
         "\nSignal classification counts: "
         + ", ".join(f"{k.value}={v}" for k, v in counts.items())
     )
+    print("\nPipeline stage metrics:")
+    print(kepler.metrics.describe())
 
 
 if __name__ == "__main__":

@@ -11,10 +11,15 @@ investigated."
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.events import SignalType
 from repro.core.kepler import KeplerParams
 from repro.core.monitor import MonitorParams
+
+if TYPE_CHECKING:
+    from repro.routing.events import InfraEvent
+    from repro.scenarios import World
 
 
 @dataclass(frozen=True)
@@ -28,8 +33,8 @@ class SweepPoint:
 
 
 def threshold_sweep(
-    world: "object",
-    timed_events: list,
+    world: "World",
+    timed_events: list[tuple[float, "InfraEvent"]],
     thresholds: tuple[float, ...] = (0.02, 0.05, 0.10, 0.15, 0.25, 0.40, 0.50),
     end_time: float | None = None,
 ) -> list[SweepPoint]:

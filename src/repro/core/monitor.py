@@ -20,6 +20,8 @@ resets do not masquerade as outages.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass, field
 
 from repro.bgp.messages import BGPStateMessage
@@ -79,8 +81,22 @@ class OutageMonitor:
         self.baseline: dict[PoP, dict[PathKey, _BaselineEntry]] = {}
         #: reverse index key -> pops with a baseline entry for it.
         self._key_pops: dict[PathKey, set[PoP]] = {}
+        #: reverse index (collector, peer) -> baseline keys of that peer,
+        #: so feed-gap corrections touch only the gapped peers' paths.
+        self._peer_keys: dict[tuple[str, int], set[PathKey]] = {}
+        #: running per-AS baseline path counts per pop — each entry
+        #: contributes one count to its near- and far-end AS.  Avoids the
+        #: full baseline walk per diverted pop at every bin close.
+        self._as_totals: dict[PoP, dict[int, int]] = {}
         #: stability candidates: (pop, key) -> entry with first-seen time.
         self._pending: dict[tuple[PoP, PathKey], _BaselineEntry] = {}
+        #: reverse index key -> pops with a pending candidate for it,
+        #: so withdrawals and tag changes do not scan all of ``_pending``.
+        self._pending_by_key: dict[PathKey, set[PoP]] = {}
+        #: promotion queue: (since, tiebreak, pop, key); entries whose
+        #: candidate was reset are invalidated lazily on pop.
+        self._pending_heap: list[tuple[float, int, PoP, PathKey]] = []
+        self._heap_counter = itertools.count()
         #: collector peers currently in a feed gap.
         self._gapped: set[tuple[str, int]] = set()
         #: divergences observed in the current bin.
@@ -88,6 +104,8 @@ class OutageMonitor:
         self._bin_start: float | None = None
         #: open-outage return tracking.
         self._tracking: dict[PoP, _TrackState] = {}
+        #: reverse index key -> tracked pops whose key-set contains it.
+        self._tracking_by_key: dict[PathKey, set[PoP]] = {}
         #: diverted keys of the most recently closed bin, per PoP —
         #: consumed by Kepler to seed return tracking.
         self.last_diverted: dict[PoP, set[PathKey]] = {}
@@ -112,25 +130,72 @@ class OutageMonitor:
         since: float,
         path_ases: frozenset[int] = frozenset(),
     ) -> None:
-        self.baseline.setdefault(pop, {})[key] = _BaselineEntry(
+        entries = self.baseline.setdefault(pop, {})
+        old = entries.get(key)
+        if old is not None:
+            self._count_entry(pop, old, -1)
+        entry = _BaselineEntry(
             near_asn=tag.near_asn,
             far_asn=tag.far_asn,
             since=since,
             path_ases=path_ases,
         )
+        entries[key] = entry
+        self._count_entry(pop, entry, +1)
         self._key_pops.setdefault(key, set()).add(pop)
+        self._peer_keys.setdefault((key[0], key[1]), set()).add(key)
 
     def _remove(self, pop: PoP, key: PathKey) -> None:
         entries = self.baseline.get(pop)
         if entries is not None:
-            entries.pop(key, None)
+            entry = entries.pop(key, None)
+            if entry is not None:
+                self._count_entry(pop, entry, -1)
             if not entries:
                 self.baseline.pop(pop, None)
+                self._as_totals.pop(pop, None)
         pops = self._key_pops.get(key)
         if pops is not None:
             pops.discard(pop)
             if not pops:
                 self._key_pops.pop(key, None)
+                peer = (key[0], key[1])
+                keys = self._peer_keys.get(peer)
+                if keys is not None:
+                    keys.discard(key)
+                    if not keys:
+                        self._peer_keys.pop(peer, None)
+
+    def _count_entry(self, pop: PoP, entry: _BaselineEntry, delta: int) -> None:
+        totals = self._as_totals.setdefault(pop, {})
+        for subject in (entry.near_asn, entry.far_asn):
+            if subject is None:
+                continue
+            updated = totals.get(subject, 0) + delta
+            if updated <= 0:
+                totals.pop(subject, None)
+            else:
+                totals[subject] = updated
+
+    # ------------------------------------------------------------------
+    # Pending-candidate bookkeeping (indexed by key for O(1) resets)
+    # ------------------------------------------------------------------
+    def _pending_add(self, pop: PoP, key: PathKey, entry: _BaselineEntry) -> None:
+        self._pending[(pop, key)] = entry
+        self._pending_by_key.setdefault(key, set()).add(pop)
+        heapq.heappush(
+            self._pending_heap,
+            (entry.since, next(self._heap_counter), pop, key),
+        )
+
+    def _pending_discard(self, pop: PoP, key: PathKey) -> None:
+        if self._pending.pop((pop, key), None) is None:
+            return
+        pops = self._pending_by_key.get(key)
+        if pops is not None:
+            pops.discard(pop)
+            if not pops:
+                self._pending_by_key.pop(key, None)
 
     # ------------------------------------------------------------------
     # Streaming interface
@@ -166,10 +231,10 @@ class OutageMonitor:
         for pop in list(self._key_pops.get(key, ())):
             if tagged.is_withdrawal or pop not in update_pops:
                 self._diverted.setdefault(pop, set()).add(key)
-        # Return tracking for open outages.
-        for pop, track in self._tracking.items():
-            if key not in track.keys:
-                continue
+        # Return tracking for open outages (indexed: only pops whose
+        # tracked key-set contains this key are touched).
+        for pop in self._tracking_by_key.get(key, ()):
+            track = self._tracking[pop]
             if not tagged.is_withdrawal and pop in update_pops:
                 track.returned.add(key)
             else:
@@ -177,31 +242,30 @@ class OutageMonitor:
 
         # Stability accounting for future baseline entries.
         if tagged.is_withdrawal:
-            stale = [pk for pk in self._pending if pk[1] == key]
-            for pk in stale:
-                del self._pending[pk]
+            for pop in list(self._pending_by_key.get(key, ())):
+                self._pending_discard(pop, key)
             return
         for tag in tagged.tags:
             pending_key = (tag.pop, key)
             in_baseline = key in self.baseline.get(tag.pop, {})
             if in_baseline:
-                self._pending.pop(pending_key, None)
+                self._pending_discard(tag.pop, key)
                 continue
             if pending_key not in self._pending:
-                self._pending[pending_key] = _BaselineEntry(
-                    near_asn=tag.near_asn,
-                    far_asn=tag.far_asn,
-                    since=tagged.time,
-                    path_ases=frozenset(tagged.as_path[1:]),
+                self._pending_add(
+                    tag.pop,
+                    key,
+                    _BaselineEntry(
+                        near_asn=tag.near_asn,
+                        far_asn=tag.far_asn,
+                        since=tagged.time,
+                        path_ases=frozenset(tagged.as_path[1:]),
+                    ),
                 )
         # Tags that disappeared reset their pending candidacy.
-        stale = [
-            pk
-            for pk in self._pending
-            if pk[1] == key and pk[0] not in update_pops
-        ]
-        for pk in stale:
-            del self._pending[pk]
+        for pop in list(self._pending_by_key.get(key, ())):
+            if pop not in update_pops:
+                self._pending_discard(pop, key)
 
     # ------------------------------------------------------------------
     # Bin closing: signal computation
@@ -228,15 +292,35 @@ class OutageMonitor:
             # the tagged links and determine outages per AS") — a path
             # counts under both its near- and far-end AS, so a small
             # member whose paths all die is caught even when a large AS
-            # dominates the PoP's aggregate.
-            totals: dict[int, int] = {}
+            # dominates the PoP's aggregate.  The running per-AS totals
+            # are corrected for gapped peers' paths, which are excluded
+            # from both numerator and denominator; when a gapped peer
+            # carries more keys than the PoP's own baseline, rebuilding
+            # from the PoP's entries is cheaper than subtracting.
+            totals: dict[int, int] = self._as_totals.get(pop, {})
+            if self._gapped:
+                gapped_keys = sum(
+                    len(self._peer_keys.get(peer, ())) for peer in self._gapped
+                )
+                if gapped_keys > len(entries):
+                    totals = {}
+                    for key, entry in entries.items():
+                        if (key[0], key[1]) in self._gapped:
+                            continue
+                        for subject in (entry.near_asn, entry.far_asn):
+                            if subject is not None:
+                                totals[subject] = totals.get(subject, 0) + 1
+                else:
+                    totals = dict(totals)
+                    for peer in self._gapped:
+                        for key in self._peer_keys.get(peer, ()):
+                            entry = entries.get(key)
+                            if entry is None:
+                                continue
+                            for subject in (entry.near_asn, entry.far_asn):
+                                if subject is not None:
+                                    totals[subject] = totals.get(subject, 0) - 1
             diverted: dict[int, set[PathKey]] = {}
-            for key, entry in entries.items():
-                if (key[0], key[1]) in self._gapped:
-                    continue
-                for subject in (entry.near_asn, entry.far_asn):
-                    if subject is not None:
-                        totals[subject] = totals.get(subject, 0) + 1
             for key in diverted_keys:
                 entry = entries.get(key)
                 if entry is None:
@@ -279,13 +363,26 @@ class OutageMonitor:
         return signals
 
     def _promote_pending(self, now: float) -> None:
-        matured = [
-            pk
-            for pk, entry in self._pending.items()
-            if now - entry.since >= self.params.stable_window_s
-        ]
-        for pop, key in matured:
-            entry = self._pending.pop((pop, key))
+        # The heap yields candidates in first-seen order; entries whose
+        # candidacy was reset since their push are skipped (their stored
+        # ``since`` no longer matches the live entry).  Sustained
+        # announce/withdraw churn leaves stale tuples behind faster
+        # than promotion drains them, so compact when they dominate.
+        if len(self._pending_heap) > max(1024, 2 * len(self._pending)):
+            rebuilt = [
+                (entry.since, next(self._heap_counter), pop, key)
+                for (pop, key), entry in self._pending.items()
+            ]
+            heapq.heapify(rebuilt)
+            self._pending_heap = rebuilt
+        threshold = now - self.params.stable_window_s
+        heap = self._pending_heap
+        while heap and heap[0][0] <= threshold:
+            since, _, pop, key = heapq.heappop(heap)
+            entry = self._pending.get((pop, key))
+            if entry is None or entry.since != since:
+                continue
+            self._pending_discard(pop, key)
             self._install(
                 pop,
                 key,
@@ -325,6 +422,8 @@ class OutageMonitor:
             existing.keys.update(keys)
         else:
             self._tracking[pop] = _TrackState(keys=set(keys))
+        for key in keys:
+            self._tracking_by_key.setdefault(key, set()).add(pop)
 
     def returned_fraction(self, pop: PoP) -> float | None:
         track = self._tracking.get(pop)
@@ -333,8 +432,26 @@ class OutageMonitor:
         return track.fraction_returned()
 
     def stop_tracking(self, pop: PoP) -> None:
-        self._tracking.pop(pop, None)
+        track = self._tracking.pop(pop, None)
+        if track is None:
+            return
+        for key in track.keys:
+            pops = self._tracking_by_key.get(key)
+            if pops is not None:
+                pops.discard(pop)
+                if not pops:
+                    self._tracking_by_key.pop(key, None)
 
     @property
     def current_bin_start(self) -> float | None:
         return self._bin_start
+
+    @property
+    def pending_count(self) -> int:
+        """Number of live stability candidates."""
+        return len(self._pending)
+
+    @property
+    def total_baseline_entries(self) -> int:
+        """Total (pop, key) baseline entries across all monitored PoPs."""
+        return sum(len(entries) for entries in self.baseline.values())

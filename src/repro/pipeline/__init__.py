@@ -1,0 +1,167 @@
+"""Kepler as a staged streaming pipeline (Section 4, Figure 6).
+
+The paper's architecture is explicitly staged — input tagging, stable
+path monitoring, signal classification, localisation, data-plane
+validation, record lifecycle — and this package expresses each stage
+as an independent, metered component behind a common
+:class:`~repro.pipeline.stage.Stage` protocol:
+
+    BGP elements
+      -> IngestStage          (merge + admission accounting)
+      -> TaggingStage         (sanitize, communities -> PoP tags)
+      -> BinningMonitorStage  (60 s bins, per-AS divergence signals)
+      -> ClassificationStage  (correlation window, link/AS/op/PoP rules)
+      -> LocalisationStage    (investigation + city abstraction)
+      -> ValidationStage      (memoised data-plane probes, FP pruning)
+      -> RecordStage          (open/close/watch/relapse/merge lifecycle)
+
+:func:`build_kepler_pipeline` wires the canonical chain;
+:class:`repro.core.kepler.Kepler` is a thin facade over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.colocation import ColocationMap
+from repro.core.dataplane import DataPlaneValidator
+from repro.core.input import InputModule
+from repro.core.investigation import Investigator
+from repro.core.monitor import OutageMonitor
+from repro.core.signals import SignalClassification
+from repro.pipeline.classification import ClassificationStage
+from repro.pipeline.events import (
+    BinAdvanced,
+    ClassifiedBatch,
+    LocatedBatch,
+    LocatedSignal,
+    OutageCandidate,
+    SignalBatch,
+)
+from repro.pipeline.ingest import IngestStage, merge_streams
+from repro.pipeline.localisation import LocalisationStage, common_city
+from repro.pipeline.metrics import BinStats, PipelineMetrics, StageMetrics
+from repro.pipeline.monitoring import BinningMonitorStage
+from repro.pipeline.record import RecordStage, merge_oscillations
+from repro.pipeline.runtime import StagePipeline
+from repro.pipeline.stage import PassthroughStage, Stage
+from repro.pipeline.tagging import TaggingStage
+from repro.pipeline.validation import ValidationCache, ValidationStage
+
+
+@dataclass
+class KeplerPipeline:
+    """The canonical stage chain plus direct handles to every stage."""
+
+    pipeline: StagePipeline
+    metrics: PipelineMetrics
+    ingest: IngestStage
+    tagging: TaggingStage
+    monitoring: BinningMonitorStage
+    classification: ClassificationStage
+    localisation: LocalisationStage
+    validation: ValidationStage
+    record: RecordStage
+    cache: ValidationCache
+    #: chronological data-plane rejects, shared by both reject sites.
+    rejected: list[SignalClassification] = field(default_factory=list)
+
+
+def build_kepler_pipeline(
+    input_module: InputModule,
+    monitor: OutageMonitor,
+    investigator: Investigator,
+    validator: DataPlaneValidator,
+    colo: ColocationMap,
+    as2org: dict[int, str],
+    min_pop_ases: int,
+    correlation_window_s: float,
+    restore_fraction: float,
+    merge_gap_s: float,
+    drop_rejected: bool = True,
+    enable_investigation: bool = True,
+    metrics: PipelineMetrics | None = None,
+) -> KeplerPipeline:
+    """Wire the canonical Kepler stage chain."""
+    metrics = metrics or PipelineMetrics()
+    rejected: list[SignalClassification] = []
+    cache = ValidationCache(validator)
+    ingest = IngestStage()
+    tagging = TaggingStage(input_module)
+    monitoring = BinningMonitorStage(monitor, metrics=metrics)
+    classification = ClassificationStage(
+        as2org,
+        min_pop_ases=min_pop_ases,
+        correlation_window_s=correlation_window_s,
+    )
+    localisation = LocalisationStage(
+        investigator,
+        monitor,
+        colo,
+        cache,
+        enable_investigation=enable_investigation,
+        rejected=rejected,
+    )
+    validation = ValidationStage(
+        cache, drop_rejected=drop_rejected, rejected=rejected
+    )
+    record = RecordStage(
+        monitor,
+        validator,
+        restore_fraction=restore_fraction,
+        merge_gap_s=merge_gap_s,
+    )
+    pipeline = StagePipeline(
+        [
+            ingest,
+            tagging,
+            monitoring,
+            classification,
+            localisation,
+            validation,
+            record,
+        ],
+        metrics=metrics,
+    )
+    return KeplerPipeline(
+        pipeline=pipeline,
+        metrics=metrics,
+        ingest=ingest,
+        tagging=tagging,
+        monitoring=monitoring,
+        classification=classification,
+        localisation=localisation,
+        validation=validation,
+        record=record,
+        cache=cache,
+        rejected=rejected,
+    )
+
+
+__all__ = [
+    "BinAdvanced",
+    "BinStats",
+    "BinningMonitorStage",
+    "ClassificationStage",
+    "ClassifiedBatch",
+    "IngestStage",
+    "KeplerPipeline",
+    "LocalisationStage",
+    "LocatedBatch",
+    "LocatedSignal",
+    "OutageCandidate",
+    "PassthroughStage",
+    "PipelineMetrics",
+    "RecordStage",
+    "SignalBatch",
+    "Stage",
+    "StageMetrics",
+    "StagePipeline",
+    "TaggingStage",
+    "ValidationCache",
+    "ValidationStage",
+    "build_kepler_pipeline",
+    "common_city",
+    "merge_oscillations",
+    "merge_streams",
+]

@@ -1,0 +1,77 @@
+"""Classification stage: correlation window + per-AS rules (§4.3).
+
+Consumes :class:`~repro.pipeline.events.SignalBatch` elements.  Every
+batch is classified twice, as the monolithic detector did:
+
+* **per bin** — feeding the sensitivity log (Figure 7a), every
+  classification ever made;
+* **over the correlation window** — one physical event's updates are
+  spread over adjacent bins by BGP propagation jitter, so detection
+  runs on the signals of the last ``correlation_window_s`` seconds.
+
+Only PoP-level classifications of the window evaluation continue down
+the pipeline, bundled with the set of concurrently-signalling PoPs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.events import OutageSignal, SignalType
+from repro.core.signals import (
+    MIN_POP_LEVEL_ASES,
+    SignalClassification,
+    classify_signals,
+)
+from repro.pipeline.events import ClassifiedBatch, SignalBatch
+from repro.pipeline.stage import PassthroughStage
+
+
+class ClassificationStage(PassthroughStage):
+    """SignalBatch -> ClassifiedBatch (PoP-level only)."""
+
+    name = "classify"
+
+    def __init__(
+        self,
+        as2org: dict[int, str],
+        min_pop_ases: int = MIN_POP_LEVEL_ASES,
+        correlation_window_s: float = 180.0,
+    ) -> None:
+        self.as2org = as2org
+        self.min_pop_ases = min_pop_ases
+        self.correlation_window_s = correlation_window_s
+        #: every classification ever made, for sensitivity analysis.
+        self.signal_log: list[SignalClassification] = []
+        #: sliding correlation window of raw signals.
+        self._window: list[OutageSignal] = []
+
+    def feed(self, element: Any) -> list[Any]:
+        if not isinstance(element, SignalBatch):
+            return [element]
+        signals = element.signals
+        per_bin = classify_signals(
+            signals, self.as2org, min_pop_ases=self.min_pop_ases
+        )
+        self.signal_log.extend(per_bin)
+        now_bin = max(s.bin_start for s in signals)
+        self._window.extend(signals)
+        self._window = [
+            s
+            for s in self._window
+            if now_bin - s.bin_start <= self.correlation_window_s
+        ]
+        classifications = classify_signals(
+            self._window, self.as2org, min_pop_ases=self.min_pop_ases
+        )
+        pop_level = [
+            c for c in classifications if c.signal_type is SignalType.POP
+        ]
+        if not pop_level:
+            return []
+        return [
+            ClassifiedBatch(
+                pop_level=pop_level,
+                concurrent={c.pop for c in pop_level},
+            )
+        ]

@@ -1,0 +1,118 @@
+"""Pipeline observability: per-stage counters and monitor gauges.
+
+Every stage of a :class:`~repro.pipeline.runtime.StagePipeline` gets a
+:class:`StageMetrics` entry (elements fed, elements emitted, cumulative
+wall time in ``feed``).  The monitoring stage additionally reports a
+gauge sample per closed bin — bin-close latency, baseline and pending
+population — so capacity trends are visible without profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageMetrics:
+    """Counters for one stage."""
+
+    name: str
+    fed: int = 0
+    emitted: int = 0
+    seconds: float = 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Elements fed per second of stage time (0 when untimed)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.fed / self.seconds
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        return {
+            "name": self.name,
+            "fed": self.fed,
+            "emitted": self.emitted,
+            "seconds": round(self.seconds, 6),
+            "throughput_per_s": round(self.throughput, 1),
+        }
+
+
+@dataclass
+class BinStats:
+    """Running statistics over closed bins (bounded memory)."""
+
+    count: int = 0
+    total_latency_s: float = 0.0
+    max_latency_s: float = 0.0
+    last_baseline_entries: int = 0
+    last_pending_entries: int = 0
+
+    def record(
+        self, latency_s: float, baseline_entries: int, pending_entries: int
+    ) -> None:
+        self.count += 1
+        self.total_latency_s += latency_s
+        self.max_latency_s = max(self.max_latency_s, latency_s)
+        self.last_baseline_entries = baseline_entries
+        self.last_pending_entries = pending_entries
+
+    @property
+    def mean_latency_s(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total_latency_s / self.count
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "bins_closed": self.count,
+            "mean_latency_s": round(self.mean_latency_s, 6),
+            "max_latency_s": round(self.max_latency_s, 6),
+            "baseline_entries": self.last_baseline_entries,
+            "pending_entries": self.last_pending_entries,
+        }
+
+
+class PipelineMetrics:
+    """Registry shared by all stages of one pipeline."""
+
+    def __init__(self) -> None:
+        self.stages: dict[str, StageMetrics] = {}
+        self.bins = BinStats()
+
+    def stage(self, name: str) -> StageMetrics:
+        metrics = self.stages.get(name)
+        if metrics is None:
+            metrics = self.stages[name] = StageMetrics(name=name)
+        return metrics
+
+    def record_bin(
+        self, latency_s: float, baseline_entries: int, pending_entries: int
+    ) -> None:
+        self.bins.record(latency_s, baseline_entries, pending_entries)
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-serialisable view of every counter."""
+        return {
+            "stages": [
+                self.stages[name].as_dict() for name in self.stages
+            ],
+            "bins": self.bins.as_dict(),
+        }
+
+    def describe(self) -> str:
+        """Compact one-line-per-stage human-readable summary."""
+        lines = []
+        for name, m in self.stages.items():
+            lines.append(
+                f"{name:>10}: fed={m.fed:<8d} emitted={m.emitted:<8d}"
+                f" time={m.seconds:8.3f}s"
+            )
+        b = self.bins
+        lines.append(
+            f"{'bins':>10}: closed={b.count} mean_latency="
+            f"{b.mean_latency_s * 1000.0:.2f}ms"
+            f" baseline={b.last_baseline_entries}"
+            f" pending={b.last_pending_entries}"
+        )
+        return "\n".join(lines)

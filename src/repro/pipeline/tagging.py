@@ -1,0 +1,34 @@
+"""Tagging stage: the input module as a pipeline stage (Section 4.1).
+
+Wraps :class:`repro.core.input.InputModule`: sanitizes each update's AS
+path and maps its communities to PoPs, emitting
+:class:`~repro.core.input.TaggedPath` elements.  State messages pass
+through untouched — the monitoring stage consumes them for feed-gap
+handling.  Updates the sanitizer rejects are dropped here, ending their
+journey through the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bgp.messages import BGPStateMessage, BGPUpdate
+from repro.core.input import InputModule
+from repro.pipeline.stage import PassthroughStage
+
+
+class TaggingStage(PassthroughStage):
+    """BGPUpdate -> TaggedPath, via the community dictionary."""
+
+    name = "tagging"
+
+    def __init__(self, input_module: InputModule) -> None:
+        self.input = input_module
+
+    def feed(self, element: Any) -> list[Any]:
+        if isinstance(element, BGPStateMessage):
+            return [element]
+        if isinstance(element, BGPUpdate):
+            tagged = self.input.process(element)
+            return [] if tagged is None else [tagged]
+        return [element]

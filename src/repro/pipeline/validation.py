@@ -1,0 +1,97 @@
+"""Data-plane validation stage and the per-bin probe memo (§4.4).
+
+:class:`ValidationCache` memoises ``validator.validate(pop, bin_end)``
+per (PoP, bin) — the monolithic detector probed a PoP twice in one bin
+when a signal resolved via the data-plane fallback was validated again
+in the record loop.  Targeted traceroute campaigns are the scarce
+resource of the system (platform credits, §4.4), so each (PoP, bin)
+is probed at most once; both the localisation fallback and this stage
+share one cache.
+
+:class:`ValidationStage` applies the final accept/drop decision to
+located signals and emits :class:`~repro.pipeline.events.OutageCandidate`
+elements for the record lifecycle stage.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.dataplane import DataPlaneValidator, ValidationOutcome
+from repro.core.signals import SignalClassification
+from repro.docmine.dictionary import PoP
+from repro.pipeline.events import BinAdvanced, LocatedBatch, OutageCandidate
+from repro.pipeline.stage import PassthroughStage
+
+#: Cache entries older than this are pruned (no bin is revisited after
+#: the correlation window has moved past it; one hour is generous).
+PRUNE_HORIZON_S = 3600.0
+
+
+class ValidationCache:
+    """Per-(PoP, bin-end) memo over a :class:`DataPlaneValidator`."""
+
+    def __init__(self, validator: DataPlaneValidator) -> None:
+        self.validator = validator
+        self._memo: dict[tuple[PoP, float], ValidationOutcome] = {}
+        self.probes = 0
+        self.hits = 0
+
+    def validate(self, pop: PoP, time: float) -> ValidationOutcome:
+        key = (pop, time)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        outcome = self.validator.validate(pop, time)
+        self.probes += 1
+        self._memo[key] = outcome
+        return outcome
+
+    def prune(self, older_than: float) -> None:
+        """Drop memo entries for bins ending before ``older_than``."""
+        stale = [k for k in self._memo if k[1] < older_than]
+        for key in stale:
+            del self._memo[key]
+
+
+class ValidationStage(PassthroughStage):
+    """LocatedBatch -> OutageCandidate*, dropping data-plane rejects."""
+
+    name = "validate"
+
+    def __init__(
+        self,
+        cache: ValidationCache,
+        drop_rejected: bool = True,
+        rejected: list[SignalClassification] | None = None,
+    ) -> None:
+        self.cache = cache
+        self.drop_rejected = drop_rejected
+        #: signals rejected by the data plane (shared with localisation
+        #: so the facade exposes one chronological reject list).
+        self.rejected = rejected if rejected is not None else []
+
+    def feed(self, element: Any) -> list[Any]:
+        if isinstance(element, BinAdvanced):
+            self.cache.prune(element.now - PRUNE_HORIZON_S)
+            return [element]
+        if not isinstance(element, LocatedBatch):
+            return [element]
+        out: list[Any] = []
+        for located in element.results:
+            c = located.classification
+            outcome = self.cache.validate(located.located, c.bin_end)
+            if outcome is ValidationOutcome.REJECTED and self.drop_rejected:
+                self.rejected.append(c)
+                continue
+            out.append(
+                OutageCandidate(
+                    classification=c,
+                    located=located.located,
+                    method=located.method,
+                    outcome=outcome,
+                    city_scope=element.city_scope,
+                )
+            )
+        return out

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.bgp.messages import BGPUpdate, StreamElement
 from repro.bgp.stream import BGPStream
 from repro.core.colocation import ColocationMap, build_colocation_map
+from repro.core.dataplane import DataPlaneValidator
 from repro.core.kepler import Kepler, KeplerParams
 from repro.docmine.corpus import generate_corpus
 from repro.docmine.dictionary import CommunityDictionary, build_dictionary
@@ -76,14 +77,14 @@ class World:
     def make_kepler(
         self,
         params: KeplerParams | None = None,
-        validator: object | None = None,
+        validator: DataPlaneValidator | None = None,
     ) -> Kepler:
         return Kepler(
             dictionary=self.dictionary,
             colo=self.colo,
             as2org=self.as2org,
             params=params,
-            validator=validator,  # type: ignore[arg-type]
+            validator=validator,
         )
 
     def rib_snapshot(self, time: float = 0.0) -> list[BGPUpdate]:
