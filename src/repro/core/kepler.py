@@ -39,8 +39,16 @@ from repro.core.signals import MIN_POP_LEVEL_ASES, SignalClassification
 from repro.docmine.dictionary import CommunityDictionary, PoP
 
 if TYPE_CHECKING:
-    from repro.pipeline import KeplerPipeline, PipelineMetrics
+    from repro.pipeline import (
+        KeplerPipeline,
+        PipelineMetrics,
+        ShardedKeplerPipeline,
+    )
     from repro.scenarios import World
+
+#: Checkpoint document version written by :meth:`Kepler.snapshot`.
+CHECKPOINT_VERSION = 1
+CHECKPOINT_FORMAT = "kepler-checkpoint"
 
 
 @dataclass
@@ -63,6 +71,17 @@ class KeplerParams:
     #: a time interval", Section 4.3): BGP propagation jitter spreads
     #: one incident's updates over adjacent bins.
     correlation_window_s: float = 180.0
+    #: Number of per-PoP shards for the classification->record half of
+    #: the pipeline (``SignalBatch`` onwards every element is keyed by
+    #: PoP).  0 or 1 builds the linear chain; >= 2 inserts a
+    #: :class:`~repro.pipeline.sharding.ShardRouter` after the monitor
+    #: and runs N independent downstream chains with output identical
+    #: to the linear pipeline.
+    shards: int = 0
+    #: Thread-pool size for concurrent shard ``feed`` (0 = serial).
+    #: Worth enabling when data-plane probes dominate downstream cost:
+    #: probes are I/O and overlap across shards.
+    shard_workers: int = 0
 
 
 class Kepler:
@@ -87,9 +106,12 @@ class Kepler:
         # Imported here, not at module scope: repro.pipeline imports the
         # sibling core modules through the package __init__, which ends
         # by importing this module — a cycle at import time, not at use.
-        from repro.pipeline import build_kepler_pipeline
+        from repro.pipeline import (
+            build_kepler_pipeline,
+            build_sharded_kepler_pipeline,
+        )
 
-        self.stages: KeplerPipeline = build_kepler_pipeline(
+        wiring = dict(
             input_module=self.input,
             monitor=self.monitor,
             investigator=self.investigator,
@@ -103,6 +125,16 @@ class Kepler:
             drop_rejected=self.params.drop_rejected,
             enable_investigation=self.params.enable_investigation,
         )
+        if self.params.shards >= 2:
+            self.stages: KeplerPipeline | ShardedKeplerPipeline = (
+                build_sharded_kepler_pipeline(
+                    shards=self.params.shards,
+                    workers=self.params.shard_workers,
+                    **wiring,
+                )
+            )
+        else:
+            self.stages = build_kepler_pipeline(**wiring)
         self.pipeline = self.stages.pipeline
         #: primed baseline paths (installed outside the streaming path).
         self.primed_paths = 0
@@ -124,17 +156,17 @@ class Kepler:
     @property
     def records(self) -> list[OutageRecord]:
         """Finalized (closed or merged) outage records."""
-        return self.stages.record.records
+        return self.stages.records
 
     @property
     def open(self) -> dict[PoP, OutageRecord]:
         """Open outages keyed by located PoP."""
-        return self.stages.record.open
+        return self.stages.open
 
     @property
     def signal_log(self) -> list[SignalClassification]:
         """Every classification ever made, for sensitivity analysis."""
-        return self.stages.classification.signal_log
+        return self.stages.signal_log
 
     @property
     def rejected(self) -> list[SignalClassification]:
@@ -148,14 +180,19 @@ class Kepler:
 
     # ------------------------------------------------------------------
     def prime(self, updates: Iterable[BGPUpdate]) -> int:
-        """Install a RIB snapshot as the stable baseline (assumed aged)."""
-        count = 0
+        """Install a RIB snapshot as the stable baseline (assumed aged).
+
+        Thin wrapper over the ingest-side priming path: each update is
+        wrapped in a :class:`~repro.pipeline.events.PrimingUpdate` and
+        fed through the ordinary ingest->tagging->monitor stages, so a
+        live table transfer can bootstrap the detector mid-stream.
+        """
+        from repro.pipeline import PrimingUpdate
+
+        before = self.stages.monitoring.primed
         for update in updates:
-            tagged = self.input.process(update)
-            if tagged is None or not tagged.tags:
-                continue
-            self.monitor.prime(tagged)
-            count += 1
+            self.pipeline.feed(PrimingUpdate(update=update))
+        count = self.stages.monitoring.primed - before
         self.primed_paths += count
         return count
 
@@ -167,7 +204,74 @@ class Kepler:
     def finalize(self, end_time: float | None = None) -> list[OutageRecord]:
         """Flush bins, close tracking, merge oscillations; return records."""
         self.pipeline.flush()
-        return self.stages.record.finalize(end_time)
+        return self.stages.finalize_records(end_time)
+
+    def close(self) -> None:
+        """Release runtime resources (the shard thread pool, if any)."""
+        close = getattr(self.pipeline, "close", None)
+        if close is not None:
+            close()
+
+    # ------------------------------------------------------------------
+    # Checkpointing: a versioned JSON document of a mid-stream detector
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Serialise all mutable pipeline state to a JSON-ready dict.
+
+        The document captures every stage's buffered state (baseline
+        and pending indexes, correlation windows, probe memo, open
+        records and watch lists, counters and metrics) but **not** the
+        configuration — the dictionary, colocation map, as2org table
+        and :class:`KeplerParams` are the operator's deployment inputs.
+        ``restore`` must therefore be called on a Kepler constructed
+        with the same configuration, typically in a new process.
+        """
+        from repro.core.serde import classification_to_json
+
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            # 0 and 1 both mean the linear chain: normalise so their
+            # checkpoints interoperate.
+            "shards": self.params.shards if self.params.shards >= 2 else 0,
+            "primed_paths": self.primed_paths,
+            "rejected": [
+                classification_to_json(c) for c in self.rejected
+            ],
+            "cache": self.stages.cache.state_dict(),
+            "pipeline": self.pipeline.state_dict(),
+        }
+
+    def restore(self, checkpoint: dict) -> None:
+        """Load a :meth:`snapshot` document into this (fresh) detector.
+
+        Validates the format version and shard layout, then restores
+        stage-by-stage.  After restoring, processing the remainder of
+        the stream yields output identical to an uninterrupted run.
+        """
+        if checkpoint.get("format") != CHECKPOINT_FORMAT:
+            raise ValueError("not a Kepler checkpoint document")
+        if checkpoint.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {checkpoint.get('version')} not"
+                f" supported (expected {CHECKPOINT_VERSION})"
+            )
+        my_shards = self.params.shards if self.params.shards >= 2 else 0
+        if checkpoint["shards"] != my_shards:
+            raise ValueError(
+                f"checkpoint was taken with shards={checkpoint['shards']},"
+                f" this detector has shards={my_shards}"
+            )
+        from repro.core.serde import classification_from_json
+
+        self.primed_paths = checkpoint["primed_paths"]
+        # The reject list is shared by reference between stages: mutate
+        # it in place so every holder observes the restored content.
+        self.stages.rejected[:] = [
+            classification_from_json(c) for c in checkpoint["rejected"]
+        ]
+        self.stages.cache.load_state(checkpoint["cache"])
+        self.pipeline.load_state(checkpoint["pipeline"])
 
     # ------------------------------------------------------------------
     def signal_counts(self) -> dict[SignalType, int]:

@@ -21,7 +21,6 @@ resets do not masquerade as outages.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 
 from repro.bgp.messages import BGPStateMessage
@@ -94,9 +93,11 @@ class OutageMonitor:
         #: so withdrawals and tag changes do not scan all of ``_pending``.
         self._pending_by_key: dict[PathKey, set[PoP]] = {}
         #: promotion queue: (since, tiebreak, pop, key); entries whose
-        #: candidate was reset are invalidated lazily on pop.
+        #: candidate was reset are invalidated lazily on pop.  The
+        #: tiebreak is a plain int (not itertools.count) so taking a
+        #: checkpoint never mutates the monitor.
         self._pending_heap: list[tuple[float, int, PoP, PathKey]] = []
-        self._heap_counter = itertools.count()
+        self._heap_counter = 0
         #: collector peers currently in a feed gap.
         self._gapped: set[tuple[str, int]] = set()
         #: divergences observed in the current bin.
@@ -183,9 +184,10 @@ class OutageMonitor:
     def _pending_add(self, pop: PoP, key: PathKey, entry: _BaselineEntry) -> None:
         self._pending[(pop, key)] = entry
         self._pending_by_key.setdefault(key, set()).add(pop)
+        self._heap_counter += 1
         heapq.heappush(
             self._pending_heap,
-            (entry.since, next(self._heap_counter), pop, key),
+            (entry.since, self._heap_counter, pop, key),
         )
 
     def _pending_discard(self, pop: PoP, key: PathKey) -> None:
@@ -369,10 +371,10 @@ class OutageMonitor:
         # announce/withdraw churn leaves stale tuples behind faster
         # than promotion drains them, so compact when they dominate.
         if len(self._pending_heap) > max(1024, 2 * len(self._pending)):
-            rebuilt = [
-                (entry.since, next(self._heap_counter), pop, key)
-                for (pop, key), entry in self._pending.items()
-            ]
+            rebuilt = []
+            for (pop, key), entry in self._pending.items():
+                self._heap_counter += 1
+                rebuilt.append((entry.since, self._heap_counter, pop, key))
             heapq.heapify(rebuilt)
             self._pending_heap = rebuilt
         threshold = now - self.params.stable_window_s
@@ -445,6 +447,131 @@ class OutageMonitor:
     @property
     def current_bin_start(self) -> float | None:
         return self._bin_start
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the full monitor state.
+
+        Only primary state is stored; the reverse indexes
+        (``_key_pops``, ``_peer_keys``, ``_as_totals``,
+        ``_pending_by_key``, ``_tracking_by_key``) are rebuilt by
+        :meth:`load_state` from the primary structures.
+        """
+        from repro.core.serde import key_to_json, pop_to_json
+
+        def entry_to_json(entry: _BaselineEntry) -> list:
+            return [
+                entry.near_asn,
+                entry.far_asn,
+                entry.since,
+                sorted(entry.path_ases),
+            ]
+
+        return {
+            "baseline": [
+                [
+                    pop_to_json(pop),
+                    [
+                        [key_to_json(key), entry_to_json(entry)]
+                        for key, entry in entries.items()
+                    ],
+                ]
+                for pop, entries in self.baseline.items()
+            ],
+            "pending": [
+                [pop_to_json(pop), key_to_json(key), entry_to_json(entry)]
+                for (pop, key), entry in self._pending.items()
+            ],
+            "pending_heap": [
+                [since, tiebreak, pop_to_json(pop), key_to_json(key)]
+                for since, tiebreak, pop, key in self._pending_heap
+            ],
+            "heap_counter": self._heap_counter,
+            "gapped": sorted([c, p] for c, p in self._gapped),
+            "diverted": [
+                [pop_to_json(pop), sorted(key_to_json(k) for k in keys)]
+                for pop, keys in self._diverted.items()
+            ],
+            "bin_start": self._bin_start,
+            "tracking": [
+                [
+                    pop_to_json(pop),
+                    sorted(key_to_json(k) for k in track.keys),
+                    sorted(key_to_json(k) for k in track.returned),
+                ]
+                for pop, track in self._tracking.items()
+            ],
+            "last_diverted": [
+                [pop_to_json(pop), sorted(key_to_json(k) for k in keys)]
+                for pop, keys in self.last_diverted.items()
+            ],
+            "bins_processed": self.bins_processed,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the state captured by :meth:`state_dict`."""
+        from repro.core.serde import key_from_json, pop_from_json
+
+        self.baseline.clear()
+        self._key_pops.clear()
+        self._peer_keys.clear()
+        self._as_totals.clear()
+        self._pending.clear()
+        self._pending_by_key.clear()
+        self._tracking.clear()
+        self._tracking_by_key.clear()
+        for pop_json, entries in state["baseline"]:
+            pop = pop_from_json(pop_json)
+            for key_json, (near, far, since, path_ases) in entries:
+                self._install(
+                    pop,
+                    key_from_json(key_json),
+                    PoPTag(pop=pop, near_asn=near, far_asn=far),
+                    since,
+                    frozenset(path_ases),
+                )
+        for pop_json, key_json, (near, far, since, path_ases) in state[
+            "pending"
+        ]:
+            pop = pop_from_json(pop_json)
+            key = key_from_json(key_json)
+            self._pending[(pop, key)] = _BaselineEntry(
+                near_asn=near,
+                far_asn=far,
+                since=since,
+                path_ases=frozenset(path_ases),
+            )
+            self._pending_by_key.setdefault(key, set()).add(pop)
+        # The stored heap preserves the exact promotion (and therefore
+        # baseline-insertion) order, including stale lazily-invalidated
+        # tuples; heapify defends against a hand-edited checkpoint.
+        self._pending_heap = [
+            (since, tiebreak, pop_from_json(p), key_from_json(k))
+            for since, tiebreak, p, k in state["pending_heap"]
+        ]
+        heapq.heapify(self._pending_heap)
+        self._heap_counter = state["heap_counter"]
+        self._gapped = {(c, p) for c, p in state["gapped"]}
+        self._diverted = {
+            pop_from_json(p): {key_from_json(k) for k in keys}
+            for p, keys in state["diverted"]
+        }
+        self._bin_start = state["bin_start"]
+        for pop_json, keys, returned in state["tracking"]:
+            pop = pop_from_json(pop_json)
+            self.start_tracking(
+                pop, {key_from_json(k) for k in keys}
+            )
+            self._tracking[pop].returned = {
+                key_from_json(k) for k in returned
+            }
+        self.last_diverted = {
+            pop_from_json(p): {key_from_json(k) for k in keys}
+            for p, keys in state["last_diverted"]
+        }
+        self.bins_processed = state["bins_processed"]
 
     @property
     def pending_count(self) -> int:

@@ -1,0 +1,171 @@
+"""JSON serialisation of Kepler's core value types.
+
+Checkpointing a mid-stream detector (see
+:meth:`repro.core.kepler.Kepler.snapshot`) serialises every stage's
+state to a versioned JSON document.  The encoders here are the shared
+vocabulary of that format: each core value type gets a compact,
+order-preserving JSON shape, and each decoder rebuilds an object that
+compares equal to the original — set-valued fields restore to equal
+sets, tuples to tuples — so a restored detector continues the stream
+byte-identically.
+
+Conventions:
+
+* a :class:`~repro.docmine.dictionary.PoP` is ``[kind, pop_id]``;
+* a :data:`~repro.core.input.PathKey` is ``[collector, peer, prefix]``;
+* sets are stored as sorted lists (stable diffs, deterministic output);
+* ``None`` stays ``null``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.dataplane import ValidationOutcome
+from repro.core.events import OutageRecord, OutageSignal, SignalType
+from repro.core.input import PathKey
+from repro.core.signals import SignalClassification
+from repro.docmine.dictionary import PoP, PoPKind
+
+
+# ----------------------------------------------------------------------
+# Atoms
+# ----------------------------------------------------------------------
+def pop_to_json(pop: PoP) -> list[str]:
+    return [pop.kind.value, pop.pop_id]
+
+
+def pop_from_json(data: list[str]) -> PoP:
+    kind, pop_id = data
+    return PoP(kind=PoPKind(kind), pop_id=pop_id)
+
+
+def key_to_json(key: PathKey) -> list[Any]:
+    return list(key)
+
+
+def key_from_json(data: list[Any]) -> PathKey:
+    collector, peer_asn, prefix = data
+    return (collector, peer_asn, prefix)
+
+
+def link_to_json(link: tuple[int | None, int | None]) -> list[int | None]:
+    return [link[0], link[1]]
+
+
+def link_from_json(data: list[int | None]) -> tuple[int | None, int | None]:
+    return (data[0], data[1])
+
+
+def links_to_json(
+    links: "set[tuple[int | None, int | None]] | frozenset",
+) -> list[list[int | None]]:
+    return [link_to_json(link) for link in sorted(links, key=_link_sort)]
+
+
+def _link_sort(link: tuple[int | None, int | None]) -> tuple:
+    return (link[0] is None, link[0] or 0, link[1] is None, link[1] or 0)
+
+
+# ----------------------------------------------------------------------
+# Signals and classifications
+# ----------------------------------------------------------------------
+def signal_to_json(signal: OutageSignal) -> dict[str, Any]:
+    return {
+        "pop": pop_to_json(signal.pop),
+        "near_asn": signal.near_asn,
+        "bin_start": signal.bin_start,
+        "bin_end": signal.bin_end,
+        "diverted_paths": signal.diverted_paths,
+        "baseline_paths": signal.baseline_paths,
+        "links": links_to_json(signal.links),
+        "path_as_sets": [sorted(ps) for ps in signal.path_as_sets],
+    }
+
+
+def signal_from_json(data: dict[str, Any]) -> OutageSignal:
+    return OutageSignal(
+        pop=pop_from_json(data["pop"]),
+        near_asn=data["near_asn"],
+        bin_start=data["bin_start"],
+        bin_end=data["bin_end"],
+        diverted_paths=data["diverted_paths"],
+        baseline_paths=data["baseline_paths"],
+        links=frozenset(link_from_json(lk) for lk in data["links"]),
+        path_as_sets=tuple(
+            frozenset(ps) for ps in data["path_as_sets"]
+        ),
+    )
+
+
+def classification_to_json(c: SignalClassification) -> dict[str, Any]:
+    return {
+        "pop": pop_to_json(c.pop),
+        "signal_type": c.signal_type.value,
+        "bin_start": c.bin_start,
+        "bin_end": c.bin_end,
+        "near_ases": sorted(c.near_ases),
+        "far_ases": sorted(c.far_ases),
+        "links": links_to_json(c.links),
+        "signals": [signal_to_json(s) for s in c.signals],
+        "common_asn": c.common_asn,
+        "common_org": c.common_org,
+    }
+
+
+def classification_from_json(data: dict[str, Any]) -> SignalClassification:
+    return SignalClassification(
+        pop=pop_from_json(data["pop"]),
+        signal_type=SignalType(data["signal_type"]),
+        bin_start=data["bin_start"],
+        bin_end=data["bin_end"],
+        near_ases=set(data["near_ases"]),
+        far_ases=set(data["far_ases"]),
+        links={link_from_json(lk) for lk in data["links"]},
+        signals=[signal_from_json(s) for s in data["signals"]],
+        common_asn=data["common_asn"],
+        common_org=data["common_org"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Records and outcomes
+# ----------------------------------------------------------------------
+def record_to_json(record: OutageRecord) -> dict[str, Any]:
+    return {
+        "signal_pop": pop_to_json(record.signal_pop),
+        "located_pop": pop_to_json(record.located_pop),
+        "start": record.start,
+        "end": record.end,
+        "affected_ases": sorted(record.affected_ases),
+        "affected_links": links_to_json(record.affected_links),
+        "method": record.method,
+        "confirmed_by_dataplane": record.confirmed_by_dataplane,
+        "city_scope": record.city_scope,
+        "merged_incidents": record.merged_incidents,
+        "notes": list(record.notes),
+    }
+
+
+def record_from_json(data: dict[str, Any]) -> OutageRecord:
+    return OutageRecord(
+        signal_pop=pop_from_json(data["signal_pop"]),
+        located_pop=pop_from_json(data["located_pop"]),
+        start=data["start"],
+        end=data["end"],
+        affected_ases=set(data["affected_ases"]),
+        affected_links={link_from_json(lk) for lk in data["affected_links"]},
+        method=data["method"],
+        confirmed_by_dataplane=data["confirmed_by_dataplane"],
+        city_scope=data["city_scope"],
+        merged_incidents=data["merged_incidents"],
+        notes=list(data["notes"]),
+    )
+
+
+def outcome_to_json(outcome: ValidationOutcome) -> str:
+    return outcome.value
+
+
+def outcome_from_json(data: str) -> ValidationOutcome:
+    return ValidationOutcome(data)

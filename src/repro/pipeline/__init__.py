@@ -36,6 +36,9 @@ from repro.pipeline.events import (
     LocatedBatch,
     LocatedSignal,
     OutageCandidate,
+    PrimedPath,
+    PrimingUpdate,
+    ShardBatch,
     SignalBatch,
 )
 from repro.pipeline.ingest import IngestStage, merge_streams
@@ -44,7 +47,15 @@ from repro.pipeline.metrics import BinStats, PipelineMetrics, StageMetrics
 from repro.pipeline.monitoring import BinningMonitorStage
 from repro.pipeline.record import RecordStage, merge_oscillations
 from repro.pipeline.runtime import StagePipeline
-from repro.pipeline.stage import PassthroughStage, Stage
+from repro.pipeline.sharding import (
+    ShardChain,
+    ShardedKeplerPipeline,
+    ShardedStagePipeline,
+    ShardRouter,
+    build_sharded_kepler_pipeline,
+    shard_of,
+)
+from repro.pipeline.stage import PassthroughStage, Stage, StatefulStage
 from repro.pipeline.tagging import TaggingStage
 from repro.pipeline.validation import ValidationCache, ValidationStage
 
@@ -65,6 +76,23 @@ class KeplerPipeline:
     cache: ValidationCache
     #: chronological data-plane rejects, shared by both reject sites.
     rejected: list[SignalClassification] = field(default_factory=list)
+
+    # Facade surface shared with ShardedKeplerPipeline, so the Kepler
+    # class reads one API whichever chain it built.
+    @property
+    def records(self):
+        return self.record.records
+
+    @property
+    def open(self):
+        return self.record.open
+
+    @property
+    def signal_log(self) -> list[SignalClassification]:
+        return self.classification.signal_log
+
+    def finalize_records(self, end_time: float | None = None):
+        return self.record.finalize(end_time)
 
 
 def build_kepler_pipeline(
@@ -152,16 +180,26 @@ __all__ = [
     "OutageCandidate",
     "PassthroughStage",
     "PipelineMetrics",
+    "PrimedPath",
+    "PrimingUpdate",
     "RecordStage",
+    "ShardBatch",
+    "ShardChain",
+    "ShardRouter",
+    "ShardedKeplerPipeline",
+    "ShardedStagePipeline",
     "SignalBatch",
     "Stage",
     "StageMetrics",
     "StagePipeline",
+    "StatefulStage",
     "TaggingStage",
     "ValidationCache",
     "ValidationStage",
     "build_kepler_pipeline",
+    "build_sharded_kepler_pipeline",
     "common_city",
     "merge_oscillations",
     "merge_streams",
+    "shard_of",
 ]

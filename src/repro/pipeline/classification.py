@@ -54,7 +54,16 @@ class ClassificationStage(PassthroughStage):
             signals, self.as2org, min_pop_ases=self.min_pop_ases
         )
         self.signal_log.extend(per_bin)
-        now_bin = max(s.bin_start for s in signals)
+        # The window clock is the latest bin of the *whole* batch.  A
+        # shard-routed sub-batch carries it explicitly (its own signals
+        # may be empty or trail the global clock); a directly-fed batch
+        # derives it from its signals.
+        if element.now_bin is not None:
+            now_bin = element.now_bin
+        elif signals:
+            now_bin = max(s.bin_start for s in signals)
+        else:
+            return []
         self._window.extend(signals)
         self._window = [
             s
@@ -75,3 +84,24 @@ class ClassificationStage(PassthroughStage):
                 concurrent={c.pop for c in pop_level},
             )
         ]
+
+    def state_dict(self) -> dict:
+        from repro.core.serde import classification_to_json, signal_to_json
+
+        return {
+            "signal_log": [
+                classification_to_json(c) for c in self.signal_log
+            ],
+            "window": [signal_to_json(s) for s in self._window],
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.core.serde import (
+            classification_from_json,
+            signal_from_json,
+        )
+
+        self.signal_log = [
+            classification_from_json(c) for c in state["signal_log"]
+        ]
+        self._window = [signal_from_json(s) for s in state["window"]]

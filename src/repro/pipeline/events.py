@@ -11,10 +11,32 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.bgp.messages import BGPUpdate
 from repro.core.dataplane import ValidationOutcome
 from repro.core.events import OutageSignal
+from repro.core.input import TaggedPath
 from repro.core.signals import SignalClassification
 from repro.docmine.dictionary import PoP
+
+
+@dataclass(frozen=True)
+class PrimingUpdate:
+    """A RIB-snapshot update on its way into the stable baseline.
+
+    Priming elements ride the ordinary ingest->tagging->monitor path (a
+    detector can bootstrap from a live table transfer interleaved with
+    stream elements), but they install paths into the baseline directly
+    instead of advancing the binning clock or counting as divergences.
+    """
+
+    update: BGPUpdate
+
+
+@dataclass(frozen=True)
+class PrimedPath:
+    """A tagged RIB path ready for direct baseline installation."""
+
+    path: TaggedPath
 
 
 @dataclass(frozen=True)
@@ -31,9 +53,31 @@ class BinAdvanced:
 
 @dataclass
 class SignalBatch:
-    """Per-AS outage signals of one or more just-closed bins."""
+    """Per-AS outage signals of one or more just-closed bins.
+
+    ``now_bin`` is the correlation-window clock of the batch — the
+    latest ``bin_start`` among the signals of the *whole* batch.  The
+    monitor leaves it ``None`` (classification derives it from the
+    signals); the shard router sets it explicitly on the per-shard
+    sub-batches so every shard prunes its window against the same
+    global clock, including shards whose sub-batch is empty.
+    """
 
     signals: list[OutageSignal]
+    now_bin: float | None = None
+
+
+@dataclass
+class ShardBatch:
+    """One :class:`SignalBatch` partitioned into per-shard sub-batches.
+
+    ``batches[i]`` is shard *i*'s slice (possibly empty — the shard
+    still re-evaluates its correlation window against ``now_bin``).
+    Produced by :class:`~repro.pipeline.sharding.ShardRouter`, consumed
+    by :class:`~repro.pipeline.sharding.ShardedStagePipeline`.
+    """
+
+    batches: list[SignalBatch]
 
 
 @dataclass

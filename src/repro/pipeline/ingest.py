@@ -15,6 +15,7 @@ import heapq
 from typing import Any, Iterable, Iterator
 
 from repro.bgp.messages import BGPStateMessage, BGPUpdate, ElemType, StreamElement
+from repro.pipeline.events import PrimingUpdate
 from repro.pipeline.stage import PassthroughStage
 
 
@@ -36,9 +37,15 @@ class IngestStage(PassthroughStage):
         self.state_messages = 0
         self.dropped = 0
         self.out_of_order = 0
+        self.priming_updates = 0
         self._last_time: float | None = None
 
     def feed(self, element: Any) -> list[Any]:
+        if isinstance(element, PrimingUpdate):
+            # RIB-snapshot paths: admitted outside the stream clock
+            # (table-dump timestamps say nothing about feed order).
+            self.priming_updates += 1
+            return [element]
         if isinstance(element, BGPStateMessage):
             self.state_messages += 1
         elif isinstance(element, BGPUpdate):
@@ -53,3 +60,23 @@ class IngestStage(PassthroughStage):
             self.out_of_order += 1
         self._last_time = element.time
         return [element]
+
+    def state_dict(self) -> dict:
+        return {
+            "announcements": self.announcements,
+            "withdrawals": self.withdrawals,
+            "state_messages": self.state_messages,
+            "dropped": self.dropped,
+            "out_of_order": self.out_of_order,
+            "priming_updates": self.priming_updates,
+            "last_time": self._last_time,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.announcements = state["announcements"]
+        self.withdrawals = state["withdrawals"]
+        self.state_messages = state["state_messages"]
+        self.dropped = state["dropped"]
+        self.out_of_order = state["out_of_order"]
+        self.priming_updates = state["priming_updates"]
+        self._last_time = state["last_time"]

@@ -9,7 +9,7 @@ population — so capacity trends are visible without profiling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass
@@ -99,6 +99,47 @@ class PipelineMetrics:
             ],
             "bins": self.bins.as_dict(),
         }
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpoint shape: exact counters, no rounding."""
+        return {
+            "stages": [
+                [m.name, m.fed, m.emitted, m.seconds]
+                for m in self.stages.values()
+            ],
+            "bins": {
+                "count": self.bins.count,
+                "total_latency_s": self.bins.total_latency_s,
+                "max_latency_s": self.bins.max_latency_s,
+                "last_baseline_entries": self.bins.last_baseline_entries,
+                "last_pending_entries": self.bins.last_pending_entries,
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.stages = {
+            name: StageMetrics(
+                name=name, fed=fed, emitted=emitted, seconds=seconds
+            )
+            for name, fed, emitted, seconds in state["stages"]
+        }
+        bins = state["bins"]
+        self.bins = BinStats(
+            count=bins["count"],
+            total_latency_s=bins["total_latency_s"],
+            max_latency_s=bins["max_latency_s"],
+            last_baseline_entries=bins["last_baseline_entries"],
+            last_pending_entries=bins["last_pending_entries"],
+        )
+
+    def absorb(self, other: "PipelineMetrics") -> None:
+        """Fold another registry's counters into this one (aggregation)."""
+        for name, metrics in other.stages.items():
+            mine = self.stage(name)
+            mine.fed += metrics.fed
+            mine.emitted += metrics.emitted
+            mine.seconds += metrics.seconds
 
     def describe(self) -> str:
         """Compact one-line-per-stage human-readable summary."""

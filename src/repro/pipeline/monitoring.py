@@ -21,7 +21,7 @@ from typing import Any
 from repro.bgp.messages import BGPStateMessage
 from repro.core.input import TaggedPath
 from repro.core.monitor import OutageMonitor
-from repro.pipeline.events import BinAdvanced, SignalBatch
+from repro.pipeline.events import BinAdvanced, PrimedPath, SignalBatch
 from repro.pipeline.metrics import PipelineMetrics
 from repro.pipeline.stage import PassthroughStage
 
@@ -38,8 +38,16 @@ class BinningMonitorStage(PassthroughStage):
     ) -> None:
         self.monitor = monitor
         self.metrics = metrics
+        #: RIB paths installed into the baseline via the priming path.
+        self.primed = 0
 
     def feed(self, element: Any) -> list[Any]:
+        if isinstance(element, PrimedPath):
+            # Direct baseline installation: no binning-clock advance,
+            # no divergence accounting (the snapshot is assumed aged).
+            self.monitor.prime(element.path)
+            self.primed += 1
+            return []
         if isinstance(element, BGPStateMessage):
             self.monitor.observe_state(element)
             return []
@@ -77,3 +85,10 @@ class BinningMonitorStage(PassthroughStage):
         if not signals:
             return []
         return [SignalBatch(signals=signals)]
+
+    def state_dict(self) -> dict:
+        return {"primed": self.primed, "monitor": self.monitor.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        self.primed = state["primed"]
+        self.monitor.load_state(state["monitor"])

@@ -63,6 +63,51 @@ class RecordStage(PassthroughStage):
             return []
         return [element]
 
+    def state_dict(self) -> dict:
+        from repro.core.serde import pop_to_json, record_to_json
+
+        return {
+            "records": [record_to_json(r) for r in self.records],
+            "open": [
+                [pop_to_json(pop), record_to_json(r)]
+                for pop, r in self.open.items()
+            ],
+            "tracked": [
+                [pop_to_json(pop), sorted(pop_to_json(p) for p in pops)]
+                for pop, pops in self._tracked.items()
+            ],
+            "watch": [
+                [
+                    pop_to_json(pop),
+                    record_to_json(record),
+                    sorted(pop_to_json(p) for p in pops),
+                    closed_at,
+                ]
+                for pop, (record, pops, closed_at) in self._watch.items()
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.core.serde import pop_from_json, record_from_json
+
+        self.records = [record_from_json(r) for r in state["records"]]
+        self.open = {
+            pop_from_json(pop): record_from_json(r)
+            for pop, r in state["open"]
+        }
+        self._tracked = {
+            pop_from_json(pop): {pop_from_json(p) for p in pops}
+            for pop, pops in state["tracked"]
+        }
+        self._watch = {
+            pop_from_json(pop): (
+                record_from_json(record),
+                {pop_from_json(p) for p in pops},
+                closed_at,
+            )
+            for pop, record, pops, closed_at in state["watch"]
+        }
+
     def finalize(self, end_time: float | None = None) -> list[OutageRecord]:
         """Close tracking, merge oscillations; return the record list."""
         if end_time is not None:

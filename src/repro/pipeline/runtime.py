@@ -1,15 +1,16 @@
 """The staged streaming runtime.
 
 A :class:`StagePipeline` owns an ordered stage list and threads every
-element through it depth-first: each output of stage *i* is fed to
-stage *i+1* before the next output of stage *i*... in practice the
-implementation is breadth-per-stage (all outputs of stage *i* are
-computed, then passed on), which is equivalent because stages are
-synchronous and order-preserving.
+element through it breadth-per-stage: all outputs of stage *i* are
+computed, then passed on to stage *i+1* together.  Because stages are
+synchronous and order-preserving, this is observationally equivalent
+to depth-first threading (each output of stage *i* reaching stage
+*i+1* before the next output of stage *i* is computed).
 
 Per-stage wall time and element counts are recorded into the shared
-:class:`~repro.pipeline.metrics.PipelineMetrics` on every call, so the
-cost profile of a run is always available.
+:class:`~repro.pipeline.metrics.PipelineMetrics` on every call —
+including end-of-stream ``flush`` cost — so the cost profile of a run
+is always available.
 """
 
 from __future__ import annotations
@@ -53,12 +54,18 @@ class StagePipeline:
 
         Stage *i*'s flush output is fed through stages *i+1..n* before
         stage *i+1* itself is flushed, mirroring end-of-stream order.
+        The flush itself is metered (time and emitted count) so
+        end-of-stream cost — e.g. the monitor closing its trailing
+        partial bin — shows up in the per-stage profile.
         """
         tail: list[Any] = []
         for index, stage in enumerate(self.stages):
+            metrics = self.metrics.stage(stage.name)
+            began = time.perf_counter()
             flushed = stage.flush()
+            metrics.seconds += time.perf_counter() - began
             if flushed:
-                self.metrics.stage(stage.name).emitted += len(flushed)
+                metrics.emitted += len(flushed)
                 tail.extend(self._run(index + 1, flushed))
         return tail
 
@@ -78,6 +85,29 @@ class StagePipeline:
             metrics.emitted += len(produced)
             current = produced
         return current
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Per-stage state keyed by stage name, plus the metrics."""
+        return {
+            "stages": {
+                stage.name: stage.state_dict() for stage in self.stages
+            },
+            "metrics": self.metrics.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        names = {stage.name for stage in self.stages}
+        if set(state["stages"]) != names:
+            raise ValueError(
+                f"checkpoint stages {sorted(state['stages'])} do not match"
+                f" pipeline stages {sorted(names)}"
+            )
+        for stage in self.stages:
+            stage.load_state(state["stages"][stage.name])
+        self.metrics.load_state(state["metrics"])
 
     # ------------------------------------------------------------------
     def stage_named(self, name: str) -> Stage:

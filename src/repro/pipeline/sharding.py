@@ -1,0 +1,598 @@
+"""Per-PoP sharded execution of the classification->record half.
+
+From :class:`~repro.pipeline.events.SignalBatch` onwards every element
+of the Kepler pipeline is keyed by PoP, so the downstream half of the
+chain partitions cleanly: a :class:`ShardRouter` splits each batch into
+per-shard sub-batches (stable hash of the signal PoP), and a
+:class:`ShardedStagePipeline` drives N independent
+classification -> localisation -> validation -> record chains over
+them, optionally on a thread pool (data-plane probes — the dominant
+downstream cost — are I/O and overlap across shards).
+
+Two pieces of per-batch context are inherently global and are
+re-synchronised by the runtime between phases, keeping shard-vs-linear
+output identical:
+
+* the **concurrent PoP set** of a classification evaluation (Section
+  4.3 demands corroborating signals from candidate epicenters) is the
+  union of every shard's PoP-level classifications;
+* the **city abstraction** (several epicenters of one evaluation in
+  one metro) runs over the merged located results of all shards.
+
+Outputs merge deterministically: per-batch signal-log entries and
+rejects sort by PoP (the order the linear chain produces them), outage
+candidates re-route to their *located* PoP's shard so each record
+lifecycle runs in exactly one place, and ``finalize`` concatenates the
+per-shard record lists into the linear chain's global order.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.colocation import ColocationMap
+from repro.core.dataplane import DataPlaneValidator
+from repro.core.events import OutageRecord
+from repro.core.input import InputModule
+from repro.core.investigation import Investigator
+from repro.core.monitor import OutageMonitor
+from repro.core.signals import SignalClassification
+from repro.docmine.dictionary import PoP
+from repro.pipeline.classification import ClassificationStage
+from repro.pipeline.events import (
+    BinAdvanced,
+    ClassifiedBatch,
+    LocatedBatch,
+    LocatedSignal,
+    OutageCandidate,
+    ShardBatch,
+    SignalBatch,
+)
+from repro.pipeline.ingest import IngestStage
+from repro.pipeline.localisation import LocalisationStage, common_city
+from repro.pipeline.metrics import PipelineMetrics
+from repro.pipeline.monitoring import BinningMonitorStage
+from repro.pipeline.record import RecordStage
+from repro.pipeline.runtime import StagePipeline
+from repro.pipeline.stage import PassthroughStage, Stage
+from repro.pipeline.tagging import TaggingStage
+from repro.pipeline.validation import ValidationCache, ValidationStage
+
+
+def shard_of(pop: PoP, n_shards: int) -> int:
+    """Stable shard assignment of a PoP (identical across processes)."""
+    return zlib.crc32(str(pop).encode("utf-8")) % n_shards
+
+
+class ShardRouter(PassthroughStage):
+    """SignalBatch -> ShardBatch: partition signals by PoP hash.
+
+    Terminal stage of the shared upstream pipeline.  Every sub-batch
+    carries the *global* window clock (``now_bin``) so shards whose
+    slice is empty still prune and re-evaluate their correlation
+    window in step with the rest.  ``BinAdvanced`` markers pass
+    through untouched — the sharded runtime broadcasts them.
+    """
+
+    name = "route"
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 2:
+            raise ValueError("sharding needs at least two shards")
+        self.n_shards = n_shards
+        self.batches_routed = 0
+        self.signals_routed = 0
+
+    def feed(self, element: Any) -> list[Any]:
+        if not isinstance(element, SignalBatch):
+            return [element]
+        now_bin = element.now_bin
+        if now_bin is None and element.signals:
+            now_bin = max(s.bin_start for s in element.signals)
+        parts: list[list] = [[] for _ in range(self.n_shards)]
+        for signal in element.signals:
+            parts[shard_of(signal.pop, self.n_shards)].append(signal)
+        self.batches_routed += 1
+        self.signals_routed += len(element.signals)
+        return [
+            ShardBatch(
+                batches=[
+                    SignalBatch(signals=part, now_bin=now_bin)
+                    for part in parts
+                ]
+            )
+        ]
+
+    def state_dict(self) -> dict:
+        return {
+            "batches_routed": self.batches_routed,
+            "signals_routed": self.signals_routed,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.batches_routed = state["batches_routed"]
+        self.signals_routed = state["signals_routed"]
+
+
+@dataclass
+class ShardChain:
+    """One shard's private classification->record chain."""
+
+    index: int
+    metrics: PipelineMetrics
+    classification: ClassificationStage
+    localisation: LocalisationStage
+    validation: ValidationStage
+    record: RecordStage
+    #: shard-local rejects, drained into the global list every batch.
+    rejected: list[SignalClassification] = field(default_factory=list)
+
+
+class ShardedMetricsView(PipelineMetrics):
+    """Aggregated metrics with the per-shard breakdown attached."""
+
+    def __init__(self, per_shard: list[PipelineMetrics]) -> None:
+        super().__init__()
+        self.per_shard = per_shard
+
+    def snapshot(self) -> dict[str, object]:
+        snap = super().snapshot()
+        snap["shards"] = [m.snapshot() for m in self.per_shard]
+        return snap
+
+
+class ShardedStagePipeline:
+    """Runtime driving the shared upstream chain plus N shard chains.
+
+    Behaves like :class:`~repro.pipeline.runtime.StagePipeline` to the
+    outside (``feed`` / ``feed_many`` / ``flush`` / ``state_dict``);
+    internally each routed batch runs three fan-out phases
+    (classification, localisation, validation) with the global-context
+    sync between them, then a serial, deterministically-ordered record
+    phase routed by *located* PoP.
+    """
+
+    def __init__(
+        self,
+        upstream: StagePipeline,
+        router: ShardRouter,
+        chains: list[ShardChain],
+        colo: ColocationMap,
+        rejected: list[SignalClassification],
+        workers: int = 0,
+    ) -> None:
+        self.upstream = upstream
+        self.router = router
+        self.chains = chains
+        self.colo = colo
+        #: chronological global reject list (facade view).
+        self.rejected = rejected
+        #: chronological global signal log, merged per batch.
+        self.signal_log: list[SignalClassification] = []
+        self.workers = workers
+        self._executor: ThreadPoolExecutor | None = None
+        self._finalized: list[OutageRecord] | None = None
+
+    # ------------------------------------------------------------------
+    # StagePipeline-compatible surface
+    # ------------------------------------------------------------------
+    def feed(self, element: Any) -> list[Any]:
+        return self._dispatch(self.upstream.feed(element))
+
+    def feed_many(self, elements) -> list[Any]:
+        out: list[Any] = []
+        for element in elements:
+            out.extend(self.feed(element))
+        return out
+
+    def flush(self) -> list[Any]:
+        tail = self._dispatch(self.upstream.flush())
+        # Flush each chain front to back, cascading trailing elements
+        # through the chain's remaining stages (the per-chain analogue
+        # of StagePipeline.flush; cross-shard sync does not apply at
+        # end of stream — a flushed element belongs to one shard).
+        for chain in self.chains:
+            stages = self._chain_stages(chain)
+            for index, stage in enumerate(stages):
+                metrics = chain.metrics.stage(stage.name)
+                began = time.perf_counter()
+                flushed = stage.flush()
+                metrics.seconds += time.perf_counter() - began
+                if not flushed:
+                    continue
+                metrics.emitted += len(flushed)
+                current = flushed
+                for downstream in stages[index + 1 :]:
+                    produced: list[Any] = []
+                    for element in current:
+                        produced.extend(
+                            self._feed_stage(chain, downstream, element)
+                        )
+                    current = produced
+                    if not current:
+                        break
+                tail.extend(current)
+        return tail
+
+    def close(self) -> None:
+        """Shut down the shard thread pool (if one was ever started)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Batch processing
+    # ------------------------------------------------------------------
+    def _dispatch(self, outs: list[Any]) -> list[Any]:
+        emitted: list[Any] = []
+        for out in outs:
+            if isinstance(out, ShardBatch):
+                self._process_batch(out)
+            elif isinstance(out, BinAdvanced):
+                self._broadcast(out)
+            else:
+                emitted.append(out)
+        return emitted
+
+    def _process_batch(self, shard_batch: ShardBatch) -> None:
+        chains = self.chains
+        # Phase 1 — classification, one sub-batch per shard.
+        classified_by_shard = self._fan_out(
+            [
+                (
+                    chain,
+                    chain.classification,
+                    shard_batch.batches[chain.index],
+                )
+                for chain in chains
+            ]
+        )
+        self._merge_signal_logs()
+        classified: list[tuple[ShardChain, ClassifiedBatch]] = []
+        concurrent: set[PoP] = set()
+        for chain, outs in zip(chains, classified_by_shard):
+            for out in outs:
+                assert isinstance(out, ClassifiedBatch)
+                classified.append((chain, out))
+                concurrent.update(out.concurrent)
+        if not classified:
+            return
+        # Sync 1 — the concurrent-PoP set spans all shards (§4.3).
+        for _, batch in classified:
+            batch.concurrent = set(concurrent)
+
+        # Phase 2 — localisation on the shards that classified.
+        located_by_shard = self._fan_out(
+            [
+                (chain, chain.localisation, batch)
+                for chain, batch in classified
+            ]
+        )
+        self._drain_rejects()
+        located: list[tuple[ShardChain, LocatedBatch]] = []
+        merged_results: list[LocatedSignal] = []
+        for (chain, _), outs in zip(classified, located_by_shard):
+            for out in outs:
+                assert isinstance(out, LocatedBatch)
+                located.append((chain, out))
+                merged_results.extend(out.results)
+        if not located:
+            return
+        # Sync 2 — the city abstraction runs over the merged epicenters
+        # of the whole evaluation, not a shard's slice.
+        city = common_city(merged_results, self.colo)
+        for _, batch in located:
+            batch.city_scope = city
+
+        # Phase 3 — validation.
+        validated_by_shard = self._fan_out(
+            [(chain, chain.validation, batch) for chain, batch in located]
+        )
+        self._drain_rejects()
+        candidates: list[OutageCandidate] = []
+        for outs in validated_by_shard:
+            candidates.extend(outs)
+        # Phase 4 — record lifecycle, serial and deterministic: linear
+        # emission order (one candidate per signal PoP, PoP-sorted),
+        # each candidate owned by its *located* PoP's shard so a
+        # record's open/close/watch state lives in exactly one chain.
+        candidates.sort(key=lambda cand: str(cand.classification.pop))
+        for candidate in candidates:
+            chain = chains[shard_of(candidate.located, len(chains))]
+            self._feed_stage(chain, chain.record, candidate)
+
+    def _broadcast(self, marker: BinAdvanced) -> None:
+        # The probe memo is shared by every chain: prune it once (via
+        # the first chain's validation stage, keeping the work metered),
+        # then re-evaluate each chain's open records in shard order.
+        first = self.chains[0]
+        self._feed_stage(first, first.validation, marker)
+        for chain in self.chains:
+            self._feed_stage(chain, chain.record, marker)
+
+    # ------------------------------------------------------------------
+    # Fan-out machinery
+    # ------------------------------------------------------------------
+    def _fan_out(
+        self, tasks: list[tuple[ShardChain, Stage, Any]]
+    ) -> list[list[Any]]:
+        """Feed one element per (chain, stage); results in task order."""
+        if self.workers > 1 and len(tasks) > 1:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="kepler-shard",
+                )
+            futures = [
+                self._executor.submit(
+                    self._feed_stage, chain, stage, element
+                )
+                for chain, stage, element in tasks
+            ]
+            return [future.result() for future in futures]
+        return [
+            self._feed_stage(chain, stage, element)
+            for chain, stage, element in tasks
+        ]
+
+    @staticmethod
+    def _feed_stage(chain: ShardChain, stage: Stage, element: Any) -> list[Any]:
+        metrics = chain.metrics.stage(stage.name)
+        began = time.perf_counter()
+        out = stage.feed(element)
+        metrics.seconds += time.perf_counter() - began
+        metrics.fed += 1
+        metrics.emitted += len(out)
+        return out
+
+    @staticmethod
+    def _chain_stages(chain: ShardChain) -> tuple[Stage, ...]:
+        return (
+            chain.classification,
+            chain.localisation,
+            chain.validation,
+            chain.record,
+        )
+
+    # ------------------------------------------------------------------
+    # Deterministic merges
+    # ------------------------------------------------------------------
+    def _merge_signal_logs(self) -> None:
+        fresh: list[SignalClassification] = []
+        for chain in self.chains:
+            if chain.classification.signal_log:
+                fresh.extend(chain.classification.signal_log)
+                chain.classification.signal_log.clear()
+        # One classification per PoP per batch: PoP order is total and
+        # matches the linear chain's classify_signals emission order.
+        fresh.sort(key=lambda c: str(c.pop))
+        self.signal_log.extend(fresh)
+
+    def _drain_rejects(self) -> None:
+        fresh: list[SignalClassification] = []
+        for chain in self.chains:
+            if chain.rejected:
+                fresh.extend(chain.rejected)
+                chain.rejected.clear()
+        fresh.sort(key=lambda c: str(c.pop))
+        self.rejected.extend(fresh)
+
+    # ------------------------------------------------------------------
+    # Record views and finalisation
+    # ------------------------------------------------------------------
+    def finalize_records(
+        self, end_time: float | None = None
+    ) -> list[OutageRecord]:
+        merged: list[OutageRecord] = []
+        for chain in self.chains:
+            merged.extend(chain.record.finalize(end_time))
+        # Located PoPs are disjoint across shards, so the per-shard
+        # oscillation merges compose; this sort is the linear chain's.
+        merged.sort(key=lambda r: (r.start, str(r.located_pop)))
+        self._finalized = merged
+        return merged
+
+    @property
+    def records(self) -> list[OutageRecord]:
+        if self._finalized is not None:
+            return self._finalized
+        live: list[OutageRecord] = []
+        for chain in self.chains:
+            live.extend(chain.record.records)
+        live.sort(
+            key=lambda r: (
+                r.end if r.end is not None else float("inf"),
+                r.start,
+                str(r.located_pop),
+            )
+        )
+        return live
+
+    @property
+    def open(self) -> dict[PoP, OutageRecord]:
+        merged: dict[PoP, OutageRecord] = {}
+        for chain in self.chains:
+            merged.update(chain.record.open)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Metrics and checkpointing
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> ShardedMetricsView:
+        view = ShardedMetricsView([c.metrics for c in self.chains])
+        view.absorb(self.upstream.metrics)
+        view.bins = self.upstream.metrics.bins
+        for chain in self.chains:
+            view.absorb(chain.metrics)
+        return view
+
+    def state_dict(self) -> dict:
+        from repro.core.serde import classification_to_json
+
+        return {
+            "upstream": self.upstream.state_dict(),
+            "chains": [
+                {
+                    "metrics": chain.metrics.state_dict(),
+                    "classify": chain.classification.state_dict(),
+                    "localise": chain.localisation.state_dict(),
+                    "validate": chain.validation.state_dict(),
+                    "record": chain.record.state_dict(),
+                }
+                for chain in self.chains
+            ],
+            "signal_log": [
+                classification_to_json(c) for c in self.signal_log
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.core.serde import classification_from_json
+
+        if len(state["chains"]) != len(self.chains):
+            raise ValueError(
+                f"checkpoint has {len(state['chains'])} shards,"
+                f" pipeline has {len(self.chains)}"
+            )
+        self.upstream.load_state(state["upstream"])
+        for chain, chain_state in zip(self.chains, state["chains"]):
+            chain.metrics.load_state(chain_state["metrics"])
+            chain.classification.load_state(chain_state["classify"])
+            chain.localisation.load_state(chain_state["localise"])
+            chain.validation.load_state(chain_state["validate"])
+            chain.record.load_state(chain_state["record"])
+        self.signal_log = [
+            classification_from_json(c) for c in state["signal_log"]
+        ]
+        self._finalized = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedStagePipeline({self.upstream!r}"
+            f" x{len(self.chains)} shards, workers={self.workers})"
+        )
+
+
+@dataclass
+class ShardedKeplerPipeline:
+    """The sharded chain plus direct handles (sharded twin of
+    :class:`~repro.pipeline.KeplerPipeline`)."""
+
+    pipeline: ShardedStagePipeline
+    upstream_metrics: PipelineMetrics
+    ingest: IngestStage
+    tagging: TaggingStage
+    monitoring: BinningMonitorStage
+    router: ShardRouter
+    chains: list[ShardChain]
+    cache: ValidationCache
+    rejected: list[SignalClassification]
+
+    @property
+    def records(self) -> list[OutageRecord]:
+        return self.pipeline.records
+
+    @property
+    def open(self) -> dict[PoP, OutageRecord]:
+        return self.pipeline.open
+
+    @property
+    def signal_log(self) -> list[SignalClassification]:
+        return self.pipeline.signal_log
+
+    @property
+    def metrics(self) -> ShardedMetricsView:
+        return self.pipeline.metrics
+
+    def finalize_records(
+        self, end_time: float | None = None
+    ) -> list[OutageRecord]:
+        return self.pipeline.finalize_records(end_time)
+
+
+def build_sharded_kepler_pipeline(
+    input_module: InputModule,
+    monitor: OutageMonitor,
+    investigator: Investigator,
+    validator: DataPlaneValidator,
+    colo: ColocationMap,
+    as2org: dict[int, str],
+    min_pop_ases: int,
+    correlation_window_s: float,
+    restore_fraction: float,
+    merge_gap_s: float,
+    drop_rejected: bool = True,
+    enable_investigation: bool = True,
+    metrics: PipelineMetrics | None = None,
+    shards: int = 2,
+    workers: int = 0,
+) -> ShardedKeplerPipeline:
+    """Wire the sharded Kepler chain: shared upstream, N shard chains."""
+    metrics = metrics or PipelineMetrics()
+    rejected: list[SignalClassification] = []
+    cache = ValidationCache(validator)
+    ingest = IngestStage()
+    tagging = TaggingStage(input_module)
+    monitoring = BinningMonitorStage(monitor, metrics=metrics)
+    router = ShardRouter(shards)
+    upstream = StagePipeline(
+        [ingest, tagging, monitoring, router], metrics=metrics
+    )
+    chains: list[ShardChain] = []
+    for index in range(shards):
+        shard_rejected: list[SignalClassification] = []
+        chains.append(
+            ShardChain(
+                index=index,
+                metrics=PipelineMetrics(),
+                classification=ClassificationStage(
+                    as2org,
+                    min_pop_ases=min_pop_ases,
+                    correlation_window_s=correlation_window_s,
+                ),
+                localisation=LocalisationStage(
+                    investigator,
+                    monitor,
+                    colo,
+                    cache,
+                    enable_investigation=enable_investigation,
+                    rejected=shard_rejected,
+                ),
+                validation=ValidationStage(
+                    cache,
+                    drop_rejected=drop_rejected,
+                    rejected=shard_rejected,
+                ),
+                record=RecordStage(
+                    monitor,
+                    validator,
+                    restore_fraction=restore_fraction,
+                    merge_gap_s=merge_gap_s,
+                ),
+                rejected=shard_rejected,
+            )
+        )
+    runtime = ShardedStagePipeline(
+        upstream=upstream,
+        router=router,
+        chains=chains,
+        colo=colo,
+        rejected=rejected,
+        workers=workers,
+    )
+    return ShardedKeplerPipeline(
+        pipeline=runtime,
+        upstream_metrics=metrics,
+        ingest=ingest,
+        tagging=tagging,
+        monitoring=monitoring,
+        router=router,
+        chains=chains,
+        cache=cache,
+        rejected=rejected,
+    )

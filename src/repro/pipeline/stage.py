@@ -39,6 +39,27 @@ class Stage(Protocol):
         ...
 
 
+@runtime_checkable
+class StatefulStage(Stage, Protocol):
+    """A stage whose buffered state can be checkpointed.
+
+    ``state_dict`` must return a JSON-serialisable dict capturing every
+    piece of state that affects future ``feed``/``flush`` output;
+    ``load_state`` must restore it such that the restored stage
+    continues the stream exactly as the original would have.  Together
+    they make a pipeline snapshot a plain JSON document (see
+    :meth:`repro.core.kepler.Kepler.snapshot`).
+    """
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the stage's mutable state."""
+        ...
+
+    def load_state(self, state: dict) -> None:
+        """Restore the state captured by :meth:`state_dict`."""
+        ...
+
+
 class PassthroughStage:
     """Base class implementing the pass-through/no-op contract."""
 
@@ -49,3 +70,9 @@ class PassthroughStage:
 
     def flush(self) -> list[Any]:
         return []
+
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        del state

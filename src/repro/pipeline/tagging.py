@@ -14,6 +14,7 @@ from typing import Any
 
 from repro.bgp.messages import BGPStateMessage, BGPUpdate
 from repro.core.input import InputModule
+from repro.pipeline.events import PrimedPath, PrimingUpdate
 from repro.pipeline.stage import PassthroughStage
 
 
@@ -26,9 +27,28 @@ class TaggingStage(PassthroughStage):
         self.input = input_module
 
     def feed(self, element: Any) -> list[Any]:
+        if isinstance(element, PrimingUpdate):
+            # RIB-snapshot path: tag it like any update, but keep the
+            # priming envelope so the monitor installs it directly
+            # instead of treating it as stream traffic.  Untaggable
+            # paths cannot seed a PoP baseline and end here.
+            tagged = self.input.process(element.update)
+            if tagged is None or not tagged.tags:
+                return []
+            return [PrimedPath(tagged)]
         if isinstance(element, BGPStateMessage):
             return [element]
         if isinstance(element, BGPUpdate):
             tagged = self.input.process(element)
             return [] if tagged is None else [tagged]
         return [element]
+
+    def state_dict(self) -> dict:
+        return {
+            "parsed_count": self.input.parsed_count,
+            "discarded_count": self.input.discarded_count,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.input.parsed_count = state["parsed_count"]
+        self.input.discarded_count = state["discarded_count"]

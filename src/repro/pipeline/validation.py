@@ -15,6 +15,7 @@ elements for the record lifecycle stage.
 
 from __future__ import annotations
 
+import threading
 from typing import Any
 
 from repro.core.dataplane import DataPlaneValidator, ValidationOutcome
@@ -29,30 +30,81 @@ PRUNE_HORIZON_S = 3600.0
 
 
 class ValidationCache:
-    """Per-(PoP, bin-end) memo over a :class:`DataPlaneValidator`."""
+    """Per-(PoP, bin-end) memo over a :class:`DataPlaneValidator`.
+
+    Thread-safe: concurrent shard chains share one cache, and the
+    at-most-one-probe-per-(PoP, bin) invariant must hold across them.
+    A miss registers an in-flight marker under the lock, probes outside
+    it (probes are slow — that is the point of the memo), and other
+    callers of the same key wait on the marker instead of re-probing.
+    """
 
     def __init__(self, validator: DataPlaneValidator) -> None:
         self.validator = validator
         self._memo: dict[tuple[PoP, float], ValidationOutcome] = {}
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple[PoP, float], threading.Event] = {}
         self.probes = 0
         self.hits = 0
 
     def validate(self, pop: PoP, time: float) -> ValidationOutcome:
         key = (pop, time)
-        cached = self._memo.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        outcome = self.validator.validate(pop, time)
-        self.probes += 1
-        self._memo[key] = outcome
+        while True:
+            with self._lock:
+                cached = self._memo.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    return cached
+                pending = self._inflight.get(key)
+                if pending is None:
+                    pending = self._inflight[key] = threading.Event()
+                    break
+            # Another caller owns the probe; when it finishes, loop:
+            # either the memo is filled, or the probe failed and this
+            # caller takes ownership of the retry.
+            pending.wait()
+        try:
+            outcome = self.validator.validate(pop, time)
+        except BaseException:
+            with self._lock:
+                self._inflight.pop(key, None)
+            pending.set()
+            raise
+        with self._lock:
+            self.probes += 1
+            self._memo[key] = outcome
+            self._inflight.pop(key, None)
+        pending.set()
         return outcome
 
     def prune(self, older_than: float) -> None:
         """Drop memo entries for bins ending before ``older_than``."""
-        stale = [k for k in self._memo if k[1] < older_than]
-        for key in stale:
-            del self._memo[key]
+        with self._lock:
+            stale = [k for k in self._memo if k[1] < older_than]
+            for key in stale:
+                del self._memo[key]
+
+    def state_dict(self) -> dict:
+        from repro.core.serde import outcome_to_json, pop_to_json
+
+        return {
+            "memo": [
+                [pop_to_json(pop), time, outcome_to_json(outcome)]
+                for (pop, time), outcome in self._memo.items()
+            ],
+            "probes": self.probes,
+            "hits": self.hits,
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.core.serde import outcome_from_json, pop_from_json
+
+        self._memo = {
+            (pop_from_json(pop), time): outcome_from_json(outcome)
+            for pop, time, outcome in state["memo"]
+        }
+        self.probes = state["probes"]
+        self.hits = state["hits"]
 
 
 class ValidationStage(PassthroughStage):
@@ -95,3 +147,8 @@ class ValidationStage(PassthroughStage):
                 )
             )
         return out
+
+    # The probe memo and the reject list are shared with localisation
+    # (and, sharded, with every other chain): both are checkpointed once
+    # by the pipeline owner, so this stage has no state of its own —
+    # the inherited empty ``state_dict`` applies.

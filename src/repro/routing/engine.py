@@ -15,7 +15,7 @@ withdrawals for lost reachability) with realistic timing:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.bgp.collector import Collector, CollectorPeer
 from repro.bgp.messages import (

@@ -1,0 +1,226 @@
+"""Checkpoint/resume: snapshot -> restore resumes byte-identically.
+
+Property-based: a detector snapshotted at an *arbitrary* mid-stream
+cut, serialised through JSON (as a new process would read it), and
+restored into a freshly-constructed detector must finish the stream
+with records and signal log identical to an uninterrupted run — on
+two scenario worlds, with and without a data-plane validator, linear
+and sharded.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from test_pipeline_equivalence import (
+    FIRST_WORLD,
+    SECOND_WORLD,
+    DeterministicValidator,
+    prepared,
+    record_fields,
+)
+from repro.core.kepler import Kepler, KeplerParams
+from repro.scenarios import World, build_world
+
+END_TIME = 80_000.0
+
+
+@pytest.fixture(scope="module")
+def world_a() -> tuple[World, list, list]:
+    return prepared(
+        build_world(seed=FIRST_WORLD.seed, world_params=FIRST_WORLD)
+    )
+
+
+@pytest.fixture(scope="module")
+def world_b() -> tuple[World, list, list]:
+    return prepared(
+        build_world(seed=SECOND_WORLD.seed, world_params=SECOND_WORLD)
+    )
+
+
+def make_kepler(
+    world: World, params: KeplerParams, with_validator: bool
+) -> Kepler:
+    return Kepler(
+        dictionary=world.dictionary,
+        colo=world.colo,
+        as2org=world.as2org,
+        params=params,
+        validator=DeterministicValidator() if with_validator else None,
+    )
+
+
+#: Baselines keyed by (world seed, shards, validator) — each hypothesis
+#: example re-runs the resumed half only, not the uninterrupted run.
+_baselines: dict[tuple, tuple[list, list]] = {}
+
+
+def uninterrupted(
+    replay: tuple[World, list, list],
+    params: KeplerParams,
+    with_validator: bool,
+) -> tuple[list, list]:
+    world, snapshot, elements = replay
+    cache_key = (world.seed, params.shards, with_validator)
+    cached = _baselines.get(cache_key)
+    if cached is not None:
+        return cached
+    detector = make_kepler(world, params, with_validator)
+    detector.prime(snapshot)
+    detector.process(elements)
+    detector.finalize(end_time=END_TIME)
+    result = (
+        [record_fields(r) for r in detector.records],
+        [
+            (c.pop, c.signal_type, c.bin_start, c.bin_end)
+            for c in detector.signal_log
+        ],
+    )
+    _baselines[cache_key] = result
+    return result
+
+
+def resumed_at(
+    replay: tuple[World, list, list],
+    params: KeplerParams,
+    with_validator: bool,
+    cut: int,
+) -> tuple[list, list]:
+    """Run to ``cut``, snapshot, JSON round-trip, restore, finish."""
+    world, snapshot, elements = replay
+    first = make_kepler(world, params, with_validator)
+    first.prime(snapshot)
+    first.process(elements[:cut])
+    blob = json.dumps(first.snapshot())
+
+    second = make_kepler(world, params, with_validator)
+    second.restore(json.loads(blob))
+    second.process(elements[cut:])
+    second.finalize(end_time=END_TIME)
+    return (
+        [record_fields(r) for r in second.records],
+        [
+            (c.pop, c.signal_type, c.bin_start, c.bin_end)
+            for c in second.signal_log
+        ],
+    )
+
+
+class TestRoundTripProperties:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(frac=st.floats(min_value=0.0, max_value=1.0))
+    def test_world_a_with_dataplane(self, world_a, frac):
+        params = KeplerParams()
+        baseline = uninterrupted(world_a, params, True)
+        cut = int(frac * len(world_a[2]))
+        assert resumed_at(world_a, params, True, cut) == baseline
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(frac=st.floats(min_value=0.0, max_value=1.0))
+    def test_world_b_control_plane(self, world_b, frac):
+        params = KeplerParams()
+        baseline = uninterrupted(world_b, params, False)
+        cut = int(frac * len(world_b[2]))
+        assert resumed_at(world_b, params, False, cut) == baseline
+
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(frac=st.floats(min_value=0.0, max_value=1.0))
+    def test_world_a_sharded(self, world_a, frac):
+        params = KeplerParams(shards=4)
+        baseline = uninterrupted(world_a, params, True)
+        cut = int(frac * len(world_a[2]))
+        assert resumed_at(world_a, params, True, cut) == baseline
+
+
+class TestCheckpointDocument:
+    def test_snapshot_is_json_serialisable_and_versioned(self, world_a):
+        world, snapshot, elements = world_a
+        detector = make_kepler(world, KeplerParams(), False)
+        detector.prime(snapshot)
+        detector.process(elements[: len(elements) // 3])
+        document = detector.snapshot()
+        blob = json.dumps(document)
+        parsed = json.loads(blob)
+        assert parsed["format"] == "kepler-checkpoint"
+        assert parsed["version"] == 1
+        assert parsed["shards"] == 0
+        assert parsed["primed_paths"] == detector.primed_paths
+
+    def test_snapshot_is_read_only_and_idempotent(self, world_a):
+        world, snapshot, elements = world_a
+        detector = make_kepler(world, KeplerParams(), False)
+        detector.prime(snapshot)
+        detector.process(elements[: len(elements) // 3])
+        # Operators checkpoint periodically: taking a snapshot must not
+        # mutate the detector, so back-to-back documents are identical.
+        first = json.dumps(detector.snapshot(), sort_keys=True)
+        second = json.dumps(detector.snapshot(), sort_keys=True)
+        assert first == second
+
+    def test_restore_rejects_wrong_version(self, world_a):
+        world, _, _ = world_a
+        detector = make_kepler(world, KeplerParams(), False)
+        document = detector.snapshot()
+        document["version"] = 99
+        fresh = make_kepler(world, KeplerParams(), False)
+        with pytest.raises(ValueError, match="version"):
+            fresh.restore(document)
+
+    def test_restore_rejects_shard_mismatch(self, world_a):
+        world, _, _ = world_a
+        detector = make_kepler(world, KeplerParams(shards=4), False)
+        document = detector.snapshot()
+        fresh = make_kepler(world, KeplerParams(shards=2), False)
+        with pytest.raises(ValueError, match="shards"):
+            fresh.restore(document)
+
+    def test_restore_rejects_foreign_document(self, world_a):
+        world, _, _ = world_a
+        fresh = make_kepler(world, KeplerParams(), False)
+        with pytest.raises(ValueError, match="checkpoint"):
+            fresh.restore({"format": "something-else"})
+
+    def test_restored_metrics_and_counters_survive(self, world_a):
+        world, snapshot, elements = world_a
+        detector = make_kepler(world, KeplerParams(), False)
+        detector.prime(snapshot)
+        detector.process(elements[: len(elements) // 2])
+        blob = json.dumps(detector.snapshot())
+
+        fresh = make_kepler(world, KeplerParams(), False)
+        fresh.restore(json.loads(blob))
+        assert fresh.primed_paths == detector.primed_paths
+        assert (
+            fresh.stages.ingest.announcements
+            == detector.stages.ingest.announcements
+        )
+        assert (
+            fresh.monitor.total_baseline_entries
+            == detector.monitor.total_baseline_entries
+        )
+        assert (
+            fresh.monitor.pending_count == detector.monitor.pending_count
+        )
+        original = detector.metrics.snapshot()
+        restored = fresh.metrics.snapshot()
+        assert original["bins"] == restored["bins"]
+        assert [s["name"] for s in original["stages"]] == [
+            s["name"] for s in restored["stages"]
+        ]

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bgp.communities import Community
 from repro.bgp.messages import BGPUpdate, ElemType
@@ -21,7 +20,6 @@ from repro.docmine.dictionary import (
 from repro.topology.sources import (
     ColocationRecord,
     IXPRecord,
-    export_datacentermap,
     export_peeringdb,
 )
 

@@ -299,3 +299,134 @@ class TestValidationCache:
         cache.prune(older_than=100.0)
         cache.validate(POP_F, 60.0)
         assert validator.calls == 2
+
+    def test_failed_probe_does_not_poison_the_key(self):
+        class FlakyValidator:
+            def __init__(self):
+                self.calls = 0
+
+            def validate(self, pop, time):
+                self.calls += 1
+                if self.calls == 1:
+                    raise RuntimeError("probe timeout")
+                return ValidationOutcome.CONFIRMED
+
+            def restored_fraction(self, pop, time):
+                return None
+
+        cache = ValidationCache(FlakyValidator())
+        with pytest.raises(RuntimeError):
+            cache.validate(POP_F, 60.0)
+        # The in-flight marker must not linger: the next caller retries
+        # the probe instead of waiting forever on the failed one.
+        assert cache.validate(POP_F, 60.0) is ValidationOutcome.CONFIRMED
+        assert cache.probes == 1
+
+
+class TestFlushMetering:
+    def test_flush_cost_lands_in_stage_seconds(self):
+        class SlowTrailer(PassthroughStage):
+            name = "slow-trailer"
+
+            def flush(self):
+                import time as _time
+
+                _time.sleep(0.01)
+                return ["trailing"]
+
+        metrics = PipelineMetrics()
+        pipeline = StagePipeline([SlowTrailer(), Doubler()], metrics=metrics)
+        out = pipeline.flush()
+        assert out == ["trailing", "trailing"]
+        # End-of-stream cost is part of the per-stage profile.
+        assert metrics.stage("slow-trailer").seconds >= 0.01
+        assert metrics.stage("slow-trailer").emitted == 1
+        # The cascade into downstream stages is metered as ordinary feed.
+        assert metrics.stage("doubler").fed == 1
+        assert metrics.stage("doubler").emitted == 2
+
+
+def _priming_input_module():
+    from repro.bgp.communities import Community
+    from repro.core.colocation import ColocationMap
+    from repro.core.input import InputModule
+    from repro.docmine.dictionary import CommunityDictionary, DictionaryEntry
+
+    community = Community(10, 101)
+    dictionary = CommunityDictionary(
+        entries={
+            community: DictionaryEntry(
+                community=community,
+                pop=POP_F,
+                source_url="https://example.test",
+                surface="f1",
+            )
+        }
+    )
+    return InputModule(dictionary, ColocationMap()), community
+
+
+class TestStreamingPrime:
+    def _rib_update(self, community, i=0, communities=True):
+        return BGPUpdate(
+            time=0.0,
+            collector="rrc00",
+            peer_asn=100,
+            prefix=f"10.0.{i}.0/24",
+            elem_type=ElemType.ANNOUNCEMENT,
+            as_path=(100, 10, 30),
+            communities=(community,) if communities else (),
+        )
+
+    def test_priming_updates_flow_to_baseline(self):
+        from repro.pipeline import PrimingUpdate, TaggingStage
+
+        input_module, community = _priming_input_module()
+        monitor = OutageMonitor()
+        pipeline = StagePipeline(
+            [
+                IngestStage(),
+                TaggingStage(input_module),
+                BinningMonitorStage(monitor),
+            ]
+        )
+        for i in range(3):
+            out = pipeline.feed(
+                PrimingUpdate(update=self._rib_update(community, i))
+            )
+            assert out == []
+        assert monitor.baseline_size(POP_F) == 3
+        # Direct installation: the binning clock has not started.
+        assert monitor.current_bin_start is None
+        assert pipeline.stage_named("monitor").primed == 3
+        assert pipeline.stage_named("ingest").priming_updates == 3
+
+    def test_untagged_rib_paths_end_at_tagging(self):
+        from repro.pipeline import PrimingUpdate, TaggingStage
+
+        input_module, community = _priming_input_module()
+        monitor = OutageMonitor()
+        tagging = TaggingStage(input_module)
+        monitoring = BinningMonitorStage(monitor)
+        pipeline = StagePipeline([tagging, monitoring])
+        out = pipeline.feed(
+            PrimingUpdate(
+                update=self._rib_update(community, communities=False)
+            )
+        )
+        assert out == []
+        assert monitor.baseline_size(POP_F) == 0
+        assert monitoring.primed == 0
+
+    def test_priming_does_not_disturb_stream_order_accounting(self):
+        from repro.pipeline import PrimingUpdate
+
+        ingest = IngestStage()
+        ingest.feed(update(0, 100.0))
+        # A late RIB chunk (snapshot timestamps predate the stream)
+        # must not count as an out-of-order stream element.
+        input_module, community = _priming_input_module()
+        ingest.feed(PrimingUpdate(update=self._rib_update(community)))
+        ingest.feed(update(1, 101.0))
+        assert ingest.out_of_order == 0
+        assert ingest.priming_updates == 1

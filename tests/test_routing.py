@@ -12,7 +12,6 @@ from repro.routing.events import (
     FacilityFailure,
     FacilityRecovery,
     IXPFailure,
-    IXPRecovery,
     LinkFailure,
     PartialFacilityFailure,
 )

@@ -1,0 +1,188 @@
+"""Sharded pipeline: router units and shard-vs-linear equivalence.
+
+The sharded runtime must be *invisible* in the output: on the same
+replay, ``Kepler(shards=N)`` — serial or thread-pooled — produces
+records, signal log and reject sequence identical to the linear chain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from test_pipeline_equivalence import (
+    FIRST_WORLD,
+    SECOND_WORLD,
+    DeterministicValidator,
+    prepared,
+    record_fields,
+)
+from repro.core.events import OutageSignal
+from repro.core.kepler import Kepler, KeplerParams
+from repro.docmine.dictionary import PoP, PoPKind
+from repro.pipeline import (
+    BinAdvanced,
+    ShardBatch,
+    ShardRouter,
+    SignalBatch,
+    shard_of,
+)
+from repro.scenarios import World, build_world
+
+
+def signal(pop: PoP, bin_start: float = 0.0) -> OutageSignal:
+    return OutageSignal(
+        pop=pop,
+        near_asn=10,
+        bin_start=bin_start,
+        bin_end=bin_start + 60.0,
+        diverted_paths=2,
+        baseline_paths=10,
+        links=frozenset({(10, 30)}),
+    )
+
+
+class TestShardRouter:
+    def test_partitions_by_pop_hash(self):
+        router = ShardRouter(4)
+        pops = [PoP(PoPKind.FACILITY, f"f{i}") for i in range(12)]
+        batch = SignalBatch(signals=[signal(p) for p in pops])
+        (routed,) = router.feed(batch)
+        assert isinstance(routed, ShardBatch)
+        assert len(routed.batches) == 4
+        for index, sub in enumerate(routed.batches):
+            for s in sub.signals:
+                assert shard_of(s.pop, 4) == index
+        total = sum(len(sub.signals) for sub in routed.batches)
+        assert total == len(pops)
+        assert router.batches_routed == 1
+        assert router.signals_routed == len(pops)
+
+    def test_same_pop_same_shard(self):
+        pop = PoP(PoPKind.IXP, "ix9")
+        assert shard_of(pop, 8) == shard_of(PoP(PoPKind.IXP, "ix9"), 8)
+
+    def test_global_now_bin_reaches_empty_subbatches(self):
+        router = ShardRouter(3)
+        pops = [PoP(PoPKind.FACILITY, f"f{i}") for i in range(3)]
+        batch = SignalBatch(
+            signals=[signal(pops[0], 120.0), signal(pops[1], 300.0)]
+        )
+        (routed,) = router.feed(batch)
+        # Every sub-batch — including empty ones — carries the global
+        # window clock (latest bin_start of the whole batch).
+        assert all(sub.now_bin == 300.0 for sub in routed.batches)
+
+    def test_markers_pass_through(self):
+        router = ShardRouter(2)
+        marker = BinAdvanced(now=600.0)
+        assert router.feed(marker) == [marker]
+
+    def test_rejects_degenerate_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardRouter(1)
+
+
+# ----------------------------------------------------------------------
+# Shard-vs-linear equivalence on the scenario worlds
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def world_a() -> tuple[World, list, list]:
+    return prepared(
+        build_world(seed=FIRST_WORLD.seed, world_params=FIRST_WORLD)
+    )
+
+
+@pytest.fixture(scope="module")
+def world_b() -> tuple[World, list, list]:
+    return prepared(
+        build_world(seed=SECOND_WORLD.seed, world_params=SECOND_WORLD)
+    )
+
+
+def run_one(
+    replay: tuple[World, list, list],
+    params: KeplerParams,
+    with_validator: bool,
+) -> Kepler:
+    world, snapshot, elements = replay
+    detector = Kepler(
+        dictionary=world.dictionary,
+        colo=world.colo,
+        as2org=world.as2org,
+        params=params,
+        validator=DeterministicValidator() if with_validator else None,
+    )
+    detector.prime(snapshot)
+    detector.process(elements)
+    detector.finalize(end_time=80_000.0)
+    detector.close()
+    return detector
+
+
+def assert_same_output(linear: Kepler, sharded: Kepler) -> None:
+    assert [record_fields(r) for r in linear.records] == [
+        record_fields(r) for r in sharded.records
+    ]
+    assert len(linear.signal_log) == len(sharded.signal_log)
+    for a, b in zip(linear.signal_log, sharded.signal_log):
+        assert (a.pop, a.signal_type, a.bin_start, a.bin_end) == (
+            b.pop,
+            b.signal_type,
+            b.bin_start,
+            b.bin_end,
+        )
+    assert [(c.pop, c.bin_start) for c in linear.rejected] == [
+        (c.pop, c.bin_start) for c in sharded.rejected
+    ]
+    assert linear.signal_counts() == sharded.signal_counts()
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("with_validator", [False, True])
+    def test_world_a_four_shards(self, world_a, with_validator):
+        linear = run_one(world_a, KeplerParams(), with_validator)
+        sharded = run_one(
+            world_a, KeplerParams(shards=4), with_validator
+        )
+        assert linear.records, "scenario produced no records to compare"
+        assert_same_output(linear, sharded)
+
+    @pytest.mark.parametrize("with_validator", [False, True])
+    def test_world_b_four_shards(self, world_b, with_validator):
+        linear = run_one(world_b, KeplerParams(), with_validator)
+        sharded = run_one(
+            world_b, KeplerParams(shards=4), with_validator
+        )
+        assert linear.records, "scenario produced no records to compare"
+        assert_same_output(linear, sharded)
+
+    def test_thread_pool_matches_serial(self, world_a):
+        serial = run_one(world_a, KeplerParams(shards=3), True)
+        pooled = run_one(
+            world_a, KeplerParams(shards=3, shard_workers=3), True
+        )
+        assert_same_output(serial, pooled)
+
+    def test_probe_memo_shared_across_shards(self, world_a):
+        linear = run_one(world_a, KeplerParams(), True)
+        sharded = run_one(world_a, KeplerParams(shards=4), True)
+        # One shared cache: never more probes than the linear chain,
+        # and each (PoP, bin) at most once.
+        assert sharded.stages.cache.probes <= linear.validator.calls
+        assert sharded.validator.calls == sharded.stages.cache.probes
+
+    def test_metrics_aggregate_with_per_shard_breakdown(self, world_a):
+        sharded = run_one(world_a, KeplerParams(shards=4), False)
+        snap = sharded.metrics.snapshot()
+        names = {s["name"] for s in snap["stages"]}
+        assert {"ingest", "tagging", "monitor", "route"} <= names
+        assert {"classify", "localise", "validate", "record"} <= names
+        assert len(snap["shards"]) == 4
+        aggregated = {s["name"]: s["fed"] for s in snap["stages"]}
+        per_shard_fed = sum(
+            stage["fed"]
+            for shard in snap["shards"]
+            for stage in shard["stages"]
+            if stage["name"] == "classify"
+        )
+        assert aggregated["classify"] == per_shard_fed

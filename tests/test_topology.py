@@ -12,7 +12,7 @@ from repro.topology.communities import (
     RouteServerScheme,
     TagKind,
 )
-from repro.topology.entities import ASTier, Relationship, Topology
+from repro.topology.entities import ASTier, Topology
 from repro.topology.sources import export_datacentermap, export_peeringdb
 
 
