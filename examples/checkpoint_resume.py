@@ -12,7 +12,10 @@ property the hard way:
    process;
 2. *(subprocess B)* construct a detector from the shipped inputs,
    ``restore()`` the checkpoint, consume the remainder, write its
-   final records;
+   final records — under the **multiprocess stage runtime**
+   (``KeplerParams(process_workers=2)``) where the platform can fork,
+   proving the checkpoint document is interchangeable between the
+   in-process and queue-connected runtimes;
 3. *(this process)* compare: the resumed run must match the
    uninterrupted one record for record.
 
@@ -119,13 +122,19 @@ def first_half(workdir: pathlib.Path) -> None:
 
 
 def second_half(workdir: pathlib.Path) -> None:
+    from repro.pipeline import fork_available
+
     with (workdir / "handoff.pickle").open("rb") as fh:
         handoff = pickle.load(fh)
+    # Resume under the multiprocess runtime where possible: a linear
+    # checkpoint restores into the queue-connected runtime (and back),
+    # since both compose the same versioned document.
+    process_workers = 2 if fork_available() else 0
     kepler = Kepler(
         dictionary=handoff["dictionary"],
         colo=handoff["colo"],
         as2org=handoff["as2org"],
-        params=KeplerParams(),
+        params=KeplerParams(process_workers=process_workers),
     )
     kepler.restore(
         json.loads((workdir / "kepler-checkpoint.json").read_text())
@@ -136,10 +145,12 @@ def second_half(workdir: pathlib.Path) -> None:
         json.dumps(records_json(kepler))
     )
     print(
-        f"[second-half] resumed from checkpoint, processed"
+        f"[second-half] resumed from checkpoint"
+        f" (process_workers={process_workers}), processed"
         f" {len(handoff['remainder'])} remaining elements,"
         f" {len(kepler.records)} records"
     )
+    kepler.close()
 
 
 def main() -> int:

@@ -59,16 +59,45 @@ class TaggedPath:
         return None
 
 
+#: Distinct (AS path, communities) pairs memoised before the cache is
+#: dropped and rebuilt.  BGP streams repeat the same attribute pairs
+#: constantly (one peer re-announcing its table), so the hit rate is
+#: high long before the bound is reached.
+MEMO_MAX_ENTRIES = 65536
+
+_MEMO_MISS = object()
+
+
 class InputModule:
-    """Stateless update parser: BGPUpdate -> TaggedPath."""
+    """Stateless update parser: BGPUpdate -> TaggedPath.
+
+    Tagging is a pure function of the update's ``(as_path,
+    communities)`` pair — the key, timestamp and prefix pass through
+    untouched — so the sanitised path and derived tags are memoised
+    per pair.  Repeated announcements from the same peers (the common
+    case on the 37%-of-runtime tagging hot path) skip sanitisation and
+    the community walk entirely.  The memo is a derived cache, not
+    state: it is never checkpointed and each process keeps its own.
+    """
 
     def __init__(
-        self, dictionary: CommunityDictionary, colo: ColocationMap
+        self,
+        dictionary: CommunityDictionary,
+        colo: ColocationMap,
+        memo_max: int = MEMO_MAX_ENTRIES,
     ) -> None:
         self.dictionary = dictionary
         self.colo = colo
         self.parsed_count = 0
         self.discarded_count = 0
+        self.memo_max = memo_max
+        self.memo_hits = 0
+        #: (as_path, communities) -> (clean path, tags), or None when
+        #: the sanitizer discards the path.
+        self._memo: dict[
+            tuple[tuple[int, ...], tuple],
+            tuple[tuple[int, ...], tuple[PoPTag, ...]] | None,
+        ] = {}
 
     def process(self, update: BGPUpdate) -> TaggedPath | None:
         """Parse one update; ``None`` when the path must be discarded."""
@@ -83,17 +112,28 @@ class InputModule:
                 tags=(),
                 afi=update.afi,
             )
-        clean = sanitize_path(update.as_path)
-        if clean is None:
+        memo_key = (update.as_path, update.communities)
+        cached = self._memo.get(memo_key, _MEMO_MISS)
+        if cached is not _MEMO_MISS:
+            self.memo_hits += 1
+        else:
+            clean = sanitize_path(update.as_path)
+            cached = (
+                None if clean is None else (clean, self._map_tags(clean, update))
+            )
+            if len(self._memo) >= self.memo_max:
+                self._memo.clear()
+            self._memo[memo_key] = cached
+        if cached is None:
             self.discarded_count += 1
             return None
         self.parsed_count += 1
-        tags = self._map_tags(clean, update)
+        clean_path, tags = cached
         return TaggedPath(
             key=key,
             time=update.time,
             elem_type=update.elem_type,
-            as_path=clean,
+            as_path=clean_path,
             tags=tags,
             afi=update.afi,
         )

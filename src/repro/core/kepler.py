@@ -82,6 +82,17 @@ class KeplerParams:
     #: Worth enabling when data-plane probes dominate downstream cost:
     #: probes are I/O and overlap across shards.
     shard_workers: int = 0
+    #: Number of tagging worker *processes* for the multiprocess
+    #: runtime (0 = in-process execution).  With >= 1, tagging — the
+    #: dominant embarrassingly parallel CPU stage — fans out over this
+    #: many forked workers, while ingest and the monitor-onward chain
+    #: (the sharded runtime when ``shards >= 2``) keep running in the
+    #: calling process: ``process_workers + 1`` processes in total.
+    #: See :mod:`repro.pipeline.parallel`; requires the ``fork`` start
+    #: method (POSIX).
+    process_workers: int = 0
+    #: Elements per inter-process message batch (amortises IPC cost).
+    process_batch: int = 512
 
 
 class Kepler:
@@ -108,6 +119,7 @@ class Kepler:
         # by importing this module — a cycle at import time, not at use.
         from repro.pipeline import (
             build_kepler_pipeline,
+            build_process_kepler_pipeline,
             build_sharded_kepler_pipeline,
         )
 
@@ -135,6 +147,17 @@ class Kepler:
             )
         else:
             self.stages = build_kepler_pipeline(**wiring)
+        if self.params.process_workers >= 1:
+            # Wrap the in-process chain in the multiprocess runtime:
+            # the workers fork *now*, inheriting the freshly-built
+            # stages, and own them from here on.  The facade keeps
+            # reading one API — the wrapper materialises views from
+            # worker barriers.
+            self.stages = build_process_kepler_pipeline(
+                self.stages,
+                workers=self.params.process_workers,
+                batch_size=self.params.process_batch,
+            )
         self.pipeline = self.stages.pipeline
         #: primed baseline paths (installed outside the streaming path).
         self.primed_paths = 0
@@ -197,9 +220,13 @@ class Kepler:
         return count
 
     def process(self, elements: Iterable[StreamElement]) -> None:
-        """Consume a time-sorted element stream."""
-        for element in elements:
-            self.pipeline.feed(element)
+        """Consume a time-sorted element stream.
+
+        Elements travel in chunks (:meth:`StagePipeline.feed_many`),
+        so the per-stage dispatch and metering cost is paid per chunk,
+        not per element — output is identical to feeding one at a time.
+        """
+        self.pipeline.feed_many(elements)
 
     def finalize(self, end_time: float | None = None) -> list[OutageRecord]:
         """Flush bins, close tracking, merge oscillations; return records."""
@@ -207,10 +234,12 @@ class Kepler:
         return self.stages.finalize_records(end_time)
 
     def close(self) -> None:
-        """Release runtime resources (the shard thread pool, if any)."""
-        close = getattr(self.pipeline, "close", None)
-        if close is not None:
-            close()
+        """Release runtime resources (worker processes, thread pools)."""
+        for target in (self.stages, self.pipeline):
+            close = getattr(target, "close", None)
+            if close is not None:
+                close()
+                return
 
     # ------------------------------------------------------------------
     # Checkpointing: a versioned JSON document of a mid-stream detector
@@ -225,9 +254,14 @@ class Kepler:
         and :class:`KeplerParams` are the operator's deployment inputs.
         ``restore`` must therefore be called on a Kepler constructed
         with the same configuration, typically in a new process.
-        """
-        from repro.core.serde import classification_to_json
 
+        The runtime is *not* part of the document's identity: the
+        in-process chains snapshot off their live stages, the
+        multiprocess runtime composes the identical document through
+        its drain-barrier protocol (``checkpoint_parts`` either way),
+        so checkpoints interoperate across runtimes with the same
+        shard layout.
+        """
         return {
             "format": CHECKPOINT_FORMAT,
             "version": CHECKPOINT_VERSION,
@@ -235,11 +269,7 @@ class Kepler:
             # checkpoints interoperate.
             "shards": self.params.shards if self.params.shards >= 2 else 0,
             "primed_paths": self.primed_paths,
-            "rejected": [
-                classification_to_json(c) for c in self.rejected
-            ],
-            "cache": self.stages.cache.state_dict(),
-            "pipeline": self.pipeline.state_dict(),
+            **self.stages.checkpoint_parts(),
         }
 
     def restore(self, checkpoint: dict) -> None:
@@ -262,16 +292,13 @@ class Kepler:
                 f"checkpoint was taken with shards={checkpoint['shards']},"
                 f" this detector has shards={my_shards}"
             )
-        from repro.core.serde import classification_from_json
-
         self.primed_paths = checkpoint["primed_paths"]
-        # The reject list is shared by reference between stages: mutate
-        # it in place so every holder observes the restored content.
-        self.stages.rejected[:] = [
-            classification_from_json(c) for c in checkpoint["rejected"]
-        ]
-        self.stages.cache.load_state(checkpoint["cache"])
-        self.pipeline.load_state(checkpoint["pipeline"])
+        self.stages.restore_parts(
+            {
+                key: checkpoint[key]
+                for key in ("rejected", "cache", "pipeline")
+            }
+        )
 
     # ------------------------------------------------------------------
     def signal_counts(self) -> dict[SignalType, int]:

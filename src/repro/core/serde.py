@@ -9,6 +9,14 @@ compares equal to the original — set-valued fields restore to equal
 sets, tuples to tuples — so a restored detector continues the stream
 byte-identically.
 
+The same vocabulary doubles as the inter-process transport of the
+multiprocess runtime (:mod:`repro.pipeline.parallel`): every element
+type that can travel between pipeline stages — raw BGP elements,
+tagged paths, priming envelopes, signal batches, control markers —
+has an encoder, and :func:`element_to_wire` / :func:`element_from_wire`
+wrap them in a tagged envelope so a queue consumer can dispatch without
+guessing.
+
 Conventions:
 
 * a :class:`~repro.docmine.dictionary.PoP` is ``[kind, pop_id]``;
@@ -21,9 +29,16 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.bgp.communities import Community
+from repro.bgp.messages import (
+    BGPStateMessage,
+    BGPUpdate,
+    ElemType,
+    SessionState,
+)
 from repro.core.dataplane import ValidationOutcome
 from repro.core.events import OutageRecord, OutageSignal, SignalType
-from repro.core.input import PathKey
+from repro.core.input import PathKey, PoPTag, TaggedPath
 from repro.core.signals import SignalClassification
 from repro.docmine.dictionary import PoP, PoPKind
 
@@ -169,3 +184,252 @@ def outcome_to_json(outcome: ValidationOutcome) -> str:
 
 def outcome_from_json(data: str) -> ValidationOutcome:
     return ValidationOutcome(data)
+
+
+# ----------------------------------------------------------------------
+# Stream elements (the inter-process transport vocabulary)
+# ----------------------------------------------------------------------
+_ELEM_TYPES = {e.value: e for e in ElemType}
+_SESSION_STATES = {s.value: s for s in SessionState}
+# Enum member -> value dictionaries: attribute access on an enum member
+# goes through a descriptor (~10x a dict hit) and the encoders below
+# run per element on the multiprocess transport path.
+_ELEM_VALUE = {e: e.value for e in ElemType}
+_SESSION_VALUE = {s: s.value for s in SessionState}
+_POPKIND_VALUE = {k: k.value for k in PoPKind}
+
+# The stream decoders below are on the multiprocess runtime's per-
+# element hot path (every BGP element crosses two process hops), so
+# they rebuild the frozen dataclasses through ``object.__new__`` and a
+# direct ``__dict__`` fill — skipping the generated ``__init__``'s
+# per-field ``object.__setattr__`` calls and the ``__post_init__``
+# validation, which already ran when the encoded object was built.
+# Small immutable values (communities, PoPs) are interned: streams
+# repeat them constantly, and identical objects also make downstream
+# set/dict operations cheaper.
+_INTERN_MAX = 65536
+_COMMUNITY_INTERN: dict[tuple[int, int], Community] = {}
+_POP_INTERN: dict[tuple[str, str], PoP] = {}
+
+
+def _intern_community(asn: int, value: int) -> Community:
+    key = (asn, value)
+    community = _COMMUNITY_INTERN.get(key)
+    if community is None:
+        if len(_COMMUNITY_INTERN) >= _INTERN_MAX:
+            _COMMUNITY_INTERN.clear()
+        community = object.__new__(Community)
+        community.__dict__["asn"] = asn
+        community.__dict__["value"] = value
+        _COMMUNITY_INTERN[key] = community
+    return community
+
+
+def _intern_pop(kind: str, pop_id: str) -> PoP:
+    key = (kind, pop_id)
+    pop = _POP_INTERN.get(key)
+    if pop is None:
+        if len(_POP_INTERN) >= _INTERN_MAX:
+            _POP_INTERN.clear()
+        pop = PoP(kind=PoPKind(kind), pop_id=pop_id)
+        _POP_INTERN[key] = pop
+    return pop
+
+
+def update_to_json(update: BGPUpdate) -> list[Any]:
+    # Transport notes: the AS path rides as its original tuple and the
+    # communities flatten to one (asn, value, asn, value, ...) tuple —
+    # marshal serialises tuples natively, so the hot path allocates no
+    # per-community lists.  (JSON-dumping this shape still works;
+    # tuples become arrays.)
+    flat: list[int] = []
+    for community in update.communities:
+        flat.append(community.asn)
+        flat.append(community.value)
+    return [
+        update.time,
+        update.collector,
+        update.peer_asn,
+        update.prefix,
+        _ELEM_VALUE[update.elem_type],
+        update.as_path,
+        tuple(flat),
+        update.afi,
+    ]
+
+
+def update_from_json(data: list[Any]) -> BGPUpdate:
+    update = object.__new__(BGPUpdate)
+    fields = update.__dict__
+    (
+        fields["time"],
+        fields["collector"],
+        fields["peer_asn"],
+        fields["prefix"],
+        elem,
+        path,
+        flat,
+        fields["afi"],
+    ) = data
+    fields["elem_type"] = _ELEM_TYPES[elem]
+    # tuple(t) on an exact tuple returns it unchanged (free); decoding
+    # from a JSON list still lands on a proper tuple.
+    fields["as_path"] = tuple(path)
+    interned = _COMMUNITY_INTERN.get
+    fields["communities"] = tuple(
+        interned((flat[i], flat[i + 1]))
+        or _intern_community(flat[i], flat[i + 1])
+        for i in range(0, len(flat), 2)
+    )
+    return update
+
+
+def state_message_to_json(message: BGPStateMessage) -> list[Any]:
+    return [
+        message.time,
+        message.collector,
+        message.peer_asn,
+        _SESSION_VALUE[message.old_state],
+        _SESSION_VALUE[message.new_state],
+    ]
+
+
+def state_message_from_json(data: list[Any]) -> BGPStateMessage:
+    message = object.__new__(BGPStateMessage)
+    fields = message.__dict__
+    (
+        fields["time"],
+        fields["collector"],
+        fields["peer_asn"],
+        old,
+        new,
+    ) = data
+    fields["old_state"] = _SESSION_STATES[old]
+    fields["new_state"] = _SESSION_STATES[new]
+    return message
+
+
+def tagged_path_to_json(tagged: TaggedPath) -> list[Any]:
+    # Tags flatten to one (kind, pop_id, near, far, ...) tuple, the
+    # key and path ride as their original tuples (see update_to_json).
+    flat: list[Any] = []
+    for tag in tagged.tags:
+        flat.append(_POPKIND_VALUE[tag.pop.kind])
+        flat.append(tag.pop.pop_id)
+        flat.append(tag.near_asn)
+        flat.append(tag.far_asn)
+    return [
+        tagged.key,
+        tagged.time,
+        _ELEM_VALUE[tagged.elem_type],
+        tagged.as_path,
+        tuple(flat),
+        tagged.afi,
+    ]
+
+
+def tagged_path_from_json(data: list[Any]) -> TaggedPath:
+    key, time, elem, path, flat, afi = data
+    tagged = object.__new__(TaggedPath)
+    fields = tagged.__dict__
+    fields["key"] = (key[0], key[1], key[2])
+    fields["time"] = time
+    fields["elem_type"] = _ELEM_TYPES[elem]
+    fields["as_path"] = tuple(path)
+    fields["afi"] = afi
+    interned = _POP_INTERN.get
+    built = []
+    for i in range(0, len(flat), 4):
+        tag = object.__new__(PoPTag)
+        kind, pop_id = flat[i], flat[i + 1]
+        tag.__dict__["pop"] = (
+            interned((kind, pop_id)) or _intern_pop(kind, pop_id)
+        )
+        tag.__dict__["near_asn"] = flat[i + 2]
+        tag.__dict__["far_asn"] = flat[i + 3]
+        built.append(tag)
+    fields["tags"] = tuple(built)
+    return tagged
+
+
+def signal_batch_to_json(signals: list[OutageSignal]) -> list[dict]:
+    return [signal_to_json(s) for s in signals]
+
+
+def signal_batch_from_json(data: list[dict]) -> list[OutageSignal]:
+    return [signal_from_json(s) for s in data]
+
+
+# ----------------------------------------------------------------------
+# Wire envelope: [tag, payload] dispatch for queue transport
+# ----------------------------------------------------------------------
+# The pipeline event classes live in repro.pipeline.events, which
+# imports this module's siblings — resolved lazily once, then cached
+# in module globals (the envelope runs per element per process hop).
+_EVENTS = None
+
+
+def _event_types():
+    global _EVENTS
+    if _EVENTS is None:
+        from repro.pipeline import events
+
+        _EVENTS = (
+            events.PrimingUpdate,
+            events.PrimedPath,
+            events.SignalBatch,
+            events.BinAdvanced,
+        )
+    return _EVENTS
+
+
+def element_to_wire(element: Any) -> list[Any]:
+    """Encode one pipeline element as a tagged ``[tag, payload]`` pair.
+
+    Covers the full inter-stage vocabulary of the upstream half of the
+    pipeline (raw BGP elements, priming envelopes, tagged paths, signal
+    batches, bin markers).  Anything else rides as an opaque ``"py"``
+    payload — the multiprocessing queue pickles it like any object, so
+    the pass-through stage contract survives process hops.
+    """
+    priming_update, primed_path, signal_batch, bin_advanced = _event_types()
+    if isinstance(element, BGPUpdate):
+        return ["u", update_to_json(element)]
+    if isinstance(element, BGPStateMessage):
+        return ["s", state_message_to_json(element)]
+    if isinstance(element, TaggedPath):
+        return ["t", tagged_path_to_json(element)]
+    if isinstance(element, priming_update):
+        return ["pu", update_to_json(element.update)]
+    if isinstance(element, primed_path):
+        return ["pp", tagged_path_to_json(element.path)]
+    if isinstance(element, signal_batch):
+        return ["sb", signal_batch_to_json(element.signals), element.now_bin]
+    if isinstance(element, bin_advanced):
+        return ["ba", element.now]
+    return ["py", element]
+
+
+def element_from_wire(wire: list[Any]) -> Any:
+    """Decode a :func:`element_to_wire` envelope back to the element."""
+    priming_update, primed_path, signal_batch, bin_advanced = _event_types()
+    tag = wire[0]
+    if tag == "u":
+        return update_from_json(wire[1])
+    if tag == "s":
+        return state_message_from_json(wire[1])
+    if tag == "t":
+        return tagged_path_from_json(wire[1])
+    if tag == "pu":
+        return priming_update(update=update_from_json(wire[1]))
+    if tag == "pp":
+        return primed_path(path=tagged_path_from_json(wire[1]))
+    if tag == "sb":
+        return signal_batch(
+            signals=signal_batch_from_json(wire[1]), now_bin=wire[2]
+        )
+    if tag == "ba":
+        return bin_advanced(now=wire[1])
+    if tag == "py":
+        return wire[1]
+    raise ValueError(f"unknown wire tag {tag!r}")

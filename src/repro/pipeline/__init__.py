@@ -29,6 +29,7 @@ from repro.core.input import InputModule
 from repro.core.investigation import Investigator
 from repro.core.monitor import OutageMonitor
 from repro.core.signals import SignalClassification
+from repro.pipeline.checkpoint import CheckpointableChain
 from repro.pipeline.classification import ClassificationStage
 from repro.pipeline.events import (
     BinAdvanced,
@@ -45,6 +46,12 @@ from repro.pipeline.ingest import IngestStage, merge_streams
 from repro.pipeline.localisation import LocalisationStage, common_city
 from repro.pipeline.metrics import BinStats, PipelineMetrics, StageMetrics
 from repro.pipeline.monitoring import BinningMonitorStage
+from repro.pipeline.parallel import (
+    ProcessKeplerPipeline,
+    ProcessStagePipeline,
+    build_process_kepler_pipeline,
+    fork_available,
+)
 from repro.pipeline.record import RecordStage, merge_oscillations
 from repro.pipeline.runtime import StagePipeline
 from repro.pipeline.sharding import (
@@ -61,7 +68,7 @@ from repro.pipeline.validation import ValidationCache, ValidationStage
 
 
 @dataclass
-class KeplerPipeline:
+class KeplerPipeline(CheckpointableChain):
     """The canonical stage chain plus direct handles to every stage."""
 
     pipeline: StagePipeline
@@ -170,6 +177,7 @@ __all__ = [
     "BinAdvanced",
     "BinStats",
     "BinningMonitorStage",
+    "CheckpointableChain",
     "ClassificationStage",
     "ClassifiedBatch",
     "IngestStage",
@@ -182,6 +190,8 @@ __all__ = [
     "PipelineMetrics",
     "PrimedPath",
     "PrimingUpdate",
+    "ProcessKeplerPipeline",
+    "ProcessStagePipeline",
     "RecordStage",
     "ShardBatch",
     "ShardChain",
@@ -197,8 +207,10 @@ __all__ = [
     "ValidationCache",
     "ValidationStage",
     "build_kepler_pipeline",
+    "build_process_kepler_pipeline",
     "build_sharded_kepler_pipeline",
     "common_city",
+    "fork_available",
     "merge_oscillations",
     "merge_streams",
     "shard_of",

@@ -118,20 +118,37 @@ class PipelineMetrics:
         }
 
     def load_state(self, state: dict) -> None:
-        self.stages = {
-            name: StageMetrics(
-                name=name, fed=fed, emitted=emitted, seconds=seconds
-            )
-            for name, fed, emitted, seconds in state["stages"]
-        }
+        """Restore counters **in place**.
+
+        Existing :class:`StageMetrics` objects are mutated rather than
+        replaced: the pipeline runtimes resolve stage handles once at
+        construction (hot-loop optimisation), and those handles must
+        stay live across a checkpoint restore.
+        """
+        self.reset()  # entries absent from the checkpoint go to zero
+        for name, fed, emitted, seconds in state["stages"]:
+            metrics = self.stage(name)
+            metrics.fed = fed
+            metrics.emitted = emitted
+            metrics.seconds = seconds
         bins = state["bins"]
-        self.bins = BinStats(
-            count=bins["count"],
-            total_latency_s=bins["total_latency_s"],
-            max_latency_s=bins["max_latency_s"],
-            last_baseline_entries=bins["last_baseline_entries"],
-            last_pending_entries=bins["last_pending_entries"],
-        )
+        self.bins.count = bins["count"]
+        self.bins.total_latency_s = bins["total_latency_s"]
+        self.bins.max_latency_s = bins["max_latency_s"]
+        self.bins.last_baseline_entries = bins["last_baseline_entries"]
+        self.bins.last_pending_entries = bins["last_pending_entries"]
+
+    def reset(self) -> None:
+        """Zero every counter in place (handles stay live)."""
+        for metrics in self.stages.values():
+            metrics.fed = 0
+            metrics.emitted = 0
+            metrics.seconds = 0.0
+        self.bins.count = 0
+        self.bins.total_latency_s = 0.0
+        self.bins.max_latency_s = 0.0
+        self.bins.last_baseline_entries = 0
+        self.bins.last_pending_entries = 0
 
     def absorb(self, other: "PipelineMetrics") -> None:
         """Fold another registry's counters into this one (aggregation)."""
@@ -140,6 +157,25 @@ class PipelineMetrics:
             mine.fed += metrics.fed
             mine.emitted += metrics.emitted
             mine.seconds += metrics.seconds
+
+    def absorb_bins(self, other: "PipelineMetrics") -> None:
+        """Fold another registry's bin gauges into this one.
+
+        Used by the multiprocess runtime to compose worker registries:
+        counts and latencies sum; the population gauges take the other
+        side's last sample when it has closed any bin at all (workers
+        hold the live monitor, so their samples are the fresher ones).
+        """
+        bins = other.bins
+        if bins.count == 0:
+            return
+        self.bins.count += bins.count
+        self.bins.total_latency_s += bins.total_latency_s
+        self.bins.max_latency_s = max(
+            self.bins.max_latency_s, bins.max_latency_s
+        )
+        self.bins.last_baseline_entries = bins.last_baseline_entries
+        self.bins.last_pending_entries = bins.last_pending_entries
 
     def describe(self) -> str:
         """Compact one-line-per-stage human-readable summary."""

@@ -1,0 +1,680 @@
+"""Queue-connected multiprocess runtime: the GIL-escape for tagging.
+
+``BENCH_pipeline_throughput.json`` shows the staged pipeline spending
+~93% of end-to-end wall time in the CPU-bound ``tagging`` and
+``monitor`` stages — the PR-2 thread pool only overlaps data-plane
+I/O, so a single core caps the whole detector.  This module fans the
+tagging stage out over worker OS processes connected by batched
+message queues:
+
+.. code-block:: text
+
+         driver process                      tag worker processes
+    ──────────────────────────              ──────────────────────
+    IngestStage ── seq-numbered batches ──▶ TaggingStage[0..N-1]
+         ▲        (least-loaded dealing)            │
+         │                                          │ tagged batches
+         └── reorder by seq ◀───────────────────────┘
+         │
+         ▼
+    BinningMonitorStage → classification … → record chain
+    (the linear chain *or* the whole sharded runtime, live in
+     the driver process)
+
+* **Transport** is the checkpoint serde (:mod:`repro.core.serde`),
+  extended to the full event vocabulary: every element travels as a
+  compact ``[tag, payload]`` envelope in configurable batches, and a
+  batch marshals to one bytes object (both ends are forks of one
+  interpreter), so queue pickling degenerates to a memcpy.
+* **Ordering**: the driver stamps every batch with a sequence number
+  and round-robins across tag workers; returned batches pass through
+  a reorder buffer and feed the monitor strictly in stream order, so
+  output is byte-identical to the in-process chain.
+* **Tagging parallelism** is safe because tagging is per-element pure
+  (memoised on the ``(as_path, communities)`` pair); the per-worker
+  parse counters are summed back at every barrier.
+* **The monitor and everything downstream stay in the driver**: the
+  monitor is an order-dependent singleton (it cannot fan out), and
+  localisation and the record lifecycle read it through direct
+  references — keeping them local preserves those references, keeps
+  every facade view (records, signal log, probe cache) live, and
+  leaves a whole core to an extra tagging worker.  With
+  ``KeplerParams(shards=N)`` the driver hosts the sharded runtime,
+  including its probe-overlapping thread pool.
+* **Snapshots** use a drain-barrier protocol: the driver flushes its
+  partial batch, posts a barrier token down every tag queue, and
+  pumps returned batches until every worker has acked *and* every
+  shipped sequence number has been fed — the queues are provably
+  quiet, and the workers' tagging counters compose into the same
+  versioned document the in-process runtimes write.  Checkpoints are
+  fully interchangeable between runtimes with the same shard layout.
+
+Workers are forked (start method ``fork``), so the stages built in
+the parent are inherited without pickling; each worker owns its copy
+of the tagging stage from then on.
+"""
+
+from __future__ import annotations
+
+import marshal
+import multiprocessing
+import queue as queue_mod
+import time
+import traceback
+from typing import Any, Iterable
+
+from repro.core.serde import element_from_wire, element_to_wire
+from repro.pipeline.metrics import PipelineMetrics
+from repro.pipeline.sharding import ShardedStagePipeline
+
+#: Elements per IPC batch: large enough that marshalling and queue
+#: wakeups amortise, small enough to keep the reorder buffer shallow.
+DEFAULT_BATCH = 1024
+#: Bounded queue depth (in batches) — backpressure, not buffering.
+TAG_QUEUE_DEPTH = 8
+#: How long a blocked barrier waits between worker liveness checks.
+WAIT_POLL_S = 5.0
+
+_ZERO_TAGGING_STATE = {"parsed_count": 0, "discarded_count": 0}
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork workers (the runtime requires it)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _pack(wires: list[list]) -> tuple[str, Any]:
+    """Serialise a wire batch for the queue.
+
+    The serde wire format is pure builtins (tuples, lists, strings,
+    numbers), which ``marshal`` round-trips far faster than pickling
+    the nested structure — and the queue then pickles one opaque bytes
+    object instead of walking it again.  Safe here because both ends
+    are forks of one interpreter (marshal is version-specific by
+    design).  Batches carrying an opaque ``"py"`` pass-through element
+    fall back to the queue's ordinary pickling.
+    """
+    try:
+        return ("m", marshal.dumps(wires))
+    except ValueError:
+        return ("p", wires)
+
+
+def _unpack(codec: str, payload: Any) -> list[list]:
+    return marshal.loads(payload) if codec == "m" else payload
+
+
+# ----------------------------------------------------------------------
+# Worker loop (top-level so the forked children stay importable)
+# ----------------------------------------------------------------------
+def _tag_worker_loop(
+    worker_id: int, tagging, registry: PipelineMetrics, in_q, ret_q
+) -> None:
+    """One tagging worker: decode -> TaggingStage.feed -> encode.
+
+    The serde decode/encode cost is metered into the stage handle —
+    it is the true cost of running the stage remotely.
+    """
+    handle = registry.stage(tagging.name)
+    try:
+        while True:
+            msg = in_q.get()
+            kind = msg[0]
+            if kind == "batch":
+                seq, wires = msg[1], _unpack(msg[2], msg[3])
+                out: list[Any] = []
+                began = time.perf_counter()
+                for wire in wires:
+                    out.extend(tagging.feed(element_from_wire(wire)))
+                encoded = [element_to_wire(o) for o in out]
+                handle.seconds += time.perf_counter() - began
+                handle.fed += len(wires)
+                handle.emitted += len(out)
+                ret_q.put(("batch", seq, *_pack(encoded)))
+            elif kind == "ctl":
+                ret_q.put(
+                    (
+                        "ack",
+                        msg[1],
+                        worker_id,
+                        {
+                            "state": tagging.state_dict(),
+                            "metrics": registry.state_dict(),
+                        },
+                    )
+                )
+            elif kind == "load":
+                registry.reset()
+                tagging.load_state(msg[1]["state"])
+                fed, emitted, seconds = msg[1]["stage_metrics"]
+                handle.fed = fed
+                handle.emitted = emitted
+                handle.seconds = seconds
+            elif kind == "stop":
+                return
+    except Exception:
+        ret_q.put(
+            ("err", f"tag worker {worker_id} failed:\n{traceback.format_exc()}")
+        )
+
+
+# ----------------------------------------------------------------------
+# Driver-side runtime
+# ----------------------------------------------------------------------
+class ProcessStagePipeline:
+    """Multiprocess pipeline runtime with the StagePipeline surface.
+
+    Wraps an in-process chain wrapper (linear
+    :class:`~repro.pipeline.KeplerPipeline` or the sharded twin):
+    ingest and the monitor-onward chain keep running in the calling
+    process, while tagging — the dominant, embarrassingly parallel
+    stage — fans out over ``workers`` forked processes.  ``feed`` /
+    ``feed_many`` are pipelined: elements batch into worker queues and
+    tagged batches are pumped back through the monitor as they return,
+    so facade reads and control operations (``flush``, ``state_dict``,
+    ``sync``) first run a drain barrier that quiesces the queues.
+    """
+
+    def __init__(
+        self,
+        inner,
+        workers: int = 2,
+        batch_size: int = DEFAULT_BATCH,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("the process runtime needs >= 1 tag worker")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if not fork_available():
+            raise RuntimeError(
+                "ProcessStagePipeline requires the 'fork' start method"
+                " (unavailable on this platform); use the in-process"
+                " runtime instead"
+            )
+        self.inner = inner
+        self.workers = workers
+        self.batch_size = batch_size
+        self._ingest = inner.ingest
+        # The registry the driver meters ingest into: the linear
+        # wrapper exposes the shared registry as `.metrics`, the
+        # sharded wrapper as `.upstream_metrics`.
+        registry = getattr(inner, "upstream_metrics", None)
+        self._registry: PipelineMetrics = (
+            registry if registry is not None else inner.metrics
+        )
+        self._ingest_handle = self._registry.stage(self._ingest.name)
+        self._sharded = isinstance(inner.pipeline, ShardedStagePipeline)
+        upstream = (
+            inner.pipeline.upstream if self._sharded else inner.pipeline
+        )
+        self._monitor_index = upstream.stages.index(inner.monitoring)
+
+        ctx = multiprocessing.get_context("fork")
+        self._tag_qs = [ctx.Queue(TAG_QUEUE_DEPTH) for _ in range(workers)]
+        self._ret_q = ctx.Queue()
+        self._procs = [
+            ctx.Process(
+                target=_tag_worker_loop,
+                args=(
+                    wid,
+                    inner.tagging,
+                    self._registry,
+                    self._tag_qs[wid],
+                    self._ret_q,
+                ),
+                daemon=True,
+                name=f"kepler-tag-{wid}",
+            )
+            for wid in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        # Post-fork: the workers own the tagging stage; the driver's
+        # copy (and its tagging metrics entry) stay zero and are
+        # replaced by the worker sum at every barrier.
+        self._buffer: list[list] = []
+        self._ship_seq = 0
+        self._next_seq = 0
+        self._stash: dict[int, tuple[str, Any]] = {}
+        self._bid = 0
+        self._outputs: list[Any] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # StagePipeline-compatible surface
+    # ------------------------------------------------------------------
+    def feed(self, element: Any) -> list[Any]:
+        began = time.perf_counter()
+        outs = self._ingest.feed(element)
+        handle = self._ingest_handle
+        handle.seconds += time.perf_counter() - began
+        handle.fed += 1
+        handle.emitted += len(outs)
+        buffer = self._buffer
+        for out in outs:
+            buffer.append(element_to_wire(out))
+        if len(buffer) >= self.batch_size:
+            self._ship()
+        return self._take_outputs()
+
+    def feed_many(self, elements: Iterable[Any]) -> list[Any]:
+        ingest = self._ingest.feed
+        handle = self._ingest_handle
+        encode = element_to_wire
+        buffer = self._buffer
+        size = self.batch_size
+        fed = 0
+        emitted = 0
+        began = time.perf_counter()
+        for element in elements:
+            fed += 1
+            outs = ingest(element)
+            emitted += len(outs)
+            for out in outs:
+                buffer.append(encode(out))
+            if len(buffer) >= size:
+                handle.seconds += time.perf_counter() - began
+                self._ship()
+                buffer = self._buffer  # _ship rebinds the attribute
+                began = time.perf_counter()
+        handle.seconds += time.perf_counter() - began
+        handle.fed += fed
+        handle.emitted += emitted
+        return self._take_outputs()
+
+    def flush(self) -> list[Any]:
+        self.sync()
+        self._outputs.extend(self.inner.pipeline.flush())
+        return self._take_outputs()
+
+    # ------------------------------------------------------------------
+    # Shipping and pumping (the driver is also the detector)
+    # ------------------------------------------------------------------
+    def _ship(self) -> None:
+        if not self._buffer:
+            return
+        message = ("batch", self._ship_seq, *_pack(self._buffer))
+        self._ship_seq += 1
+        self._buffer = []
+        target = self._least_loaded_queue()
+        while True:
+            try:
+                target.put_nowait(message)
+                break
+            except queue_mod.Full:
+                # The worker is busy and its queue is full: make room
+                # by consuming returned batches (the driver is the only
+                # consumer, so this always unblocks the cycle).
+                self._pump(block=True)
+                target = self._least_loaded_queue()
+        # Opportunistically drain whatever the workers have finished,
+        # so a slow producer sees records incrementally and the reorder
+        # stash stays bounded instead of deferring all monitor work to
+        # the next barrier.
+        self._pump()
+
+    def _least_loaded_queue(self):
+        """Deal the next batch to the emptiest worker queue.
+
+        Which worker tags which batch is immaterial — tagging is
+        per-element pure, the reorder buffer restores stream order and
+        the parse counters are summed — so dealing by queue depth
+        keeps a slow worker from becoming the barrier's straggler.
+        ``qsize`` is unimplemented on some platforms; fall back to
+        round-robin there.
+        """
+        if self.workers == 1:
+            return self._tag_qs[0]
+        try:
+            return min(self._tag_qs, key=lambda q: q.qsize())
+        except NotImplementedError:
+            return self._tag_qs[(self._ship_seq - 1) % self.workers]
+
+    def _pump(self, block: bool = False) -> list:
+        """Drain the return queue; feed ready batches in seq order.
+
+        Returns any barrier acks picked up along the way.
+        """
+        acks = []
+        while True:
+            try:
+                msg = (
+                    self._ret_q.get(timeout=WAIT_POLL_S)
+                    if block
+                    else self._ret_q.get_nowait()
+                )
+            except queue_mod.Empty:
+                if block:
+                    self._check_alive()
+                    continue
+                return acks
+            kind = msg[0]
+            if kind == "batch":
+                self._stash[msg[1]] = (msg[2], msg[3])
+                while self._next_seq in self._stash:
+                    self._feed_tagged(
+                        _unpack(*self._stash.pop(self._next_seq))
+                    )
+                    self._next_seq += 1
+                block = False  # made progress; drain the rest lazily
+            elif kind == "ack":
+                acks.append(msg)
+                block = False
+            elif kind == "err":
+                detail = msg[1]
+                self.close()
+                raise RuntimeError(f"pipeline worker failed:\n{detail}")
+        return acks
+
+    def _feed_tagged(self, wires: list) -> None:
+        # One element at a time from the monitor on: the monitor is the
+        # chain's depth_first barrier — each element's signal batches
+        # and bin markers must clear the downstream stages before the
+        # monitor consumes the next element.  The monitor feed itself
+        # is inlined (hoisted stage handle, batch-level metering); the
+        # downstream cascade only runs when a bin actually closed.
+        pipeline = self.inner.pipeline
+        index = self._monitor_index
+        outputs = self._outputs
+        monitor = self.inner.monitoring
+        handle = self._registry.stage(monitor.name)
+        decode = element_from_wire
+        feed = monitor.feed
+        sharded = self._sharded
+        upstream = pipeline.upstream if sharded else pipeline
+        fed = 0
+        emitted = 0
+        began = time.perf_counter()
+        for wire in wires:
+            fed += 1
+            outs = feed(decode(wire))
+            if not outs:
+                continue
+            emitted += len(outs)
+            # Exclude the downstream cascade from the monitor's time.
+            handle.seconds += time.perf_counter() - began
+            if sharded:
+                outputs.extend(
+                    pipeline._dispatch(upstream._run(index + 1, outs))
+                )
+            else:
+                outputs.extend(pipeline._run(index + 1, outs))
+            began = time.perf_counter()
+        handle.seconds += time.perf_counter() - began
+        handle.fed += fed
+        handle.emitted += emitted
+
+    def _take_outputs(self) -> list[Any]:
+        if not self._outputs:
+            return []
+        outputs = self._outputs
+        self._outputs = []
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Drain barrier
+    # ------------------------------------------------------------------
+    def sync(self) -> list[dict]:
+        """Quiesce the queues; return per-worker tagging info.
+
+        On return every element fed so far has cleared the full chain,
+        so the live ``inner`` views and states are exact.
+        """
+        if self._closed:
+            raise RuntimeError("pipeline is closed")
+        self._ship()
+        self._bid += 1
+        bid = self._bid
+        for tag_q in self._tag_qs:
+            self._put_checked(tag_q, ("ctl", bid))
+        acks: list = []
+        while len(acks) < self.workers or self._next_seq < self._ship_seq:
+            acks.extend(
+                ack for ack in self._pump(block=True) if ack[1] == bid
+            )
+        return [
+            info for _, _, wid, info in sorted(acks, key=lambda a: a[2])
+        ]
+
+    def _put_checked(self, tag_q, message) -> None:
+        """Blocking put that still notices a dead worker.
+
+        A control token must not block forever on the full queue of a
+        worker that died — poll with a timeout and check liveness, as
+        the pump path does.
+        """
+        while True:
+            try:
+                tag_q.put(message, timeout=WAIT_POLL_S)
+                return
+            except queue_mod.Full:
+                self._check_alive()
+
+    def _check_alive(self) -> None:
+        dead = [p.name for p in self._procs if not p.is_alive()]
+        if dead:
+            self.close()
+            raise RuntimeError(
+                f"pipeline worker(s) died without a result: {dead}"
+            )
+
+    # ------------------------------------------------------------------
+    # Metrics and checkpointing
+    # ------------------------------------------------------------------
+    def metrics_view(self) -> PipelineMetrics:
+        """Aggregate metrics: driver-side chain + tag worker registries.
+
+        The driver-side base is the inner wrapper's own metrics view —
+        the shared registry for the linear chain, the composed
+        upstream-plus-shard-chains view for the sharded runtime — so
+        downstream shard stages are never dropped; the workers then
+        contribute the tagging counters the driver's registry holds at
+        zero.
+        """
+        infos = self.sync()
+        inner_view = self.inner.metrics
+        composed = PipelineMetrics()
+        for stage in (
+            self.inner.pipeline.upstream.stages
+            if self._sharded
+            else self.inner.pipeline.stages
+        ):
+            composed.stage(stage.name)
+        composed.absorb(inner_view)
+        composed.absorb_bins(inner_view)
+        scratch = PipelineMetrics()
+        for info in infos:
+            scratch.load_state(info["metrics"])
+            composed.absorb(scratch)
+        return composed
+
+    @staticmethod
+    def _summed_tagging_state(infos: list[dict]) -> dict:
+        return {
+            "parsed_count": sum(
+                info["state"]["parsed_count"] for info in infos
+            ),
+            "discarded_count": sum(
+                info["state"]["discarded_count"] for info in infos
+            ),
+        }
+
+    def _upstream_doc(self, doc: dict) -> dict:
+        """The sub-document holding the ingest/tagging stage states."""
+        return doc if "stages" in doc else doc["upstream"]
+
+    def state_dict(self) -> dict:
+        return self.checkpoint_parts()["pipeline"]
+
+    def load_state(self, state: dict) -> None:
+        """Restore pipeline state only (cache and rejects untouched),
+        mirroring the in-process runtimes' ``load_state``."""
+        self.sync()  # quiesce in-flight batches first
+        self.inner.pipeline.load_state(state)
+        self._distribute_tagging(self._upstream_doc(state))
+
+    def checkpoint_parts(self) -> dict:
+        """Drain and compose the same document the inner runtime writes.
+
+        Everything but tagging lives in the driver, so the inner
+        wrapper snapshots it directly; the tagging stage state is the
+        sum over workers, and the tagging metrics entry (zero in the
+        driver registry) is absorbed from the worker registries.
+        """
+        infos = self.sync()
+        parts = self.inner.checkpoint_parts()
+        doc = self._upstream_doc(parts["pipeline"])
+        doc["stages"]["tagging"] = self._summed_tagging_state(infos)
+        metrics = PipelineMetrics()
+        metrics.load_state(doc["metrics"])
+        scratch = PipelineMetrics()
+        for info in infos:
+            scratch.load_state(info["metrics"])
+            metrics.absorb(scratch)
+        doc["metrics"] = metrics.state_dict()
+        return parts
+
+    def restore_parts(self, parts: dict) -> None:
+        """Distribute a checkpoint: tagging to the workers, rest local."""
+        self.sync()  # quiesce in-flight batches first
+        self.inner.restore_parts(parts)
+        self._distribute_tagging(self._upstream_doc(parts["pipeline"]))
+
+    def _distribute_tagging(self, doc: dict) -> None:
+        """Hand the loaded tagging state to the workers.
+
+        Worker 0 takes the full tagging counters (and the tagging
+        metrics entry) so the per-worker sum stays exact; the driver's
+        own tagging entries — just loaded by the inner ``load_state``
+        — are zeroed, they would double-count at the next barrier
+        otherwise.
+        """
+        tagging_state = doc["stages"]["tagging"]
+        handle = self._registry.stage(self.inner.tagging.name)
+        stage_metrics = (handle.fed, handle.emitted, handle.seconds)
+        handle.fed = 0
+        handle.emitted = 0
+        handle.seconds = 0.0
+        for wid, tag_q in enumerate(self._tag_qs):
+            self._put_checked(
+                tag_q,
+                (
+                    "load",
+                    {
+                        "state": tagging_state
+                        if wid == 0
+                        else dict(_ZERO_TAGGING_STATE),
+                        "stage_metrics": stage_metrics
+                        if wid == 0
+                        else (0, 0, 0.0),
+                    },
+                ),
+            )
+        # A barrier both orders the loads before any later batch and
+        # confirms the workers applied them.
+        self.sync()
+        self._outputs = []
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for tag_q in self._tag_qs:
+            try:
+                tag_q.put_nowait(("stop",))
+            except queue_mod.Full:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for q in (*self._tag_qs, self._ret_q):
+            q.cancel_join_thread()
+            q.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessStagePipeline({self.inner.pipeline!r},"
+            f" tag_workers={self.workers}, batch={self.batch_size})"
+        )
+
+
+class ProcessKeplerPipeline:
+    """Facade wrapper: the process runtime behind the Kepler surface.
+
+    Mirrors :class:`~repro.pipeline.KeplerPipeline` /
+    :class:`~repro.pipeline.sharding.ShardedKeplerPipeline`.  All
+    state except tagging lives in the driver process, so the facade
+    views read the live objects — after a drain barrier, because
+    elements may still be in flight through the tag workers.
+    """
+
+    def __init__(self, pipeline: ProcessStagePipeline) -> None:
+        self.pipeline = pipeline
+        self.inner = pipeline.inner
+
+    def _drained(self):
+        self.pipeline.sync()
+        return self.inner
+
+    # -- facade views ---------------------------------------------------
+    @property
+    def records(self):
+        return self._drained().records
+
+    @property
+    def open(self):
+        return self._drained().open
+
+    @property
+    def signal_log(self):
+        return self._drained().signal_log
+
+    @property
+    def rejected(self):
+        return self._drained().rejected
+
+    @property
+    def cache(self):
+        return self._drained().cache
+
+    @property
+    def metrics(self) -> PipelineMetrics:
+        return self.pipeline.metrics_view()
+
+    @property
+    def monitoring(self):
+        return self._drained().monitoring
+
+    # -- lifecycle ------------------------------------------------------
+    def finalize_records(self, end_time: float | None = None):
+        # flush() (via Kepler.finalize) has already drained; syncing
+        # again is cheap and keeps direct callers safe.
+        return self._drained().finalize_records(end_time)
+
+    def checkpoint_parts(self) -> dict:
+        return self.pipeline.checkpoint_parts()
+
+    def restore_parts(self, parts: dict) -> None:
+        self.pipeline.restore_parts(parts)
+
+    def close(self) -> None:
+        self.pipeline.close()
+        close = getattr(self.inner.pipeline, "close", None)
+        if close is not None:
+            close()
+
+
+def build_process_kepler_pipeline(
+    inner,
+    workers: int = 2,
+    batch_size: int = DEFAULT_BATCH,
+) -> ProcessKeplerPipeline:
+    """Fork the multiprocess runtime around an in-process chain wrapper."""
+    return ProcessKeplerPipeline(
+        ProcessStagePipeline(inner, workers=workers, batch_size=batch_size)
+    )

@@ -22,6 +22,12 @@ from repro.pipeline.metrics import PipelineMetrics
 from repro.pipeline.stage import Stage
 
 
+#: Elements threaded through the stage chain per ``feed_many`` chunk.
+#: Large enough to amortise per-stage metering over hundreds of
+#: elements, small enough that inter-stage buffers stay cache-sized.
+FEED_CHUNK = 1024
+
+
 class StagePipeline:
     """Composition of stages with metering."""
 
@@ -29,6 +35,7 @@ class StagePipeline:
         self,
         stages: Iterable[Stage],
         metrics: PipelineMetrics | None = None,
+        chunk_size: int = FEED_CHUNK,
     ) -> None:
         self.stages: list[Stage] = list(stages)
         if not self.stages:
@@ -36,7 +43,25 @@ class StagePipeline:
         names = [stage.name for stage in self.stages]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate stage names: {names}")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
         self.metrics = metrics or PipelineMetrics()
+        self.chunk_size = chunk_size
+        # Stage metric handles resolved once: the hot loop must not pay
+        # a registry dict lookup per (stage, element-batch) call.  The
+        # registry mutates these objects in place on load_state/reset,
+        # so the handles stay live across checkpoint restores.
+        self._metered: list[tuple[Stage, Any]] = [
+            (stage, self.metrics.stage(stage.name)) for stage in self.stages
+        ]
+        # First stage that forbids batching across itself (its outputs
+        # must clear the chain before its next input): feed_many runs
+        # breadth-per-stage up to here, one element at a time after.
+        self.barrier_index = len(self.stages)
+        for index, stage in enumerate(self.stages):
+            if getattr(stage, "depth_first", False):
+                self.barrier_index = index
+                break
 
     # ------------------------------------------------------------------
     def feed(self, element: Any) -> list[Any]:
@@ -44,9 +69,37 @@ class StagePipeline:
         return self._run(0, [element])
 
     def feed_many(self, elements: Iterable[Any]) -> list[Any]:
+        """Thread a whole element sequence through the chain, chunked.
+
+        Elements travel in chunks of ``chunk_size`` so the per-stage
+        metering and dispatch overhead is paid once per chunk rather
+        than once per element.  Batching stops at the chain's
+        ``depth_first`` barrier (the monitor in the Kepler chain):
+        stages before it are pure stream transducers, so breadth-
+        per-stage over a chunk is output-identical; from the barrier
+        on, each element threads individually so emitted batches clear
+        the chain before the barrier stage's state advances further.
+        """
         out: list[Any] = []
+        chunk: list[Any] = []
+        size = self.chunk_size
         for element in elements:
-            out.extend(self._run(0, [element]))
+            chunk.append(element)
+            if len(chunk) >= size:
+                out.extend(self._run_chunk(chunk))
+                chunk = []
+        if chunk:
+            out.extend(self._run_chunk(chunk))
+        return out
+
+    def _run_chunk(self, chunk: list[Any]) -> list[Any]:
+        barrier = self.barrier_index
+        staged = self._run_span(0, barrier, chunk)
+        if barrier >= len(self.stages):
+            return staged
+        out: list[Any] = []
+        for element in staged:
+            out.extend(self._run(barrier, [element]))
         return out
 
     def flush(self) -> list[Any]:
@@ -59,8 +112,7 @@ class StagePipeline:
         partial bin — shows up in the per-stage profile.
         """
         tail: list[Any] = []
-        for index, stage in enumerate(self.stages):
-            metrics = self.metrics.stage(stage.name)
+        for index, (stage, metrics) in enumerate(self._metered):
             began = time.perf_counter()
             flushed = stage.flush()
             metrics.seconds += time.perf_counter() - began
@@ -71,11 +123,15 @@ class StagePipeline:
 
     # ------------------------------------------------------------------
     def _run(self, start: int, elements: list[Any]) -> list[Any]:
+        return self._run_span(start, len(self.stages), elements)
+
+    def _run_span(
+        self, start: int, stop: int, elements: list[Any]
+    ) -> list[Any]:
         current = elements
-        for stage in self.stages[start:]:
+        for stage, metrics in self._metered[start:stop]:
             if not current:
                 break
-            metrics = self.metrics.stage(stage.name)
             produced: list[Any] = []
             began = time.perf_counter()
             for element in current:

@@ -42,6 +42,7 @@ from repro.core.investigation import Investigator
 from repro.core.monitor import OutageMonitor
 from repro.core.signals import SignalClassification
 from repro.docmine.dictionary import PoP
+from repro.pipeline.checkpoint import CheckpointableChain
 from repro.pipeline.classification import ClassificationStage
 from repro.pipeline.events import (
     BinAdvanced,
@@ -184,9 +185,32 @@ class ShardedStagePipeline:
         return self._dispatch(self.upstream.feed(element))
 
     def feed_many(self, elements) -> list[Any]:
+        """Chunked threading, mirroring :meth:`StagePipeline.feed_many`.
+
+        Chunks run breadth-per-stage through the pure upstream prefix
+        (ingest, tagging); from the monitor's ``depth_first`` barrier
+        on, each element threads and dispatches individually — the
+        shard chains query the live monitor, so every routed batch and
+        bin marker must be dispatched before the monitor advances.
+        """
         out: list[Any] = []
+        chunk: list[Any] = []
+        size = self.upstream.chunk_size
         for element in elements:
-            out.extend(self.feed(element))
+            chunk.append(element)
+            if len(chunk) >= size:
+                out.extend(self._run_chunk(chunk))
+                chunk = []
+        if chunk:
+            out.extend(self._run_chunk(chunk))
+        return out
+
+    def _run_chunk(self, chunk: list[Any]) -> list[Any]:
+        upstream = self.upstream
+        barrier = upstream.barrier_index
+        out: list[Any] = []
+        for staged in upstream._run_span(0, barrier, chunk):
+            out.extend(self._dispatch(upstream._run(barrier, [staged])))
         return out
 
     def flush(self) -> list[Any]:
@@ -479,7 +503,7 @@ class ShardedStagePipeline:
 
 
 @dataclass
-class ShardedKeplerPipeline:
+class ShardedKeplerPipeline(CheckpointableChain):
     """The sharded chain plus direct handles (sharded twin of
     :class:`~repro.pipeline.KeplerPipeline`)."""
 

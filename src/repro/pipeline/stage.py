@@ -25,7 +25,17 @@ from typing import Any, Protocol, runtime_checkable
 
 @runtime_checkable
 class Stage(Protocol):
-    """What the pipeline runtime needs from a stage."""
+    """What the pipeline runtime needs from a stage.
+
+    A stage may additionally declare ``depth_first = True``: its
+    outputs must clear the rest of the chain before the stage consumes
+    its next element.  The runtime honours this by never batching
+    elements across such a stage — required when downstream stages
+    read the stage's backing state through direct references (the
+    localisation and record stages query the live monitor), so the
+    state they observe at each emitted element must be the state at
+    emission time, not at the end of a batch.
+    """
 
     #: stable identifier used by the metrics registry.
     name: str
@@ -64,6 +74,8 @@ class PassthroughStage:
     """Base class implementing the pass-through/no-op contract."""
 
     name = "passthrough"
+    #: see :class:`Stage`: True forbids batching across this stage.
+    depth_first = False
 
     def feed(self, element: Any) -> list[Any]:
         return [element]

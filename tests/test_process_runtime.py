@@ -1,0 +1,261 @@
+"""Cross-process determinism of the multiprocess stage runtime.
+
+The queue-connected runtime (`repro/pipeline/parallel.py`) must be a
+pure execution detail: on the same stream, records, signal log and
+reject list are identical to the in-process chain — on two scenario
+worlds, with and without a data-plane validator, with the sharded
+downstream driven from the driver process — and a checkpoint taken
+mid-stream through the drain-barrier protocol restores into either
+runtime and finishes the stream byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from test_pipeline_equivalence import (
+    FIRST_WORLD,
+    SECOND_WORLD,
+    DeterministicValidator,
+    prepared,
+    record_fields,
+)
+from repro.core.kepler import Kepler, KeplerParams
+from repro.pipeline import fork_available
+from repro.scenarios import World, build_world
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(),
+    reason="process runtime requires the fork start method",
+)
+
+END_TIME = 80_000.0
+#: Small IPC batches so mid-stream cuts land inside shipped batches.
+PROCESS = dict(process_workers=2, process_batch=128)
+
+
+@pytest.fixture(scope="module")
+def world_a() -> tuple[World, list, list]:
+    return prepared(
+        build_world(seed=FIRST_WORLD.seed, world_params=FIRST_WORLD)
+    )
+
+
+@pytest.fixture(scope="module")
+def world_b() -> tuple[World, list, list]:
+    return prepared(
+        build_world(seed=SECOND_WORLD.seed, world_params=SECOND_WORLD)
+    )
+
+
+def make_kepler(
+    world: World, params: KeplerParams, with_validator: bool
+) -> Kepler:
+    return Kepler(
+        dictionary=world.dictionary,
+        colo=world.colo,
+        as2org=world.as2org,
+        params=params,
+        validator=DeterministicValidator() if with_validator else None,
+    )
+
+
+def full_run(
+    replay: tuple[World, list, list],
+    params: KeplerParams,
+    with_validator: bool,
+) -> tuple[list, list, list]:
+    world, snapshot, elements = replay
+    detector = make_kepler(world, params, with_validator)
+    try:
+        detector.prime(snapshot)
+        detector.process(elements)
+        detector.finalize(end_time=END_TIME)
+        return observed(detector)
+    finally:
+        detector.close()
+
+
+def observed(detector: Kepler) -> tuple[list, list, list]:
+    return (
+        [record_fields(r) for r in detector.records],
+        [
+            (c.pop, c.signal_type, c.bin_start, c.bin_end)
+            for c in detector.signal_log
+        ],
+        [(c.pop, c.bin_start) for c in detector.rejected],
+    )
+
+
+class TestDeterminism:
+    def test_world_a_with_dataplane(self, world_a):
+        linear = full_run(world_a, KeplerParams(), True)
+        assert linear[0], "scenario produced no records to compare"
+        process = full_run(world_a, KeplerParams(**PROCESS), True)
+        assert process == linear
+
+    def test_world_b_control_plane(self, world_b):
+        linear = full_run(world_b, KeplerParams(), False)
+        assert linear[0], "scenario produced no records to compare"
+        process = full_run(world_b, KeplerParams(**PROCESS), False)
+        assert process == linear
+
+    def test_world_a_sharded_downstream(self, world_a):
+        """shards=N drives the sharded runtime from the driver process."""
+        linear = full_run(world_a, KeplerParams(), True)
+        process = full_run(
+            world_a, KeplerParams(shards=4, **PROCESS), True
+        )
+        assert process == linear
+
+
+class TestCheckpointUnderProcessRuntime:
+    def test_mid_stream_roundtrip_into_both_runtimes(self, world_a):
+        """Snapshot under ProcessStagePipeline -> either runtime resumes."""
+        world, snapshot, elements = world_a
+        baseline = full_run(world_a, KeplerParams(), True)
+        cut = len(elements) // 3
+
+        first = make_kepler(world, KeplerParams(**PROCESS), True)
+        try:
+            first.prime(snapshot)
+            first.process(elements[:cut])
+            blob = json.dumps(first.snapshot())
+        finally:
+            first.close()
+
+        for resume_params in (KeplerParams(**PROCESS), KeplerParams()):
+            second = make_kepler(world, resume_params, True)
+            try:
+                second.restore(json.loads(blob))
+                second.process(elements[cut:])
+                second.finalize(end_time=END_TIME)
+                assert observed(second) == baseline
+            finally:
+                second.close()
+
+    def test_drain_barrier_snapshot_is_idempotent(self, world_a):
+        """Back-to-back snapshots with no traffic in between match."""
+        world, snapshot, elements = world_a
+        detector = make_kepler(world, KeplerParams(**PROCESS), False)
+        try:
+            detector.prime(snapshot)
+            detector.process(elements[: len(elements) // 2])
+            first = json.dumps(detector.snapshot(), sort_keys=True)
+            second = json.dumps(detector.snapshot(), sort_keys=True)
+            assert first == second
+        finally:
+            detector.close()
+
+    def test_process_checkpoint_matches_linear_checkpoint(self, world_a):
+        """Composed document == the in-process document (timings aside)."""
+        world, snapshot, elements = world_a
+        cut = len(elements) // 2
+        docs = []
+        for params in (KeplerParams(), KeplerParams(**PROCESS)):
+            detector = make_kepler(world, params, False)
+            try:
+                detector.prime(snapshot)
+                detector.process(elements[:cut])
+                docs.append(detector.snapshot())
+            finally:
+                detector.close()
+        linear_doc, process_doc = docs
+
+        def strip_timings(doc):
+            metrics = doc["pipeline"]["metrics"]
+            metrics["stages"] = [
+                [name, fed, emitted] for name, fed, emitted, _ in metrics["stages"]
+            ]
+            bins = metrics["bins"]
+            bins.pop("total_latency_s"), bins.pop("max_latency_s")
+            return doc
+
+        assert strip_timings(process_doc) == strip_timings(linear_doc)
+
+
+class TestRuntimeSurface:
+    def test_views_reflect_all_fed_elements(self, world_a):
+        """Facade reads drain the queues: nothing fed is ever missing."""
+        world, snapshot, elements = world_a
+        linear = make_kepler(world, KeplerParams(), False)
+        process = make_kepler(world, KeplerParams(**PROCESS), False)
+        try:
+            for detector in (linear, process):
+                detector.prime(snapshot)
+                detector.process(elements[: len(elements) // 2])
+            assert process.primed_paths == linear.primed_paths
+            assert len(process.signal_log) == len(linear.signal_log)
+            assert len(process.records) == len(linear.records)
+            process_metrics = {
+                s["name"]: s for s in process.metrics.snapshot()["stages"]
+            }
+            linear_metrics = {
+                s["name"]: s for s in linear.metrics.snapshot()["stages"]
+            }
+            assert set(process_metrics) == set(linear_metrics)
+            for name, stats in linear_metrics.items():
+                assert process_metrics[name]["fed"] == stats["fed"]
+                assert process_metrics[name]["emitted"] == stats["emitted"]
+        finally:
+            linear.close()
+            process.close()
+
+    def test_sharded_process_metrics_include_downstream_stages(self, world_a):
+        """The composed view must not drop the shard chains' stages."""
+        world, snapshot, elements = world_a
+        detector = make_kepler(
+            world, KeplerParams(shards=2, **PROCESS), False
+        )
+        try:
+            detector.prime(snapshot)
+            detector.process(elements[: len(elements) // 2])
+            names = {
+                s["name"] for s in detector.metrics.snapshot()["stages"]
+            }
+            assert {"classify", "localise", "validate", "record"} <= names
+        finally:
+            detector.close()
+
+    def test_load_state_preserves_cache_and_rejects(self, world_a):
+        """pipeline.load_state must not wipe state it does not carry."""
+        world, snapshot, elements = world_a
+        detector = make_kepler(world, KeplerParams(**PROCESS), True)
+        try:
+            detector.prime(snapshot)
+            detector.process(elements)
+            probes_before = detector.stages.cache.probes
+            rejects_before = len(detector.rejected)
+            assert rejects_before > 0
+            detector.pipeline.load_state(detector.pipeline.state_dict())
+            assert detector.stages.cache.probes == probes_before
+            assert len(detector.rejected) == rejects_before
+        finally:
+            detector.close()
+
+    def test_close_is_idempotent_and_feed_after_close_raises(self, world_a):
+        world, _, _ = world_a
+        detector = make_kepler(world, KeplerParams(**PROCESS), False)
+        detector.close()
+        detector.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            detector.snapshot()
+
+    def test_rejects_invalid_configuration(self):
+        from repro.pipeline.parallel import ProcessStagePipeline
+
+        with pytest.raises(ValueError, match="tag worker"):
+            ProcessStagePipeline(object(), workers=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            ProcessStagePipeline(object(), workers=1, batch_size=0)
+
+
+def test_fork_only_guard_message():
+    """The constructor names the missing capability, not a traceback."""
+    from repro.pipeline import parallel
+
+    if not parallel.fork_available():
+        with pytest.raises(RuntimeError, match="fork"):
+            parallel.ProcessStagePipeline(object(), workers=1)
