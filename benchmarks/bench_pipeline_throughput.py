@@ -30,7 +30,17 @@ the repository root:
   linear chain end to end by >= 1.8x on >= 4 cores, with records,
   rejects and signal log byte-identical; on smaller machines the
   speedup is recorded but the gate is not enforced (there is nothing
-  to parallelise onto).
+  to parallelise onto);
+* **partitioned_monitor** — a monitor-bound stream (memo-friendly
+  tagging, large per-PoP baselines under sustained divergence churn
+  across 32 PoPs) replayed through the linear singleton-monitor chain
+  and through ``Kepler(shard_processes=4)``, where each worker
+  process owns one monitor partition end to end.  The monitor was the
+  last order-dependent singleton (~59% of stage time); output —
+  records and signal log — must be byte-identical always, and on
+  >= 4 cores the shard-process runtime must beat the linear chain end
+  to end by >= 1.5x (``gate_enforced`` records whether the machine
+  was big enough for the gate to apply).
 
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_pipeline_throughput.py -q
   or: PYTHONPATH=src python benchmarks/bench_pipeline_throughput.py
@@ -678,6 +688,188 @@ def run_process_runtime() -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Partitioned monitor: monitor-bound stream, singleton vs shard processes
+# ----------------------------------------------------------------------
+PM_POPS = 32
+PM_NEAR = 3  # near-end ASes per PoP (one far end -> AS-level signals)
+PM_TAGS_PER_PATH = 3  # each path carries three PoPs' communities
+PM_KEYS_PER_NEAR = 50
+PM_BINS = 90
+PM_CHURN_PER_NEAR = 6  # withdrawals per (home PoP, near AS) per bin
+PM_PARTITIONS = 4
+PM_SPEEDUP_GATE = 1.5
+PM_MIN_CORES = 4
+
+
+def _partition_world() -> tuple[
+    CommunityDictionary, dict[tuple[int, int], Community]
+]:
+    """A dictionary whose tagging cost is trivial: one community per
+    (PoP, near AS), constantly repeated, so the tagging memo absorbs
+    the input module and the monitor dominates the per-element cost."""
+    entries: dict[Community, DictionaryEntry] = {}
+    communities: dict[tuple[int, int], Community] = {}
+    for i in range(PM_POPS):
+        pop = PoP(PoPKind.FACILITY, f"bench-pm{i}")
+        for j in range(PM_NEAR):
+            near = 40_000 + i * (PM_NEAR + 1) + j
+            community = Community(near, 700 + i)
+            communities[(i, j)] = community
+            entries[community] = DictionaryEntry(
+                community=community,
+                pop=pop,
+                source_url="bench://synthetic",
+                surface=pop.pop_id,
+            )
+    return CommunityDictionary(entries=entries), communities
+
+
+def _pm_homes(i: int) -> tuple[int, ...]:
+    """The PoP indices a home-``i`` path is tagged at (3 partitions'
+    worth of monitor work per element, one memoised tagging hit)."""
+    return tuple((i + delta) % PM_POPS for delta in (0, 11, 23))
+
+
+def _pm_announcement(
+    communities: dict[tuple[int, int], Community],
+    i: int,
+    j: int,
+    p: int,
+    t: float,
+) -> BGPUpdate:
+    homes = _pm_homes(i)
+    tags = tuple(communities[(h, j)] for h in homes)
+    nears = tuple(c.asn for c in tags)
+    far = 40_000 + i * (PM_NEAR + 1) + PM_NEAR
+    return BGPUpdate(
+        time=t,
+        collector="rrc00",
+        peer_asn=98_000,
+        prefix=f"10.{i}.{j}.{p * 4}/30",
+        elem_type=ElemType.ANNOUNCEMENT,
+        as_path=(98_000, *nears, far),
+        communities=tags,
+    )
+
+
+def _partition_stream(
+    communities: dict[tuple[int, int], Community],
+) -> tuple[list[BGPUpdate], list[StreamElement]]:
+    """Large primed baselines + sustained divergence churn at every PoP.
+
+    Every path is tagged at three PoPs, so each withdrawal drives
+    divergence accounting in three monitor partitions while the
+    tagging memo serves the announcement in one dict hit.  Every bin
+    withdraws ``PM_CHURN_PER_NEAR`` baseline paths per (home PoP,
+    near AS) — over ``Tfail`` of each tagged PoP's per-AS baseline
+    share — and re-announces them a second later; with a short
+    stability window they rejoin two bins on.  Divergence accounting,
+    bin closes and pending promotion (the monitor hot path) dominate
+    end to end.
+    """
+    priming: list[BGPUpdate] = []
+    for i in range(PM_POPS):
+        for j in range(PM_NEAR):
+            for p in range(PM_KEYS_PER_NEAR):
+                priming.append(_pm_announcement(communities, i, j, p, 0.0))
+    elements: list[StreamElement] = []
+    for b in range(PM_BINS):
+        t = b * 60.0 + 5.0
+        for i in range(PM_POPS):
+            for j in range(PM_NEAR):
+                for m in range(PM_CHURN_PER_NEAR):
+                    p = (b * PM_CHURN_PER_NEAR + m) % PM_KEYS_PER_NEAR
+                    elements.append(
+                        BGPUpdate(
+                            time=t,
+                            collector="rrc00",
+                            peer_asn=98_000,
+                            prefix=f"10.{i}.{j}.{p * 4}/30",
+                            elem_type=ElemType.WITHDRAWAL,
+                        )
+                    )
+                    elements.append(
+                        _pm_announcement(communities, i, j, p, t + 1.0)
+                    )
+    elements.sort(key=lambda e: e.time)
+    return priming, elements
+
+
+def _run_partition_workload(
+    dictionary: CommunityDictionary,
+    priming: list[BGPUpdate],
+    elements: list[StreamElement],
+    shard_processes: int,
+) -> tuple[float, tuple]:
+    params = KeplerParams(
+        monitor=MonitorParams(stable_window_s=120.0),
+        enable_investigation=False,
+        shard_processes=shard_processes,
+        process_batch=2048,
+    )
+    kepler = Kepler(
+        dictionary=dictionary,
+        colo=ColocationMap(),
+        as2org={},
+        params=params,
+    )
+    kepler.prime(priming)
+    began = time.perf_counter()
+    kepler.process(elements)
+    kepler.finalize(end_time=PM_BINS * 60.0 + 3600.0)
+    elapsed = time.perf_counter() - began
+    out = (
+        [_record_fields(r) for r in kepler.records],
+        [
+            (c.pop, c.signal_type, c.bin_start, c.bin_end)
+            for c in kepler.signal_log
+        ],
+    )
+    kepler.close()
+    return elapsed, out
+
+
+def run_partitioned_monitor() -> dict:
+    from repro.pipeline import fork_available
+
+    cores = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else (os.cpu_count() or 1)
+    )
+    if not fork_available():
+        return {"skipped": "fork start method unavailable", "cores": cores}
+    dictionary, communities = _partition_world()
+    priming, elements = _partition_stream(communities)
+    linear_s, linear_out = _run_partition_workload(
+        dictionary, priming, elements, shard_processes=0
+    )
+    partitioned_s, partitioned_out = _run_partition_workload(
+        dictionary, priming, elements, shard_processes=PM_PARTITIONS
+    )
+    assert partitioned_out == linear_out, (
+        "shard-process output diverged from the linear singleton chain"
+    )
+    gate_enforced = cores >= PM_MIN_CORES
+    return {
+        "pops": PM_POPS,
+        "bins": PM_BINS,
+        "elements": len(elements),
+        "tags_per_path": PM_TAGS_PER_PATH,
+        "baseline_paths": PM_POPS * PM_NEAR * PM_KEYS_PER_NEAR,
+        "signal_log": len(linear_out[1]),
+        "output_identical": True,
+        "linear_seconds": round(linear_s, 3),
+        "partitioned_seconds": round(partitioned_s, 3),
+        "partitions": PM_PARTITIONS,
+        "cores": cores,
+        "speedup": round(linear_s / partitioned_s, 2),
+        "speedup_gate": PM_SPEEDUP_GATE,
+        "gate_enforced": gate_enforced,
+    }
+
+
 def emit(report: dict) -> None:
     OUTPUT_JSON.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -688,11 +880,13 @@ def test_pipeline_throughput():
     end_to_end = run_end_to_end()
     sharded = run_sharded_scaling()
     process = run_process_runtime()
+    partitioned = run_partitioned_monitor()
     report = {
         "hot_path": hot,
         "end_to_end": end_to_end,
         "sharded_scaling": sharded,
         "process_runtime": process,
+        "partitioned_monitor": partitioned,
     }
     emit(report)
     print(json.dumps(report, indent=2))
@@ -708,6 +902,12 @@ def test_pipeline_throughput():
         assert process["output_identical"], process
         if process["gate_enforced"]:
             assert process["speedup"] >= PROC_SPEEDUP_GATE, process
+    # Partitioned-monitor gates: output identity always; the >= 1.5x
+    # monitor-stage scale-out only where there are cores for it.
+    if "skipped" not in partitioned:
+        assert partitioned["output_identical"], partitioned
+        if partitioned["gate_enforced"]:
+            assert partitioned["speedup"] >= PM_SPEEDUP_GATE, partitioned
 
 
 if __name__ == "__main__":

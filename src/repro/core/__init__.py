@@ -14,7 +14,16 @@ from repro.core.colocation import (
 )
 from repro.core.events import OutageRecord, OutageSignal, SignalType
 from repro.core.input import InputModule, TaggedPath, PoPTag
-from repro.core.monitor import MonitorParams, OutageMonitor
+from repro.core.monitor import (
+    MonitorParams,
+    MonitorPartition,
+    OutageMonitor,
+    PartitionedMonitor,
+    merge_monitor_states,
+    partition_of,
+    pop_sort_key,
+    signal_sort_key,
+)
 from repro.core.signals import classify_signals, SignalClassification
 from repro.core.investigation import Investigator, InvestigationResult
 from repro.core.dataplane import DataPlaneValidator, NullValidator, ValidationOutcome
@@ -33,7 +42,13 @@ __all__ = [
     "TaggedPath",
     "PoPTag",
     "MonitorParams",
+    "MonitorPartition",
     "OutageMonitor",
+    "PartitionedMonitor",
+    "merge_monitor_states",
+    "partition_of",
+    "pop_sort_key",
+    "signal_sort_key",
     "classify_signals",
     "SignalClassification",
     "Investigator",

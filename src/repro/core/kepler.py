@@ -47,7 +47,11 @@ if TYPE_CHECKING:
     from repro.scenarios import World
 
 #: Checkpoint document version written by :meth:`Kepler.snapshot`.
-CHECKPOINT_VERSION = 1
+#: Version 2: the monitor section is canonical (fully sorted, no
+#: promotion heap — rebuilt on load) so documents are identical across
+#: monitor partition layouts, and the pipeline section converts between
+#: shard layouts on restore (see :mod:`repro.pipeline.checkpoint`).
+CHECKPOINT_VERSION = 2
 CHECKPOINT_FORMAT = "kepler-checkpoint"
 
 
@@ -93,6 +97,22 @@ class KeplerParams:
     process_workers: int = 0
     #: Elements per inter-process message batch (amortises IPC cost).
     process_batch: int = 512
+    #: Number of PoP partitions of the in-process monitor (0 or 1 =
+    #: the singleton monitor).  With >= 2 the monitor core runs as N
+    #: :class:`~repro.core.monitor.MonitorPartition` cores behind one
+    #: coordinator that merges partial signals at every bin close —
+    #: output and checkpoints are byte-identical to the singleton for
+    #: any N (the correctness layer under ``shard_processes``).
+    monitor_partitions: int = 0
+    #: Number of end-to-end shard worker *processes* (0 = off; >= 2
+    #: enables the shard-process runtime).  Each worker runs a full
+    #: tagging -> monitor-partition -> classification -> localisation
+    #: -> validation -> record chain over the broadcast element
+    #: stream; the driver keeps ingest, the probe cache and the
+    #: per-bin cross-shard syncs (concurrent-PoP union, city scope,
+    #: candidate re-route).  Mutually exclusive with ``shards`` /
+    #: ``process_workers``; requires the ``fork`` start method.
+    shard_processes: int = 0
 
 
 class Kepler:
@@ -107,11 +127,30 @@ class Kepler:
         validator: DataPlaneValidator | None = None,
     ) -> None:
         self.params = params or KeplerParams()
+        if self.params.shard_processes >= 2 and (
+            self.params.shards >= 2
+            or self.params.process_workers >= 1
+            or self.params.monitor_partitions >= 2
+        ):
+            raise ValueError(
+                "shard_processes is a complete runtime of its own (it"
+                " implies one monitor partition per worker) and cannot"
+                " be combined with shards, process_workers or"
+                " monitor_partitions"
+            )
         self.dictionary = dictionary
         self.colo = colo
         self.as2org = dict(as2org)
         self.input = InputModule(dictionary, colo)
-        self.monitor = OutageMonitor(self.params.monitor)
+        # Under shard_processes the live monitor state is distributed
+        # across the worker processes (one partition each, built by the
+        # runtime); this driver-side object then only carries the
+        # MonitorParams template and stays empty — read monitor state
+        # through the facade views or a snapshot in that mode.
+        self.monitor = OutageMonitor(
+            self.params.monitor,
+            partitions=max(1, self.params.monitor_partitions),
+        )
         self.investigator = Investigator(colo, margin=self.params.colocation_margin)
         self.validator: DataPlaneValidator = validator or NullValidator()
         # Imported here, not at module scope: repro.pipeline imports the
@@ -120,6 +159,7 @@ class Kepler:
         from repro.pipeline import (
             build_kepler_pipeline,
             build_process_kepler_pipeline,
+            build_shard_process_kepler_pipeline,
             build_sharded_kepler_pipeline,
         )
 
@@ -137,13 +177,19 @@ class Kepler:
             drop_rejected=self.params.drop_rejected,
             enable_investigation=self.params.enable_investigation,
         )
-        if self.params.shards >= 2:
+        if self.params.shard_processes >= 2:
             self.stages: KeplerPipeline | ShardedKeplerPipeline = (
-                build_sharded_kepler_pipeline(
-                    shards=self.params.shards,
-                    workers=self.params.shard_workers,
+                build_shard_process_kepler_pipeline(
+                    workers=self.params.shard_processes,
+                    batch_size=self.params.process_batch,
                     **wiring,
                 )
+            )
+        elif self.params.shards >= 2:
+            self.stages = build_sharded_kepler_pipeline(
+                shards=self.params.shards,
+                workers=self.params.shard_workers,
+                **wiring,
             )
         else:
             self.stages = build_kepler_pipeline(**wiring)
@@ -257,28 +303,41 @@ class Kepler:
 
         The runtime is *not* part of the document's identity: the
         in-process chains snapshot off their live stages, the
-        multiprocess runtime composes the identical document through
-        its drain-barrier protocol (``checkpoint_parts`` either way),
-        so checkpoints interoperate across runtimes with the same
-        shard layout.
+        multiprocess runtimes compose the identical document through
+        their drain-barrier protocols (``checkpoint_parts`` either
+        way).  The ``shards`` field records the *layout* the pipeline
+        section was written in (0 = linear — also what the
+        shard-process runtime composes, and what a partitioned monitor
+        emits for the monitor stage); :meth:`restore` converts between
+        layouts, so any checkpoint restores into any runtime.
         """
         return {
             "format": CHECKPOINT_FORMAT,
             "version": CHECKPOINT_VERSION,
             # 0 and 1 both mean the linear chain: normalise so their
             # checkpoints interoperate.
-            "shards": self.params.shards if self.params.shards >= 2 else 0,
+            "shards": self._doc_layout(),
             "primed_paths": self.primed_paths,
             **self.stages.checkpoint_parts(),
         }
 
+    def _doc_layout(self) -> int:
+        """Shard layout of the pipeline document this detector writes."""
+        return self.params.shards if self.params.shards >= 2 else 0
+
     def restore(self, checkpoint: dict) -> None:
         """Load a :meth:`snapshot` document into this (fresh) detector.
 
-        Validates the format version and shard layout, then restores
-        stage-by-stage.  After restoring, processing the remainder of
-        the stream yields output identical to an uninterrupted run.
+        Validates the format version, converts the pipeline section to
+        this detector's shard layout when the document was written in a
+        different one (linear <-> sharded, any shard count — see
+        :func:`repro.pipeline.checkpoint.convert_pipeline_state`), then
+        restores stage-by-stage.  After restoring, processing the
+        remainder of the stream yields output identical to an
+        uninterrupted run, whichever runtime wrote the document.
         """
+        from repro.pipeline.checkpoint import convert_pipeline_state
+
         if checkpoint.get("format") != CHECKPOINT_FORMAT:
             raise ValueError("not a Kepler checkpoint document")
         if checkpoint.get("version") != CHECKPOINT_VERSION:
@@ -286,17 +345,15 @@ class Kepler:
                 f"checkpoint version {checkpoint.get('version')} not"
                 f" supported (expected {CHECKPOINT_VERSION})"
             )
-        my_shards = self.params.shards if self.params.shards >= 2 else 0
-        if checkpoint["shards"] != my_shards:
-            raise ValueError(
-                f"checkpoint was taken with shards={checkpoint['shards']},"
-                f" this detector has shards={my_shards}"
-            )
+        pipeline_state = convert_pipeline_state(
+            checkpoint["pipeline"], checkpoint["shards"], self._doc_layout()
+        )
         self.primed_paths = checkpoint["primed_paths"]
         self.stages.restore_parts(
             {
-                key: checkpoint[key]
-                for key in ("rejected", "cache", "pipeline")
+                "rejected": checkpoint["rejected"],
+                "cache": checkpoint["cache"],
+                "pipeline": pipeline_state,
             }
         )
 

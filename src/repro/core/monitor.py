@@ -16,12 +16,35 @@ Divergence semantics (the paper's three change types):
 
 State messages suspend the affected peer's paths so collector-session
 resets do not masquerade as outages.
+
+The detection core is partitionable by PoP: every piece of monitor
+state except the binning clock and the feed-gap set is keyed by PoP
+(baseline entries, stability candidates, per-bin divergences, return
+tracking), and the bin-close thresholds aggregate per (PoP, AS) —
+never across PoPs.  The module is therefore split into
+
+* :class:`MonitorPartition` — the pure per-partition core: baseline
+  install/remove, pending promotion, and per-(PoP, AS) bin accumulators
+  for the subset of PoPs it owns (``partition_of(pop, n) == index``);
+* :class:`PartitionedMonitor` — a thin coordinator that owns the
+  binning clock and the shared feed-gap set, broadcasts stream
+  elements to its partitions (each partition touches only its own
+  indexed state), drives synchronized bin advancement, and merges the
+  partitions' partial signals at every bin close under the explicit
+  :func:`signal_sort_key` ordering.
+
+``OutageMonitor`` (the historical name) is the coordinator with one
+partition; ``PartitionedMonitor(partitions=N)`` is byte-identical to
+it on any stream — pinned by the partition property tests in
+``tests/test_checkpoint_roundtrip.py``.
 """
 
 from __future__ import annotations
 
 import heapq
+import zlib
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.bgp.messages import BGPStateMessage
 from repro.core.events import OutageSignal
@@ -32,6 +55,35 @@ from repro.docmine.dictionary import PoP
 BIN_INTERVAL_S = 60.0
 STABLE_WINDOW_S = 2 * 24 * 3600.0
 DEFAULT_T_FAIL = 0.10
+
+
+def partition_of(pop: PoP, n_partitions: int) -> int:
+    """Stable partition assignment of a PoP (identical across processes).
+
+    The same hash assigns PoPs to downstream shard chains
+    (:func:`repro.pipeline.sharding.shard_of` delegates here), so a
+    shard-process worker can co-locate monitor partition *i* with
+    shard chain *i* and classify its own partial signals locally.
+    """
+    return zlib.crc32(str(pop).encode("utf-8")) % n_partitions
+
+
+def pop_sort_key(pop: PoP) -> tuple[str, str]:
+    """Total order on PoPs used everywhere determinism matters."""
+    return (pop.kind.value, pop.pop_id)
+
+
+def signal_sort_key(signal: OutageSignal) -> tuple[str, str, int]:
+    """The documented bin-close emission order: (PoP kind, PoP id, AS).
+
+    ``close_bin`` emits the signals of one bin sorted under this key —
+    an explicit contract rather than an artefact of dict iteration —
+    which is what makes the partial-signal merge of a partitioned
+    monitor deterministic: each partition's partial list is sorted, and
+    the coordinator's merge under the same key reproduces the singleton
+    emission byte for byte.
+    """
+    return (signal.pop.kind.value, signal.pop.pop_id, signal.near_asn)
 
 
 @dataclass
@@ -58,6 +110,15 @@ class _BaselineEntry:
     path_ases: frozenset[int] = frozenset()
 
 
+def _entry_to_json(entry: _BaselineEntry) -> list:
+    return [
+        entry.near_asn,
+        entry.far_asn,
+        entry.since,
+        sorted(entry.path_ases),
+    ]
+
+
 @dataclass
 class _TrackState:
     """Return-tracking for one open outage."""
@@ -71,11 +132,33 @@ class _TrackState:
         return len(self.returned) / len(self.keys)
 
 
-class OutageMonitor:
-    """Stable-baseline monitor over a tagged update stream."""
+class MonitorPartition:
+    """Per-partition detection core: one PoP subset's monitor state.
 
-    def __init__(self, params: MonitorParams | None = None) -> None:
-        self.params = params or MonitorParams()
+    Owns every PoP with ``partition_of(pop, n_partitions) == index``
+    (with ``n_partitions == 1`` it owns everything).  The partition is
+    pure with respect to the stream: it holds no binning clock — the
+    coordinator closes bins — and reads the feed-gap set through a
+    reference shared with its siblings.
+
+    Return tracking is deliberately ownership-agnostic: a partition
+    fed the full stream can track *any* PoP's diverted keys, which is
+    what lets a shard-process worker track the signal PoP of a record
+    whose epicenter was located into its shard from another partition.
+    """
+
+    def __init__(
+        self,
+        params: MonitorParams,
+        gapped: set[tuple[str, int]],
+        n_partitions: int = 1,
+        index: int = 0,
+    ) -> None:
+        self.params = params
+        self.n_partitions = n_partitions
+        self.index = index
+        #: shared feed-gap set, owned and mutated by the coordinator.
+        self._gapped = gapped
         #: pop -> key -> entry (the stable baseline).
         self.baseline: dict[PoP, dict[PathKey, _BaselineEntry]] = {}
         #: reverse index key -> pops with a baseline entry for it.
@@ -95,29 +178,31 @@ class OutageMonitor:
         #: promotion queue: (since, tiebreak, pop, key); entries whose
         #: candidate was reset are invalidated lazily on pop.  The
         #: tiebreak is a plain int (not itertools.count) so taking a
-        #: checkpoint never mutates the monitor.
+        #: checkpoint never mutates the partition.
         self._pending_heap: list[tuple[float, int, PoP, PathKey]] = []
         self._heap_counter = 0
-        #: collector peers currently in a feed gap.
-        self._gapped: set[tuple[str, int]] = set()
-        #: divergences observed in the current bin.
+        #: divergences observed in the current bin (own pops only).
         self._diverted: dict[PoP, set[PathKey]] = {}
-        self._bin_start: float | None = None
-        #: open-outage return tracking.
+        #: open-outage return tracking (any pop — see class docstring).
         self._tracking: dict[PoP, _TrackState] = {}
         #: reverse index key -> tracked pops whose key-set contains it.
         self._tracking_by_key: dict[PathKey, set[PoP]] = {}
-        #: diverted keys of the most recently closed bin, per PoP —
-        #: consumed by Kepler to seed return tracking.
+        #: diverted keys of the most recently closed bin, per own PoP.
         self.last_diverted: dict[PoP, set[PathKey]] = {}
-        self.bins_processed = 0
+
+    def owns(self, pop: PoP) -> bool:
+        if self.n_partitions == 1:
+            return True
+        return partition_of(pop, self.n_partitions) == self.index
 
     # ------------------------------------------------------------------
     # Baseline priming (initial RIB snapshot, assumed stable)
     # ------------------------------------------------------------------
     def prime(self, tagged: TaggedPath) -> None:
-        """Install a path into the baseline directly (table dump)."""
+        """Install the owned tags of a path into the baseline directly."""
         for tag in tagged.tags:
+            if not self.owns(tag.pop):
+                continue
             self._install(
                 tag.pop, tagged.key, tag, tagged.time,
                 frozenset(tagged.as_path[1:]),
@@ -200,30 +285,10 @@ class OutageMonitor:
                 self._pending_by_key.pop(key, None)
 
     # ------------------------------------------------------------------
-    # Streaming interface
+    # Streaming interface (driven by the coordinator)
     # ------------------------------------------------------------------
-    def observe_state(self, message: BGPStateMessage) -> None:
-        peer = (message.collector, message.peer_asn)
-        if message.is_session_loss:
-            self._gapped.add(peer)
-        elif message.is_session_recovery:
-            self._gapped.discard(peer)
-
-    def observe(self, tagged: TaggedPath) -> list[OutageSignal]:
-        """Feed one tagged element; returns signals of any closed bins."""
-        signals: list[OutageSignal] = []
-        if self._bin_start is None:
-            self._bin_start = self._bin_floor(tagged.time)
-        while tagged.time >= self._bin_start + self.params.bin_interval_s:
-            signals.extend(self.close_bin())
-        self._apply(tagged)
-        return signals
-
-    def _bin_floor(self, time: float) -> float:
-        width = self.params.bin_interval_s
-        return (time // width) * width
-
-    def _apply(self, tagged: TaggedPath) -> None:
+    def apply(self, tagged: TaggedPath) -> None:
+        """Account one in-bin element against this partition's state."""
         key = tagged.key
         if (key[0], key[1]) in self._gapped:
             return  # feed gap: ignore, do not interpret as divergence
@@ -248,6 +313,8 @@ class OutageMonitor:
                 self._pending_discard(pop, key)
             return
         for tag in tagged.tags:
+            if not self.owns(tag.pop):
+                continue
             pending_key = (tag.pop, key)
             in_baseline = key in self.baseline.get(tag.pop, {})
             if in_baseline:
@@ -270,17 +337,19 @@ class OutageMonitor:
                 self._pending_discard(pop, key)
 
     # ------------------------------------------------------------------
-    # Bin closing: signal computation
+    # Bin closing: partial signal computation
     # ------------------------------------------------------------------
-    def close_bin(self) -> list[OutageSignal]:
-        """Close the current bin, emit signals, advance to the next bin."""
-        if self._bin_start is None:
-            return []
-        bin_start = self._bin_start
-        bin_end = bin_start + self.params.bin_interval_s
+    def close_partial(self, bin_start: float, bin_end: float) -> list[OutageSignal]:
+        """Close the bin for this partition's PoPs; return its signals.
+
+        The returned list is sorted under :func:`signal_sort_key`
+        (PoPs in :func:`pop_sort_key` order, ASes ascending within a
+        PoP), so the coordinator's cross-partition merge is a stable
+        sorted merge.
+        """
         signals: list[OutageSignal] = []
         self.last_diverted = {}
-        for pop in sorted(self._diverted, key=str):
+        for pop in sorted(self._diverted, key=pop_sort_key):
             diverted_keys = {
                 k
                 for k in self._diverted[pop]
@@ -359,12 +428,9 @@ class OutageMonitor:
             for key in diverted_keys:
                 self._remove(pop, key)
         self._diverted.clear()
-        self._promote_pending(bin_end)
-        self._bin_start = bin_end
-        self.bins_processed += 1
         return signals
 
-    def _promote_pending(self, now: float) -> None:
+    def promote_pending(self, now: float) -> None:
         # The heap yields candidates in first-seen order; entries whose
         # candidacy was reset since their push are skipped (their stored
         # ``since`` no longer matches the live entry).  Sustained
@@ -394,29 +460,7 @@ class OutageMonitor:
             )
 
     # ------------------------------------------------------------------
-    # Queries used by investigation / Kepler
-    # ------------------------------------------------------------------
-    def baseline_size(self, pop: PoP) -> int:
-        return len(self.baseline.get(pop, {}))
-
-    def baseline_links(self, pop: PoP) -> set[tuple[int | None, int | None]]:
-        return {
-            (entry.near_asn, entry.far_asn)
-            for entry in self.baseline.get(pop, {}).values()
-        }
-
-    def baseline_far_ases(self, pop: PoP) -> set[int]:
-        return {
-            entry.far_asn
-            for entry in self.baseline.get(pop, {}).values()
-            if entry.far_asn is not None
-        }
-
-    def monitored_pops(self) -> set[PoP]:
-        return set(self.baseline)
-
-    # ------------------------------------------------------------------
-    # Open-outage return tracking
+    # Open-outage return tracking (ownership-agnostic)
     # ------------------------------------------------------------------
     def start_tracking(self, pop: PoP, keys: set[PathKey]) -> None:
         existing = self._tracking.get(pop)
@@ -444,141 +488,440 @@ class OutageMonitor:
                 if not pops:
                     self._tracking_by_key.pop(key, None)
 
-    @property
-    def current_bin_start(self) -> float | None:
-        return self._bin_start
-
     # ------------------------------------------------------------------
-    # Checkpointing
+    # Queries used by investigation / Kepler
     # ------------------------------------------------------------------
-    def state_dict(self) -> dict:
-        """JSON-serialisable snapshot of the full monitor state.
+    def baseline_size(self, pop: PoP) -> int:
+        return len(self.baseline.get(pop, {}))
 
-        Only primary state is stored; the reverse indexes
-        (``_key_pops``, ``_peer_keys``, ``_as_totals``,
-        ``_pending_by_key``, ``_tracking_by_key``) are rebuilt by
-        :meth:`load_state` from the primary structures.
-        """
-        from repro.core.serde import key_to_json, pop_to_json
-
-        def entry_to_json(entry: _BaselineEntry) -> list:
-            return [
-                entry.near_asn,
-                entry.far_asn,
-                entry.since,
-                sorted(entry.path_ases),
-            ]
-
+    def baseline_links(self, pop: PoP) -> set[tuple[int | None, int | None]]:
         return {
-            "baseline": [
-                [
-                    pop_to_json(pop),
-                    [
-                        [key_to_json(key), entry_to_json(entry)]
-                        for key, entry in entries.items()
-                    ],
-                ]
-                for pop, entries in self.baseline.items()
-            ],
-            "pending": [
-                [pop_to_json(pop), key_to_json(key), entry_to_json(entry)]
-                for (pop, key), entry in self._pending.items()
-            ],
-            "pending_heap": [
-                [since, tiebreak, pop_to_json(pop), key_to_json(key)]
-                for since, tiebreak, pop, key in self._pending_heap
-            ],
-            "heap_counter": self._heap_counter,
-            "gapped": sorted([c, p] for c, p in self._gapped),
-            "diverted": [
-                [pop_to_json(pop), sorted(key_to_json(k) for k in keys)]
-                for pop, keys in self._diverted.items()
-            ],
-            "bin_start": self._bin_start,
-            "tracking": [
-                [
-                    pop_to_json(pop),
-                    sorted(key_to_json(k) for k in track.keys),
-                    sorted(key_to_json(k) for k in track.returned),
-                ]
-                for pop, track in self._tracking.items()
-            ],
-            "last_diverted": [
-                [pop_to_json(pop), sorted(key_to_json(k) for k in keys)]
-                for pop, keys in self.last_diverted.items()
-            ],
-            "bins_processed": self.bins_processed,
+            (entry.near_asn, entry.far_asn)
+            for entry in self.baseline.get(pop, {}).values()
         }
 
-    def load_state(self, state: dict) -> None:
-        """Restore the state captured by :meth:`state_dict`."""
-        from repro.core.serde import key_from_json, pop_from_json
+    def baseline_far_ases(self, pop: PoP) -> set[int]:
+        return {
+            entry.far_asn
+            for entry in self.baseline.get(pop, {}).values()
+            if entry.far_asn is not None
+        }
 
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def total_baseline_entries(self) -> int:
+        return sum(len(entries) for entries in self.baseline.values())
+
+    # ------------------------------------------------------------------
+    # Partition state fragments (merged/split by the coordinator)
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
         self.baseline.clear()
         self._key_pops.clear()
         self._peer_keys.clear()
         self._as_totals.clear()
         self._pending.clear()
         self._pending_by_key.clear()
+        self._pending_heap.clear()
+        self._heap_counter = 0
+        self._diverted.clear()
         self._tracking.clear()
         self._tracking_by_key.clear()
-        for pop_json, entries in state["baseline"]:
-            pop = pop_from_json(pop_json)
-            for key_json, (near, far, since, path_ases) in entries:
-                self._install(
-                    pop,
-                    key_from_json(key_json),
-                    PoPTag(pop=pop, near_asn=near, far_asn=far),
-                    since,
-                    frozenset(path_ases),
-                )
-        for pop_json, key_json, (near, far, since, path_ases) in state[
-            "pending"
-        ]:
-            pop = pop_from_json(pop_json)
-            key = key_from_json(key_json)
-            self._pending[(pop, key)] = _BaselineEntry(
+        self.last_diverted = {}
+
+    def load_baseline_entry(
+        self, pop: PoP, key: PathKey, entry_json: list
+    ) -> None:
+        near, far, since, path_ases = entry_json
+        self._install(
+            pop,
+            key,
+            PoPTag(pop=pop, near_asn=near, far_asn=far),
+            since,
+            frozenset(path_ases),
+        )
+
+    def load_pending_entry(
+        self, pop: PoP, key: PathKey, entry_json: list
+    ) -> None:
+        near, far, since, path_ases = entry_json
+        self._pending_add(
+            pop,
+            key,
+            _BaselineEntry(
                 near_asn=near,
                 far_asn=far,
                 since=since,
                 path_ases=frozenset(path_ases),
-            )
-            self._pending_by_key.setdefault(key, set()).add(pop)
-        # The stored heap preserves the exact promotion (and therefore
-        # baseline-insertion) order, including stale lazily-invalidated
-        # tuples; heapify defends against a hand-edited checkpoint.
-        self._pending_heap = [
-            (since, tiebreak, pop_from_json(p), key_from_json(k))
-            for since, tiebreak, p, k in state["pending_heap"]
-        ]
-        heapq.heapify(self._pending_heap)
-        self._heap_counter = state["heap_counter"]
-        self._gapped = {(c, p) for c, p in state["gapped"]}
-        self._diverted = {
-            pop_from_json(p): {key_from_json(k) for k in keys}
-            for p, keys in state["diverted"]
+            ),
+        )
+
+    def load_tracking_entry(
+        self, pop: PoP, keys: set[PathKey], returned: set[PathKey]
+    ) -> None:
+        self.start_tracking(pop, keys)
+        self._tracking[pop].returned = set(returned)
+
+
+class PartitionedMonitor:
+    """Coordinator: the stable-baseline monitor over N PoP partitions.
+
+    Exposes the historical ``OutageMonitor`` surface.  With
+    ``partitions=1`` (the default, aliased as ``OutageMonitor``) it is
+    the singleton monitor; with ``partitions=N`` every stream element
+    is broadcast to N :class:`MonitorPartition` cores — each touches
+    only its own indexed state — bins advance in lockstep, and every
+    bin close performs a deterministic partial-signal merge under
+    :func:`signal_sort_key`.  Output is byte-identical for any N.
+
+    ``local`` restricts the coordinator to a subset of the partition
+    indices: a shard-process worker runs ``local=(w,)`` against the
+    full broadcast stream and computes exactly partition *w*'s share
+    of every bin (see :mod:`repro.pipeline.parallel`).  Baseline
+    queries for non-local PoPs return empty; return tracking lands on
+    the first local partition regardless of ownership (the partition
+    sees the full stream, so its tracking is complete for any PoP).
+    """
+
+    def __init__(
+        self,
+        params: MonitorParams | None = None,
+        partitions: int = 1,
+        local: Iterable[int] | None = None,
+    ) -> None:
+        self.params = params or MonitorParams()
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        self.n_partitions = partitions
+        #: collector peers currently in a feed gap (shared by reference
+        #: with every partition; mutated only here).
+        self._gapped: set[tuple[str, int]] = set()
+        indices = sorted(set(range(partitions) if local is None else local))
+        if not indices or any(i < 0 or i >= partitions for i in indices):
+            raise ValueError(f"invalid local partition indices {indices}")
+        self._parts: dict[int, MonitorPartition] = {
+            i: MonitorPartition(self.params, self._gapped, partitions, i)
+            for i in indices
         }
+        self._part_list = [self._parts[i] for i in indices]
+        self._single = self._part_list[0] if len(self._part_list) == 1 else None
+        self._bin_start: float | None = None
+        #: merged diverted keys of the most recently closed bin.
+        self.last_diverted: dict[PoP, set[PathKey]] = {}
+        self.bins_processed = 0
+
+    @property
+    def partitions(self) -> list[MonitorPartition]:
+        return self._part_list
+
+    def _owner(self, pop: PoP) -> MonitorPartition | None:
+        if self.n_partitions == 1:
+            return self._part_list[0]
+        return self._parts.get(partition_of(pop, self.n_partitions))
+
+    def _tracking_part(self, pop: PoP) -> MonitorPartition:
+        owner = self._owner(pop)
+        return owner if owner is not None else self._part_list[0]
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+    def prime(self, tagged: TaggedPath) -> None:
+        """Install a path into the baseline directly (table dump)."""
+        for part in self._part_list:
+            part.prime(tagged)
+
+    def observe_state(self, message: BGPStateMessage) -> None:
+        peer = (message.collector, message.peer_asn)
+        if message.is_session_loss:
+            self._gapped.add(peer)
+        elif message.is_session_recovery:
+            self._gapped.discard(peer)
+
+    def observe(self, tagged: TaggedPath) -> list[OutageSignal]:
+        """Feed one tagged element; returns signals of any closed bins."""
+        signals: list[OutageSignal] = []
+        if self._bin_start is None:
+            self._bin_start = self._bin_floor(tagged.time)
+        while tagged.time >= self._bin_start + self.params.bin_interval_s:
+            signals.extend(self.close_bin())
+        single = self._single
+        if single is not None:
+            single.apply(tagged)
+        else:
+            for part in self._part_list:
+                part.apply(tagged)
+        return signals
+
+    def _bin_floor(self, time: float) -> float:
+        width = self.params.bin_interval_s
+        return (time // width) * width
+
+    # ------------------------------------------------------------------
+    # Bin closing: synchronized advancement + partial-signal merge
+    # ------------------------------------------------------------------
+    def close_bin(self) -> list[OutageSignal]:
+        """Close the current bin, emit signals, advance to the next bin.
+
+        Signals are emitted sorted under :func:`signal_sort_key` —
+        partitions return their partials already sorted, and the
+        cross-partition merge preserves that total order.
+        """
+        if self._bin_start is None:
+            return []
+        bin_start = self._bin_start
+        bin_end = bin_start + self.params.bin_interval_s
+        single = self._single
+        if single is not None:
+            signals = single.close_partial(bin_start, bin_end)
+            self.last_diverted = single.last_diverted
+        else:
+            partials = [
+                part.close_partial(bin_start, bin_end)
+                for part in self._part_list
+            ]
+            signals = list(heapq.merge(*partials, key=signal_sort_key))
+            self.last_diverted = {}
+            for part in self._part_list:
+                self.last_diverted.update(part.last_diverted)
+        for part in self._part_list:
+            part.promote_pending(bin_end)
+        self._bin_start = bin_end
+        self.bins_processed += 1
+        return signals
+
+    # ------------------------------------------------------------------
+    # Queries used by investigation / Kepler
+    # ------------------------------------------------------------------
+    def baseline_size(self, pop: PoP) -> int:
+        owner = self._owner(pop)
+        return 0 if owner is None else owner.baseline_size(pop)
+
+    def baseline_links(self, pop: PoP) -> set[tuple[int | None, int | None]]:
+        owner = self._owner(pop)
+        return set() if owner is None else owner.baseline_links(pop)
+
+    def baseline_far_ases(self, pop: PoP) -> set[int]:
+        owner = self._owner(pop)
+        return set() if owner is None else owner.baseline_far_ases(pop)
+
+    def monitored_pops(self) -> set[PoP]:
+        pops: set[PoP] = set()
+        for part in self._part_list:
+            pops.update(part.baseline)
+        return pops
+
+    # ------------------------------------------------------------------
+    # Open-outage return tracking
+    # ------------------------------------------------------------------
+    def start_tracking(self, pop: PoP, keys: set[PathKey]) -> None:
+        self._tracking_part(pop).start_tracking(pop, keys)
+
+    def returned_fraction(self, pop: PoP) -> float | None:
+        return self._tracking_part(pop).returned_fraction(pop)
+
+    def stop_tracking(self, pop: PoP) -> None:
+        self._tracking_part(pop).stop_tracking(pop)
+
+    @property
+    def current_bin_start(self) -> float | None:
+        return self._bin_start
+
+    # ------------------------------------------------------------------
+    # Checkpointing: one canonical document for every partition layout
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the monitor state.
+
+        The document is **canonical**: every list is sorted under
+        explicit keys (:func:`pop_sort_key`, path-key order), so a
+        partitioned monitor composes the same document as the
+        singleton and the two are freely interchangeable on restore.
+        Only primary state is stored; the reverse indexes and the
+        promotion heap are rebuilt by :meth:`load_state` (promotion
+        order is re-derived as (since, pop, key), which is
+        output-equivalent — installs into different PoPs commute, and
+        per-PoP baseline reads are key- or aggregate-based).
+
+        A coordinator restricted to ``local`` partitions emits only
+        its partitions' share; :func:`merge_monitor_states` composes
+        the full document from such fragments.
+        """
+        from repro.core.serde import key_to_json, pop_to_json
+
+        baseline: list = []
+        pending: list = []
+        diverted: list = []
+        tracking: list = []
+        last_diverted: list = []
+        for part in self._part_list:
+            for pop, entries in part.baseline.items():
+                baseline.append(
+                    [
+                        pop_to_json(pop),
+                        [
+                            [key_to_json(key), _entry_to_json(entries[key])]
+                            for key in sorted(entries)
+                        ],
+                    ]
+                )
+            for (pop, key), entry in part._pending.items():
+                pending.append(
+                    [pop_to_json(pop), key_to_json(key), _entry_to_json(entry)]
+                )
+            for pop, keys in part._diverted.items():
+                diverted.append(
+                    [pop_to_json(pop), sorted(key_to_json(k) for k in keys)]
+                )
+            for pop, track in part._tracking.items():
+                tracking.append(
+                    [
+                        pop_to_json(pop),
+                        sorted(key_to_json(k) for k in track.keys),
+                        sorted(key_to_json(k) for k in track.returned),
+                    ]
+                )
+        for pop, keys in self.last_diverted.items():
+            owner = self._owner(pop)
+            if owner is None:
+                continue
+            last_diverted.append(
+                [pop_to_json(pop), sorted(key_to_json(k) for k in keys)]
+            )
+        baseline.sort(key=lambda item: item[0])
+        pending.sort(key=lambda item: (item[0], item[1]))
+        diverted.sort(key=lambda item: item[0])
+        tracking.sort(key=lambda item: item[0])
+        last_diverted.sort(key=lambda item: item[0])
+        return {
+            "baseline": baseline,
+            "pending": pending,
+            "gapped": sorted([c, p] for c, p in self._gapped),
+            "diverted": diverted,
+            "bin_start": self._bin_start,
+            "tracking": tracking,
+            "last_diverted": last_diverted,
+            "bins_processed": self.bins_processed,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a canonical document, distributing by partition.
+
+        Accepts a document written by any partition layout.  Baseline,
+        pending and divergence entries land on their owning partition
+        (entries owned by non-local partitions are skipped — a worker
+        coordinator takes only its share); tracking entries land on
+        every local partition's tracking home, which for a restricted
+        coordinator means the full tracking state (tracking is
+        ownership-agnostic and cheap to maintain).
+        """
+        from repro.core.serde import key_from_json, pop_from_json
+
+        for part in self._part_list:
+            part.reset()
+        self._gapped.clear()
+        self._gapped.update((c, p) for c, p in state["gapped"])
+        for pop_json, entries in state["baseline"]:
+            pop = pop_from_json(pop_json)
+            owner = self._owner(pop)
+            if owner is None:
+                continue
+            for key_json, entry_json in entries:
+                owner.load_baseline_entry(
+                    pop, key_from_json(key_json), entry_json
+                )
+        # Pending entries re-enter the promotion heap in document order
+        # — sorted by (pop, key) — but the heap orders by (since,
+        # arrival), so maturation order is (since, pop, key):
+        # deterministic, and output-equivalent to the live arrival
+        # order (promotions of distinct (pop, key) pairs commute).
+        for pop_json, key_json, entry_json in state["pending"]:
+            pop = pop_from_json(pop_json)
+            owner = self._owner(pop)
+            if owner is None:
+                continue
+            owner.load_pending_entry(pop, key_from_json(key_json), entry_json)
+        for pop_json, keys in state["diverted"]:
+            pop = pop_from_json(pop_json)
+            owner = self._owner(pop)
+            if owner is None:
+                continue
+            owner._diverted[pop] = {key_from_json(k) for k in keys}
         self._bin_start = state["bin_start"]
         for pop_json, keys, returned in state["tracking"]:
             pop = pop_from_json(pop_json)
-            self.start_tracking(
-                pop, {key_from_json(k) for k in keys}
+            self._tracking_part(pop).load_tracking_entry(
+                pop,
+                {key_from_json(k) for k in keys},
+                {key_from_json(k) for k in returned},
             )
-            self._tracking[pop].returned = {
-                key_from_json(k) for k in returned
-            }
-        self.last_diverted = {
-            pop_from_json(p): {key_from_json(k) for k in keys}
-            for p, keys in state["last_diverted"]
-        }
+        self.last_diverted = {}
+        for pop_json, keys in state["last_diverted"]:
+            pop = pop_from_json(pop_json)
+            if self._owner(pop) is None:
+                continue
+            self.last_diverted[pop] = {key_from_json(k) for k in keys}
         self.bins_processed = state["bins_processed"]
 
     @property
     def pending_count(self) -> int:
         """Number of live stability candidates."""
-        return len(self._pending)
+        return sum(part.pending_count for part in self._part_list)
 
     @property
     def total_baseline_entries(self) -> int:
         """Total (pop, key) baseline entries across all monitored PoPs."""
-        return sum(len(entries) for entries in self.baseline.values())
+        return sum(part.total_baseline_entries for part in self._part_list)
+
+
+#: The historical name: the monitor as one partition.
+OutageMonitor = PartitionedMonitor
+
+
+def merge_monitor_states(fragments: list[dict]) -> dict:
+    """Compose per-partition monitor fragments into the full document.
+
+    Each fragment is the :meth:`PartitionedMonitor.state_dict` of a
+    ``local``-restricted coordinator over a disjoint PoP subset of one
+    logical monitor.  List sections concatenate and re-sort under the
+    canonical keys; tracking entries may be replicated across
+    fragments (tracking is ownership-agnostic) and deduplicate by PoP;
+    the clock fields must agree — the partitions advance bins in
+    lockstep by construction.
+    """
+    if not fragments:
+        raise ValueError("no monitor fragments to merge")
+    head = fragments[0]
+    for other in fragments[1:]:
+        if (
+            other["bin_start"] != head["bin_start"]
+            or other["bins_processed"] != head["bins_processed"]
+            or other["gapped"] != head["gapped"]
+        ):
+            raise ValueError(
+                "monitor partition fragments disagree on shared state"
+                " (bin clock or feed-gap set): partitions out of sync"
+            )
+    merged: dict = {
+        "bin_start": head["bin_start"],
+        "bins_processed": head["bins_processed"],
+        "gapped": head["gapped"],
+    }
+    for section in ("baseline", "pending", "diverted", "last_diverted"):
+        rows = [row for fragment in fragments for row in fragment[section]]
+        sort_key = (
+            (lambda item: (item[0], item[1]))
+            if section == "pending"
+            else (lambda item: item[0])
+        )
+        rows.sort(key=sort_key)
+        merged[section] = rows
+    tracking: dict[str, list] = {}
+    for fragment in fragments:
+        for row in fragment["tracking"]:
+            tracking.setdefault(repr(row[0]), row)
+    merged["tracking"] = sorted(tracking.values(), key=lambda item: item[0])
+    return merged

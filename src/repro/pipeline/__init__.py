@@ -29,7 +29,12 @@ from repro.core.input import InputModule
 from repro.core.investigation import Investigator
 from repro.core.monitor import OutageMonitor
 from repro.core.signals import SignalClassification
-from repro.pipeline.checkpoint import CheckpointableChain
+from repro.pipeline.checkpoint import (
+    CheckpointableChain,
+    convert_pipeline_state,
+    linearize_pipeline_state,
+    shard_pipeline_state,
+)
 from repro.pipeline.classification import ClassificationStage
 from repro.pipeline.events import (
     BinAdvanced,
@@ -49,7 +54,10 @@ from repro.pipeline.monitoring import BinningMonitorStage
 from repro.pipeline.parallel import (
     ProcessKeplerPipeline,
     ProcessStagePipeline,
+    ShardProcessKeplerPipeline,
+    ShardProcessPipeline,
     build_process_kepler_pipeline,
+    build_shard_process_kepler_pipeline,
     fork_available,
 )
 from repro.pipeline.record import RecordStage, merge_oscillations
@@ -195,6 +203,8 @@ __all__ = [
     "RecordStage",
     "ShardBatch",
     "ShardChain",
+    "ShardProcessKeplerPipeline",
+    "ShardProcessPipeline",
     "ShardRouter",
     "ShardedKeplerPipeline",
     "ShardedStagePipeline",
@@ -208,10 +218,14 @@ __all__ = [
     "ValidationStage",
     "build_kepler_pipeline",
     "build_process_kepler_pipeline",
+    "build_shard_process_kepler_pipeline",
     "build_sharded_kepler_pipeline",
     "common_city",
+    "convert_pipeline_state",
     "fork_available",
+    "linearize_pipeline_state",
     "merge_oscillations",
     "merge_streams",
     "shard_of",
+    "shard_pipeline_state",
 ]

@@ -1,15 +1,30 @@
-"""Checkpoint composition shared by every pipeline wrapper.
+"""Checkpoint composition and layout conversion for every runtime.
 
 :class:`repro.core.kepler.Kepler` snapshots through one uniform
 surface — ``checkpoint_parts()`` / ``restore_parts()`` — so the facade
 does not need to know where the underlying state lives.  For the
 in-process runtimes (linear and sharded) the parts come straight off
-the live objects; the multiprocess runtime overrides both methods to
-run the drain-barrier protocol and compose the same document from its
-worker processes (:mod:`repro.pipeline.parallel`).
+the live objects; the multiprocess runtimes override both methods to
+run their drain-barrier protocols and compose the same documents from
+their worker processes (:mod:`repro.pipeline.parallel`).
+
+The second half of this module makes checkpoints **layout-free**: a
+pipeline document written by the linear chain, the thread-sharded
+runtime or the shard-process runtime converts losslessly (up to
+observability counters, see :func:`linearize_pipeline_state`) into any
+other layout.  The linear document is the canonical form — the sharded
+document merges into it under explicit sort keys, and splits back out
+of it by the stable PoP hash (:func:`repro.core.monitor.partition_of`)
+— so ``Kepler.restore`` accepts any snapshot into any runtime.
 """
 
 from __future__ import annotations
+
+from repro.core.monitor import partition_of
+
+#: Downstream stage names owned by shard chains in the sharded layout.
+_CHAIN_STAGES = ("classify", "localise", "validate", "record")
+_UPSTREAM_STAGES = ("ingest", "tagging", "monitor")
 
 
 class CheckpointableChain:
@@ -41,3 +56,191 @@ class CheckpointableChain:
         ]
         self.cache.load_state(parts["cache"])
         self.pipeline.load_state(parts["pipeline"])
+
+
+# ----------------------------------------------------------------------
+# Canonical sort keys over serialised (JSON-shaped) state
+# ----------------------------------------------------------------------
+def signal_json_key(signal: dict) -> tuple:
+    return (signal["bin_start"], signal["pop"], signal["near_asn"])
+
+
+def _record_json_key(record: dict) -> tuple:
+    # Mid-stream record lists are chronological in close order; within
+    # one close evaluation records close in located-PoP order.  Open
+    # (end=None) records only appear after a finalize and sort last.
+    end = record["end"]
+    return (end is None, end if end is not None else 0.0, record["start"],
+            record["located_pop"])
+
+
+def _pop_of(pop_json: list) -> "object":
+    from repro.core.serde import pop_from_json
+
+    return pop_from_json(pop_json)
+
+
+# ----------------------------------------------------------------------
+# Layout conversion
+# ----------------------------------------------------------------------
+def convert_pipeline_state(state: dict, from_shards: int, to_shards: int) -> dict:
+    """Convert a pipeline document between shard layouts.
+
+    ``0`` means the linear layout (also written by the shard-process
+    runtime); ``N >= 2`` the thread-sharded layout with N chains.
+    Same-layout conversion is the identity.
+    """
+    if from_shards == to_shards:
+        return state
+    linear = state if from_shards == 0 else linearize_pipeline_state(state)
+    if to_shards == 0:
+        return linear
+    return shard_pipeline_state(linear, to_shards)
+
+
+def linearize_pipeline_state(state: dict) -> dict:
+    """Merge a sharded pipeline document into the linear canonical form.
+
+    Every merge is deterministic under an explicit key: classification
+    windows interleave by (bin_start, PoP, AS) — the monitor's
+    documented emission order, so the merged window reproduces the
+    linear chain's insertion order — and record lists interleave by
+    close time then located PoP, the order the linear record stage
+    appends them.  Two observability-only fields do not survive the
+    round trip: the shard router's counters (the linear chain has no
+    router) and the per-chain metrics split (folded into one registry).
+    """
+    from repro.pipeline.metrics import PipelineMetrics
+
+    upstream = state["upstream"]
+    chains = state["chains"]
+    stages: dict = {
+        name: upstream["stages"][name] for name in _UPSTREAM_STAGES
+    }
+
+    windows: list[dict] = []
+    log_leftover: list[dict] = []
+    records: list[dict] = []
+    open_records: list = []
+    tracked: list = []
+    watch: list = []
+    for chain in chains:
+        windows.extend(chain["classify"]["window"])
+        log_leftover.extend(chain["classify"]["signal_log"])
+        records.extend(chain["record"]["records"])
+        open_records.extend(chain["record"]["open"])
+        tracked.extend(chain["record"]["tracked"])
+        watch.extend(chain["record"]["watch"])
+    windows.sort(key=signal_json_key)
+    records.sort(key=_record_json_key)
+    open_records.sort(key=lambda item: item[0])
+    tracked.sort(key=lambda item: item[0])
+    watch.sort(key=lambda item: item[0])
+    # The runtime drains per-chain signal logs into the global log at
+    # every batch, so the per-chain leftovers are empty at any barrier;
+    # a hand-edited document could carry entries, which we preserve at
+    # the log tail in PoP order rather than silently dropping.
+    log_leftover.sort(key=lambda c: c["pop"])
+    stages["classify"] = {
+        "signal_log": list(state["signal_log"]) + log_leftover,
+        "window": windows,
+    }
+    stages["localise"] = {}
+    stages["validate"] = {}
+    stages["record"] = {
+        "records": records,
+        "open": open_records,
+        "tracked": tracked,
+        "watch": watch,
+    }
+
+    metrics = PipelineMetrics()
+    metrics.load_state(upstream["metrics"])
+    metrics.stages.pop("route", None)
+    scratch = PipelineMetrics()
+    for chain in chains:
+        scratch.load_state(chain["metrics"])
+        metrics.absorb(scratch)
+    return {"stages": stages, "metrics": metrics.state_dict()}
+
+
+def shard_pipeline_state(state: dict, shards: int) -> dict:
+    """Split a linear pipeline document across N shard chains.
+
+    The split is the runtime's own routing: classification-window
+    signals and record lifecycle entries go to the chain owning their
+    (located) PoP under the stable hash.  The router's counters start
+    at zero (the linear document has no router), and the merged
+    downstream metrics land on chain 0 so aggregate snapshots are
+    preserved.
+    """
+    from repro.pipeline.metrics import PipelineMetrics
+
+    stages = state["stages"]
+    upstream_metrics = PipelineMetrics()
+    upstream_metrics.load_state(state["metrics"])
+    chain0_metrics = PipelineMetrics()
+    for name in _CHAIN_STAGES:
+        entry = upstream_metrics.stages.pop(name, None)
+        if entry is not None:
+            handle = chain0_metrics.stage(name)
+            handle.fed = entry.fed
+            handle.emitted = entry.emitted
+            handle.seconds = entry.seconds
+    upstream_metrics.stage("route")
+
+    def shard_of_json(pop_json: list) -> int:
+        return partition_of(_pop_of(pop_json), shards)
+
+    chains = []
+    for index in range(shards):
+        chains.append(
+            {
+                "metrics": (
+                    chain0_metrics if index == 0 else PipelineMetrics()
+                ).state_dict(),
+                "classify": {
+                    "signal_log": [],
+                    "window": [
+                        s
+                        for s in stages["classify"]["window"]
+                        if shard_of_json(s["pop"]) == index
+                    ],
+                },
+                "localise": {},
+                "validate": {},
+                "record": {
+                    "records": [
+                        r
+                        for r in stages["record"]["records"]
+                        if shard_of_json(r["located_pop"]) == index
+                    ],
+                    "open": [
+                        item
+                        for item in stages["record"]["open"]
+                        if shard_of_json(item[0]) == index
+                    ],
+                    "tracked": [
+                        item
+                        for item in stages["record"]["tracked"]
+                        if shard_of_json(item[0]) == index
+                    ],
+                    "watch": [
+                        item
+                        for item in stages["record"]["watch"]
+                        if shard_of_json(item[0]) == index
+                    ],
+                },
+            }
+        )
+    return {
+        "upstream": {
+            "stages": {
+                **{name: stages[name] for name in _UPSTREAM_STAGES},
+                "route": {"batches_routed": 0, "signals_routed": 0},
+            },
+            "metrics": upstream_metrics.state_dict(),
+        },
+        "chains": chains,
+        "signal_log": list(stages["classify"]["signal_log"]),
+    }

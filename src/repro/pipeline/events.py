@@ -116,10 +116,19 @@ class LocatedBatch:
 
 @dataclass
 class OutageCandidate:
-    """A located, validated signal ready for record lifecycle handling."""
+    """A located, validated signal ready for record lifecycle handling.
+
+    ``diverted_keys`` carries the signal PoP's just-diverted path keys
+    when the candidate crosses a monitor-partition boundary (the
+    shard-process runtime ships them with the candidate, because the
+    receiving record stage's monitor partition does not own the signal
+    PoP's ``last_diverted`` view).  ``None`` means "read the live
+    monitor", which the in-process chains do.
+    """
 
     classification: SignalClassification
     located: PoP
     method: str
     outcome: ValidationOutcome
     city_scope: str | None = None
+    diverted_keys: frozenset | None = None

@@ -64,6 +64,7 @@ import traceback
 from typing import Any, Iterable
 
 from repro.core.serde import element_from_wire, element_to_wire
+from repro.pipeline.checkpoint import CheckpointableChain
 from repro.pipeline.metrics import PipelineMetrics
 from repro.pipeline.sharding import ShardedStagePipeline
 
@@ -678,3 +679,1076 @@ def build_process_kepler_pipeline(
     return ProcessKeplerPipeline(
         ProcessStagePipeline(inner, workers=workers, batch_size=batch_size)
     )
+
+
+# ======================================================================
+# Shard-process runtime: end-to-end worker chains, no singleton monitor
+# ======================================================================
+#
+# The tagging fan-out above still funnels every TaggedPath into one
+# monitor in the driver — the last order-dependent singleton on the hot
+# path.  The shard-process runtime removes it: every worker process
+# runs a *complete* chain
+#
+#     tagging -> monitor partition -> classification -> localisation
+#             -> validation -> record
+#
+# over the same broadcast element stream.  Worker *w*'s monitor is a
+# ``PartitionedMonitor(partitions=N, local=(w,))`` — it maintains the
+# baseline, pending and divergence state of exactly the PoPs with
+# ``partition_of(pop, N) == w`` and computes exactly partition *w*'s
+# share of every bin close; classification, localisation and
+# validation then run on that partial locally (the shard hash equals
+# the partition hash, so the worker owns its signals end to end).
+#
+# The driver keeps only what is inherently global:
+#
+# * **ingest** (admission + the stream clock) and the broadcast fan-out
+#   of encoded element batches to every worker;
+# * the **probe cache and validator** — workers probe through a
+#   blocking driver round trip, preserving the at-most-one-probe-per-
+#   (PoP, bin) invariant exactly (the cache document stays identical to
+#   the linear chain's);
+# * the **per-bin sync** (the only cross-shard hops): bins close in
+#   lockstep on every worker (same stream, same clock), and each close
+#   runs a fixed phase protocol —
+#
+#       1. every worker reports its partial signals       ("bin")
+#       2. driver: zero signals globally -> skip; else "go"
+#       3. workers classify their partials; driver unions
+#          the concurrent-PoP sets (§4.3)                 ("cls"/"cctx")
+#       4. workers localise; driver merges epicenters and
+#          computes the city scope (§4.3)                 ("loc"/"city")
+#       5. workers validate; driver merges the candidates,
+#          sorts them by signal PoP (the linear emission
+#          order) and broadcasts them                     ("val"/"cand")
+#       6. every worker applies the full candidate list to
+#          its record stage, then the bin marker
+#
+# * the deterministic merges of the global views (signal log, reject
+#   list), sorted per phase by PoP exactly like the thread-sharded
+#   runtime.
+#
+# The **record lifecycle is replicated, not sharded**: every worker
+# applies the identical, globally-ordered candidate sequence, so all
+# record stages (and their return-tracking state, which lives in the
+# worker's monitor partition and is fed by the full broadcast stream)
+# are byte-identical replicas.  The record stage is the pipeline's
+# cheapest stage by orders of magnitude, and replication removes every
+# cross-partition monitor read a located-elsewhere record would
+# otherwise need — candidates carry their signal PoP's diverted keys
+# across the partition boundary (``OutageCandidate.diverted_keys``).
+#
+# Checkpoints compose the **linear canonical document**: worker 0's
+# tagging/record states (replicas), the merged monitor partitions
+# (`merge_monitor_states`), the windows merged under the documented
+# signal sort key, and the driver's ingest/cache/reject/log state — so
+# a shard-process snapshot restores into any runtime and vice versa.
+#
+# Determinism caveat: the validator is treated as a pure function of
+# (PoP, time) — ``validate`` is memoised globally (exactly like every
+# other runtime) and ``restored_fraction`` is memoised per bin round,
+# because the replicated record stages read it once each.
+
+_ROUND_SKIP = "skip"
+_ROUND_GO = "go"
+
+
+class _RemoteValidationCache:
+    """Worker-side probe proxy: at-most-once semantics live in the driver.
+
+    ``validate`` is a blocking driver round trip (the driver owns the
+    real :class:`~repro.pipeline.validation.ValidationCache`); probes
+    only ever happen inside a sync-round phase or a finalize, when the
+    driver is serving.  ``prune`` is a no-op — the driver prunes its
+    cache at every advancing round.
+    """
+
+    def __init__(self) -> None:
+        self.wid: int | None = None
+        self._ret_q = None
+        self._sync_q = None
+
+    def connect(self, wid: int, ret_q, sync_q) -> None:
+        self.wid = wid
+        self._ret_q = ret_q
+        self._sync_q = sync_q
+
+    def validate(self, pop, time_):
+        self._ret_q.put(("probe", self.wid, pop, time_))
+        kind, payload = self._sync_q.get()
+        if kind != "probe":  # pragma: no cover - protocol guard
+            raise RuntimeError(f"expected probe reply, got {kind!r}")
+        return payload
+
+    def prune(self, older_than: float) -> None:
+        del older_than
+
+
+class _RemoteValidator:
+    """Worker-side view of the driver's validator (record lifecycle).
+
+    Only ``restored_fraction`` is exercised by the record stage; it is
+    driver-memoised per (PoP, time) so the N record replicas observe
+    one consistent read per evaluation.
+    """
+
+    def __init__(self) -> None:
+        self.wid: int | None = None
+        self._ret_q = None
+        self._sync_q = None
+
+    def connect(self, wid: int, ret_q, sync_q) -> None:
+        self.wid = wid
+        self._ret_q = ret_q
+        self._sync_q = sync_q
+
+    def restored_fraction(self, pop, time_):
+        self._ret_q.put(("rf", self.wid, pop, time_))
+        kind, payload = self._sync_q.get()
+        if kind != "rf":  # pragma: no cover - protocol guard
+            raise RuntimeError(f"expected rf reply, got {kind!r}")
+        return payload
+
+    def validate(self, pop, time_):  # pragma: no cover - not reachable
+        raise RuntimeError(
+            "shard workers validate through the driver probe cache"
+        )
+
+
+class _ShardWorkerChain:
+    """The stage set one shard worker owns (built pre-fork)."""
+
+    def __init__(
+        self,
+        wid: int,
+        tagging,
+        monitoring,
+        classification,
+        localisation,
+        validation,
+        record,
+        rejected: list,
+        registry: PipelineMetrics,
+        cache: _RemoteValidationCache,
+        validator: _RemoteValidator,
+    ) -> None:
+        self.wid = wid
+        self.tagging = tagging
+        self.monitoring = monitoring
+        self.classification = classification
+        self.localisation = localisation
+        self.validation = validation
+        self.record = record
+        self.rejected = rejected
+        self.registry = registry
+        self.cache = cache
+        self.validator = validator
+
+
+def _shard_worker_loop(chain: _ShardWorkerChain, in_q, sync_q, ret_q) -> None:
+    """One end-to-end shard worker: full chain over the broadcast stream."""
+    from repro.pipeline.events import BinAdvanced, SignalBatch
+
+    wid = chain.wid
+    chain.cache.connect(wid, ret_q, sync_q)
+    chain.validator.connect(wid, ret_q, sync_q)
+    monitor = chain.monitoring.monitor
+    tag_handle = chain.registry.stage(chain.tagging.name)
+    mon_handle = chain.registry.stage(chain.monitoring.name)
+    round_id = 0
+
+    def metered(stage, handle, element):
+        began = time.perf_counter()
+        out = stage.feed(element)
+        handle.seconds += time.perf_counter() - began
+        handle.fed += 1
+        handle.emitted += len(out)
+        return out
+
+    def feed_stage(stage, element):
+        return metered(stage, chain.registry.stage(stage.name), element)
+
+    def drain_rejects() -> list:
+        fresh = chain.rejected[:]
+        chain.rejected.clear()
+        return fresh
+
+    def await_phase(expected: str):
+        kind, *payload = sync_q.get()
+        if kind != expected:  # pragma: no cover - protocol guard
+            raise RuntimeError(
+                f"worker {wid} expected {expected!r}, got {kind!r}"
+            )
+        return payload
+
+    def sync_round(signals: list, advanced: float | None) -> None:
+        nonlocal round_id
+        round_id += 1
+        ret_q.put(("bin", wid, round_id, signals, advanced))
+        mode, now_bin = await_phase("binctl")
+        if mode == _ROUND_GO:
+            outs = feed_stage(
+                chain.classification,
+                SignalBatch(signals=signals, now_bin=now_bin),
+            )
+            batch = outs[0] if outs else None
+            log = chain.classification.signal_log[:]
+            chain.classification.signal_log.clear()
+            ret_q.put(
+                (
+                    "cls",
+                    wid,
+                    round_id,
+                    log,
+                    set(batch.concurrent) if batch is not None else None,
+                )
+            )
+            (concurrent,) = await_phase("cctx")
+            if concurrent is not None:
+                located = None
+                if batch is not None:
+                    batch.concurrent = set(concurrent)
+                    louts = feed_stage(chain.localisation, batch)
+                    located = louts[0] if louts else None
+                ret_q.put(
+                    (
+                        "loc",
+                        wid,
+                        round_id,
+                        list(located.results) if located is not None else [],
+                        drain_rejects(),
+                    )
+                )
+                (city,) = await_phase("city")
+                candidates: list = []
+                if located is not None:
+                    located.city_scope = city
+                    candidates = feed_stage(chain.validation, located)
+                    for candidate in candidates:
+                        candidate.diverted_keys = frozenset(
+                            monitor.last_diverted.get(
+                                candidate.classification.pop, ()
+                            )
+                        )
+                ret_q.put(("val", wid, round_id, candidates, drain_rejects()))
+                (ordered,) = await_phase("cand")
+                for candidate in ordered:
+                    feed_stage(chain.record, candidate)
+        if advanced is not None:
+            marker = BinAdvanced(now=advanced)
+            feed_stage(chain.validation, marker)  # remote prune: no-op
+            feed_stage(chain.record, marker)
+        ret_q.put(("rdone", wid, round_id))
+
+    def feed_element(wire) -> None:
+        element = element_from_wire(wire)
+        began = time.perf_counter()
+        tagged_outs = chain.tagging.feed(element)
+        tag_handle.seconds += time.perf_counter() - began
+        tag_handle.fed += 1
+        tag_handle.emitted += len(tagged_outs)
+        for out in tagged_outs:
+            began = time.perf_counter()
+            mouts = chain.monitoring.feed(out)
+            mon_handle.seconds += time.perf_counter() - began
+            mon_handle.fed += 1
+            mon_handle.emitted += len(mouts)
+            if not mouts:
+                continue
+            signals: list = []
+            advanced: float | None = None
+            for mout in mouts:
+                if isinstance(mout, SignalBatch):
+                    signals = mout.signals
+                elif isinstance(mout, BinAdvanced):
+                    advanced = mout.now
+            sync_round(signals, advanced)
+
+    try:
+        while True:
+            msg = in_q.get()
+            kind = msg[0]
+            if kind == "batch":
+                for wire in _unpack(msg[1], msg[2]):
+                    feed_element(wire)
+            elif kind == "flush":
+                began = time.perf_counter()
+                flushed = chain.monitoring.flush()
+                mon_handle.seconds += time.perf_counter() - began
+                mon_handle.emitted += len(flushed)
+                signals = flushed[0].signals if flushed else []
+                sync_round(signals, None)
+                ret_q.put(("fdone", wid, msg[1]))
+            elif kind == "finalize":
+                records = chain.record.finalize(msg[2])
+                ret_q.put(("final", wid, msg[1], records))
+            elif kind == "ctl":
+                # A bare barrier ack (sections=None) proves quiescence;
+                # state ships only section by section as the driver
+                # asked — serialising every worker's monitor baseline
+                # on every drain would make routine reads (a primed
+                # counter, the signal log) scale with detector state.
+                sections = msg[2]
+                info = None
+                if sections is not None:
+                    info = {}
+                    for section in sections:
+                        if section == "tagging":
+                            info[section] = chain.tagging.state_dict()
+                        elif section == "monitoring":
+                            info[section] = chain.monitoring.state_dict()
+                        elif section == "classify":
+                            info[section] = chain.classification.state_dict()
+                        elif section == "record":
+                            info[section] = chain.record.state_dict()
+                        elif section == "metrics":
+                            info[section] = chain.registry.state_dict()
+                        elif section == "primed":
+                            info[section] = chain.monitoring.primed
+                ret_q.put(("ack", msg[1], wid, info))
+            elif kind == "load":
+                doc = msg[1]
+                round_id = 0
+                chain.registry.reset()
+                if doc["metrics"] is not None:
+                    chain.registry.load_state(doc["metrics"])
+                chain.tagging.load_state(doc["tagging"])
+                chain.monitoring.load_state(doc["monitoring"])
+                chain.classification.load_state(doc["classify"])
+                chain.record.load_state(doc["record"])
+                chain.rejected.clear()
+            elif kind == "stop":
+                return
+    except Exception:
+        ret_q.put(
+            (
+                "err",
+                f"shard worker {wid} failed:\n{traceback.format_exc()}",
+            )
+        )
+
+
+class ShardProcessPipeline:
+    """Driver runtime for N end-to-end shard worker processes.
+
+    Presents the ``StagePipeline`` surface (``feed`` / ``feed_many`` /
+    ``flush`` / ``state_dict`` / ``load_state``).  The driver runs
+    ingest, broadcasts encoded element batches to every worker, serves
+    probe / restored-fraction reads against the shared cache and
+    validator, and drives the per-bin sync-round phase protocol (see
+    the module commentary above).  ``state_dict`` composes the linear
+    canonical pipeline document from the worker states.
+    """
+
+    def __init__(
+        self,
+        chains: list[_ShardWorkerChain],
+        ingest,
+        registry: PipelineMetrics,
+        cache,
+        validator,
+        colo,
+        rejected: list,
+        batch_size: int = DEFAULT_BATCH,
+    ) -> None:
+        if len(chains) < 2:
+            raise ValueError("the shard-process runtime needs >= 2 workers")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if not fork_available():
+            raise RuntimeError(
+                "ShardProcessPipeline requires the 'fork' start method"
+                " (unavailable on this platform); use the in-process"
+                " runtime instead"
+            )
+        self.chains = chains
+        self.workers = len(chains)
+        self.batch_size = batch_size
+        self._ingest = ingest
+        self._registry = registry
+        self._ingest_handle = registry.stage(ingest.name)
+        self.cache = cache
+        self.validator = validator
+        self.colo = colo
+        #: chronological global views, merged deterministically per phase.
+        self.signal_log: list = []
+        self.rejected = rejected
+
+        ctx = multiprocessing.get_context("fork")
+        self._in_qs = [ctx.Queue(TAG_QUEUE_DEPTH) for _ in chains]
+        self._sync_qs = [ctx.Queue() for _ in chains]
+        self._ret_q = ctx.Queue()
+        self._procs = [
+            ctx.Process(
+                target=_shard_worker_loop,
+                args=(chain, self._in_qs[w], self._sync_qs[w], self._ret_q),
+                daemon=True,
+                name=f"kepler-shard-{w}",
+            )
+            for w, chain in enumerate(chains)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._buffer: list[list] = []
+        self._bid = 0
+        self._fid = 0
+        #: per-round phase state, keyed by round id (lockstep workers
+        #: mean at most one round is mid-phase; trailing "rdone"
+        #: collection may briefly keep a second entry alive).
+        self._rounds: dict[int, dict] = {}
+        self._rf_memo: dict[tuple, float | None] = {}
+        #: router-equivalent counters (observability parity).
+        self.batches_routed = 0
+        self.signals_routed = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # StagePipeline-compatible surface
+    # ------------------------------------------------------------------
+    def feed(self, element: Any) -> list[Any]:
+        began = time.perf_counter()
+        outs = self._ingest.feed(element)
+        handle = self._ingest_handle
+        handle.seconds += time.perf_counter() - began
+        handle.fed += 1
+        handle.emitted += len(outs)
+        for out in outs:
+            self._buffer.append(element_to_wire(out))
+        if len(self._buffer) >= self.batch_size:
+            self._ship()
+        return []
+
+    def feed_many(self, elements: Iterable[Any]) -> list[Any]:
+        ingest = self._ingest.feed
+        handle = self._ingest_handle
+        encode = element_to_wire
+        size = self.batch_size
+        fed = 0
+        emitted = 0
+        began = time.perf_counter()
+        for element in elements:
+            fed += 1
+            outs = ingest(element)
+            emitted += len(outs)
+            for out in outs:
+                self._buffer.append(encode(out))
+            if len(self._buffer) >= size:
+                handle.seconds += time.perf_counter() - began
+                self._ship()
+                began = time.perf_counter()
+        handle.seconds += time.perf_counter() - began
+        handle.fed += fed
+        handle.emitted += emitted
+        self._pump()
+        return []
+
+    def flush(self) -> list[Any]:
+        """Drain the stream, then run the end-of-stream trailing-bin round."""
+        self._ship()
+        self._fid += 1
+        fid = self._fid
+        for in_q in self._in_qs:
+            self._put_checked(in_q, ("flush", fid))
+        done = 0
+        while done < self.workers:
+            for msg in self._pump(block=True):
+                if msg[0] == "fdone" and msg[2] == fid:
+                    done += 1
+        return []
+
+    # ------------------------------------------------------------------
+    # Shipping and the message pump
+    # ------------------------------------------------------------------
+    def _ship(self) -> None:
+        if not self._buffer:
+            return
+        message = ("batch", *_pack(self._buffer))
+        self._buffer = []
+        for in_q in self._in_qs:
+            self._put_checked(in_q, message)
+        self._pump()
+
+    def _put_checked(self, in_q, message) -> None:
+        """Put that keeps serving round traffic while a queue is full.
+
+        A worker with a full queue may be parked inside a sync-round
+        phase or a probe read, waiting on the *driver* — so the wait
+        here blocks on the return queue (where service requests
+        arrive, waking immediately), never on the input queue, and
+        retries the put after each service pass.
+        """
+        while True:
+            try:
+                in_q.put_nowait(message)
+                return
+            except queue_mod.Full:
+                self._pump(block=True, timeout=0.05)
+                self._check_alive()
+
+    def _check_alive(self) -> None:
+        dead = [p.name for p in self._procs if not p.is_alive()]
+        if dead:
+            self.close()
+            raise RuntimeError(
+                f"shard worker(s) died without a result: {dead}"
+            )
+
+    def _round(self, rid: int) -> dict:
+        state = self._rounds.get(rid)
+        if state is None:
+            state = self._rounds[rid] = {
+                "bin": {},
+                "cls": {},
+                "loc": {},
+                "val": {},
+                "rdone": set(),
+                "advanced": None,
+            }
+        return state
+
+    def _broadcast_sync(self, message) -> None:
+        for sync_q in self._sync_qs:
+            sync_q.put(message)
+
+    def _pump(self, block: bool = False, timeout: float = WAIT_POLL_S) -> list:
+        """Drain the return queue, driving round phases and serving reads.
+
+        Returns the control messages ("ack", "fdone", "final") picked
+        up along the way; everything else is handled internally.
+        """
+        from repro.core.monitor import pop_sort_key
+        from repro.pipeline.localisation import common_city
+        from repro.pipeline.validation import PRUNE_HORIZON_S
+
+        out: list = []
+        while True:
+            try:
+                msg = (
+                    self._ret_q.get(timeout=timeout)
+                    if block
+                    else self._ret_q.get_nowait()
+                )
+            except queue_mod.Empty:
+                if block:
+                    # One bounded wait per call: callers that need more
+                    # messages loop, callers retrying a put must not
+                    # hang on a quiet return queue.
+                    self._check_alive()
+                return out
+            block = False  # made progress: drain the rest lazily
+            kind = msg[0]
+            if kind == "bin":
+                _, wid, rid, signals, advanced = msg
+                state = self._round(rid)
+                state["bin"][wid] = signals
+                if advanced is not None:
+                    state["advanced"] = advanced
+                if len(state["bin"]) == self.workers:
+                    merged = [s for w in sorted(state["bin"]) for s in state["bin"][w]]
+                    if merged:
+                        self.batches_routed += 1
+                        self.signals_routed += len(merged)
+                        now_bin = max(s.bin_start for s in merged)
+                        self._broadcast_sync(("binctl", _ROUND_GO, now_bin))
+                    else:
+                        self._broadcast_sync(("binctl", _ROUND_SKIP, None))
+            elif kind == "cls":
+                _, wid, rid, log, concurrent = msg
+                state = self._round(rid)
+                state["cls"][wid] = (log, concurrent)
+                if len(state["cls"]) == self.workers:
+                    fresh = [
+                        c
+                        for w in sorted(state["cls"])
+                        for c in state["cls"][w][0]
+                    ]
+                    fresh.sort(key=lambda c: pop_sort_key(c.pop))
+                    self.signal_log.extend(fresh)
+                    union: set | None = None
+                    for _, concurrent_w in state["cls"].values():
+                        if concurrent_w is not None:
+                            union = (union or set()) | concurrent_w
+                    self._broadcast_sync(("cctx", union))
+            elif kind == "loc":
+                _, wid, rid, results, rejects = msg
+                state = self._round(rid)
+                state["loc"][wid] = (results, rejects)
+                if len(state["loc"]) == self.workers:
+                    self._merge_rejects(
+                        [r for _, rejects_w in state["loc"].values() for r in rejects_w]
+                    )
+                    merged = [
+                        located
+                        for w in sorted(state["loc"])
+                        for located in state["loc"][w][0]
+                    ]
+                    self._broadcast_sync(
+                        ("city", common_city(merged, self.colo))
+                    )
+            elif kind == "val":
+                _, wid, rid, candidates, rejects = msg
+                state = self._round(rid)
+                state["val"][wid] = (candidates, rejects)
+                if len(state["val"]) == self.workers:
+                    self._merge_rejects(
+                        [r for _, rejects_w in state["val"].values() for r in rejects_w]
+                    )
+                    ordered = [
+                        c
+                        for w in sorted(state["val"])
+                        for c in state["val"][w][0]
+                    ]
+                    ordered.sort(
+                        key=lambda c: pop_sort_key(c.classification.pop)
+                    )
+                    self._broadcast_sync(("cand", ordered))
+            elif kind == "rdone":
+                _, wid, rid = msg
+                state = self._round(rid)
+                state["rdone"].add(wid)
+                if len(state["rdone"]) == self.workers:
+                    if state["advanced"] is not None:
+                        self.cache.prune(state["advanced"] - PRUNE_HORIZON_S)
+                    self._rf_memo.clear()
+                    del self._rounds[rid]
+            elif kind == "probe":
+                _, wid, pop, time_ = msg
+                self._sync_qs[wid].put(
+                    ("probe", self.cache.validate(pop, time_))
+                )
+            elif kind == "rf":
+                _, wid, pop, time_ = msg
+                memo_key = (pop, time_)
+                if memo_key not in self._rf_memo:
+                    self._rf_memo[memo_key] = self.validator.restored_fraction(
+                        pop, time_
+                    )
+                self._sync_qs[wid].put(("rf", self._rf_memo[memo_key]))
+            elif kind == "err":
+                detail = msg[1]
+                self.close()
+                raise RuntimeError(f"pipeline worker failed:\n{detail}")
+            else:
+                out.append(msg)
+        return out
+
+    def _merge_rejects(self, fresh: list) -> None:
+        from repro.core.monitor import pop_sort_key
+
+        if fresh:
+            fresh.sort(key=lambda c: pop_sort_key(c.pop))
+            self.rejected.extend(fresh)
+
+    # ------------------------------------------------------------------
+    # Drain barrier and worker-state collection
+    # ------------------------------------------------------------------
+    #: Worker state sections a checkpoint composition needs.
+    FULL_STATE = ("tagging", "monitoring", "classify", "record", "metrics")
+
+    def sync(
+        self, sections: tuple[str, ...] | None = None
+    ) -> list[dict] | None:
+        """Quiesce every worker, optionally collecting state sections.
+
+        With ``sections=None`` the barrier is bare — it proves
+        quiescence and returns ``None`` without serialising any worker
+        state.  Otherwise the named sections of every worker's state
+        come back in wid order (see the worker's ``"ctl"`` handler for
+        the section vocabulary).
+        """
+        if self._closed:
+            raise RuntimeError("pipeline is closed")
+        self._ship()
+        self._bid += 1
+        bid = self._bid
+        for in_q in self._in_qs:
+            self._put_checked(in_q, ("ctl", bid, sections))
+        acks: list = []
+        while len(acks) < self.workers:
+            acks.extend(
+                msg
+                for msg in self._pump(block=True)
+                if msg[0] == "ack" and msg[1] == bid
+            )
+        if sections is None:
+            return None
+        return [info for _, _, wid, info in sorted(acks, key=lambda a: a[2])]
+
+    def finalize(self, end_time: float | None) -> list:
+        """Run the record-stage finalize on every (replica) worker.
+
+        Ships the buffered element tail first, so a direct
+        ``finalize_records`` call (without a prior ``flush``) still
+        covers every element ever fed.
+        """
+        self._ship()
+        self._fid += 1
+        fid = self._fid
+        for in_q in self._in_qs:
+            self._put_checked(in_q, ("finalize", fid, end_time))
+        finals: dict[int, list] = {}
+        while len(finals) < self.workers:
+            for msg in self._pump(block=True):
+                if msg[0] == "final" and msg[2] == fid:
+                    finals[msg[1]] = msg[3]
+        records = finals[0]
+        for wid in range(1, self.workers):
+            if finals[wid] != records:
+                raise RuntimeError(
+                    "record replicas diverged at finalize: worker"
+                    f" {wid} disagrees with worker 0"
+                )
+        return records
+
+    # ------------------------------------------------------------------
+    # Checkpointing: compose/distribute the linear canonical document
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        from repro.core.monitor import merge_monitor_states
+        from repro.core.serde import classification_to_json
+        from repro.pipeline.checkpoint import signal_json_key
+
+        infos = self.sync(self.FULL_STATE)
+        window = [
+            s for info in infos for s in info["classify"]["window"]
+        ]
+        window.sort(key=signal_json_key)
+        stages = {
+            "ingest": self._ingest.state_dict(),
+            "tagging": infos[0]["tagging"],
+            "monitor": {
+                "primed": infos[0]["monitoring"]["primed"],
+                "monitor": merge_monitor_states(
+                    [info["monitoring"]["monitor"] for info in infos]
+                ),
+            },
+            "classify": {
+                "signal_log": [
+                    classification_to_json(c) for c in self.signal_log
+                ],
+                "window": window,
+            },
+            "localise": {},
+            "validate": {},
+            "record": infos[0]["record"],
+        }
+        return {
+            "stages": stages,
+            "metrics": self._compose_metrics(infos).state_dict(),
+        }
+
+    def _compose_metrics(self, infos: list[dict]) -> PipelineMetrics:
+        """One registry over driver + workers.
+
+        Ingest is driver-side; tagging, monitor and record counters are
+        per-worker replicas of the same logical work (take worker 0);
+        the sharded classify/localise/validate stages sum.  Bin gauges:
+        closes are lockstep (count from worker 0), the population
+        gauges are per-partition and sum to the global population, and
+        close latencies sum (aggregate CPU across partitions).
+        """
+        composed = PipelineMetrics()
+        for name in (
+            "ingest", "tagging", "monitor",
+            "classify", "localise", "validate", "record",
+        ):
+            composed.stage(name)
+        composed.absorb(self._registry)
+        registries = []
+        for info in infos:
+            registry = PipelineMetrics()
+            registry.load_state(info["metrics"])
+            registries.append(registry)
+        for name in ("tagging", "monitor", "record"):
+            entry = registries[0].stages.get(name)
+            if entry is not None:
+                handle = composed.stage(name)
+                handle.fed = entry.fed
+                handle.emitted = entry.emitted
+                handle.seconds = entry.seconds
+        for name in ("classify", "localise", "validate"):
+            handle = composed.stage(name)
+            for registry in registries:
+                entry = registry.stages.get(name)
+                if entry is not None:
+                    handle.fed += entry.fed
+                    handle.emitted += entry.emitted
+                    handle.seconds += entry.seconds
+        bins = composed.bins
+        bins.count = registries[0].bins.count
+        for registry in registries:
+            bins.total_latency_s += registry.bins.total_latency_s
+            bins.max_latency_s = max(
+                bins.max_latency_s, registry.bins.max_latency_s
+            )
+            bins.last_baseline_entries += registry.bins.last_baseline_entries
+            bins.last_pending_entries += registry.bins.last_pending_entries
+        return composed
+
+    def load_state(self, state: dict) -> None:
+        """Distribute a linear pipeline document across the workers."""
+        from repro.core.monitor import partition_of
+        from repro.core.serde import classification_from_json, pop_from_json
+
+        self.sync()  # quiesce in-flight batches first
+        stages = state["stages"]
+        self._ingest.load_state(stages["ingest"])
+        self.signal_log[:] = [
+            classification_from_json(c)
+            for c in stages["classify"]["signal_log"]
+        ]
+        self._rounds.clear()
+        self._rf_memo.clear()
+        # The driver registry keeps only the ingest entry; everything
+        # else lives in (and is re-composed from) the worker registries.
+        doc_metrics = PipelineMetrics()
+        doc_metrics.load_state(state["metrics"])
+        self._registry.reset()
+        ingest_entry = doc_metrics.stages.get("ingest")
+        if ingest_entry is not None:
+            handle = self._registry.stage("ingest")
+            handle.fed = ingest_entry.fed
+            handle.emitted = ingest_entry.emitted
+            handle.seconds = ingest_entry.seconds
+        worker0_metrics = {
+            "stages": [
+                [m.name, m.fed, m.emitted, m.seconds]
+                for m in doc_metrics.stages.values()
+                if m.name != "ingest"
+            ],
+            "bins": state["metrics"]["bins"],
+        }
+        for wid, in_q in enumerate(self._in_qs):
+            window = [
+                s
+                for s in stages["classify"]["window"]
+                if partition_of(pop_from_json(s["pop"]), self.workers) == wid
+            ]
+            self._put_checked(
+                in_q,
+                (
+                    "load",
+                    {
+                        "tagging": stages["tagging"],
+                        "monitoring": stages["monitor"],
+                        "classify": {"signal_log": [], "window": window},
+                        "record": stages["record"],
+                        "metrics": worker0_metrics if wid == 0 else None,
+                    },
+                ),
+            )
+        # A barrier both orders the loads before any later batch and
+        # confirms the workers applied them.
+        self.sync()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for in_q in self._in_qs:
+            try:
+                in_q.put_nowait(("stop",))
+            except queue_mod.Full:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for q in (*self._in_qs, *self._sync_qs, self._ret_q):
+            q.cancel_join_thread()
+            q.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardProcessPipeline(workers={self.workers},"
+            f" batch={self.batch_size})"
+        )
+
+
+class _MonitoringView:
+    """Facade stand-in for the monitoring stage of the shard workers."""
+
+    def __init__(self, primed: int) -> None:
+        self.primed = primed
+
+
+class ShardProcessKeplerPipeline(CheckpointableChain):
+    """Facade wrapper: the shard-process runtime behind the Kepler surface.
+
+    The record stages are identical replicas across workers, so the
+    record views decode worker 0's state after a drain barrier; the
+    signal log and reject list are the driver's deterministically
+    merged globals; the probe cache is the driver's.
+    """
+
+    def __init__(self, pipeline: ShardProcessPipeline) -> None:
+        self.pipeline = pipeline
+        self.cache = pipeline.cache
+        self._finalized: list | None = None
+
+    # -- facade views ---------------------------------------------------
+    def _worker0_records(self) -> dict:
+        return self.pipeline.sync(("record",))[0]["record"]
+
+    @property
+    def records(self) -> list:
+        from repro.core.serde import record_from_json
+
+        if self._finalized is not None:
+            return self._finalized
+        return [
+            record_from_json(r) for r in self._worker0_records()["records"]
+        ]
+
+    @property
+    def open(self) -> dict:
+        from repro.core.serde import pop_from_json, record_from_json
+
+        return {
+            pop_from_json(pop): record_from_json(record)
+            for pop, record in self._worker0_records()["open"]
+        }
+
+    @property
+    def signal_log(self) -> list:
+        # Driver-side data: only quiescence is needed, not worker state.
+        self.pipeline.sync()
+        return self.pipeline.signal_log
+
+    @property
+    def rejected(self) -> list:
+        # Driver-side, but rejects may still be in flight inside sync
+        # rounds (or element batches in the tail buffer): drain first.
+        self.pipeline.sync()
+        return self.pipeline.rejected
+
+    @property
+    def monitoring(self) -> _MonitoringView:
+        return _MonitoringView(self.pipeline.sync(("primed",))[0]["primed"])
+
+    @property
+    def metrics(self) -> PipelineMetrics:
+        return self.pipeline._compose_metrics(self.pipeline.sync(("metrics",)))
+
+    def checkpoint_parts(self) -> dict:
+        # Quiesce BEFORE the mixin serialises the shared views: the
+        # reject list and probe cache are live driver objects, and
+        # in-flight rounds (or the buffered element tail) may still
+        # append to them — serialising first would snapshot stage
+        # state and shared views from two different stream positions.
+        self.pipeline.sync()
+        return super().checkpoint_parts()
+
+    # -- lifecycle ------------------------------------------------------
+    def finalize_records(self, end_time: float | None = None) -> list:
+        self._finalized = self.pipeline.finalize(end_time)
+        return self._finalized
+
+    def restore_parts(self, parts: dict) -> None:
+        self._finalized = None
+        super().restore_parts(parts)
+
+    def close(self) -> None:
+        self.pipeline.close()
+
+
+def build_shard_process_kepler_pipeline(
+    input_module,
+    monitor,
+    investigator,
+    validator,
+    colo,
+    as2org,
+    min_pop_ases: int,
+    correlation_window_s: float,
+    restore_fraction: float,
+    merge_gap_s: float,
+    drop_rejected: bool = True,
+    enable_investigation: bool = True,
+    metrics: PipelineMetrics | None = None,
+    workers: int = 2,
+    batch_size: int = DEFAULT_BATCH,
+) -> ShardProcessKeplerPipeline:
+    """Wire and fork the end-to-end shard-process runtime.
+
+    ``monitor`` supplies the :class:`~repro.core.monitor.MonitorParams`
+    template; each worker gets its own single-partition coordinator
+    (``PartitionedMonitor(partitions=workers, local=(w,))``) built
+    pre-fork, along with its full downstream chain.  The driver keeps
+    ingest, the probe cache over ``validator``, and the global views.
+    """
+    from repro.core.monitor import PartitionedMonitor
+    from repro.pipeline.classification import ClassificationStage
+    from repro.pipeline.ingest import IngestStage
+    from repro.pipeline.localisation import LocalisationStage
+    from repro.pipeline.monitoring import BinningMonitorStage
+    from repro.pipeline.record import RecordStage
+    from repro.pipeline.tagging import TaggingStage
+    from repro.pipeline.validation import ValidationCache, ValidationStage
+
+    registry = metrics or PipelineMetrics()
+    cache = ValidationCache(validator)
+    rejected: list = []
+    tagging = TaggingStage(input_module)
+    chains: list[_ShardWorkerChain] = []
+    for wid in range(workers):
+        worker_registry = PipelineMetrics()
+        worker_monitor = PartitionedMonitor(
+            monitor.params, partitions=workers, local=(wid,)
+        )
+        remote_cache = _RemoteValidationCache()
+        remote_validator = _RemoteValidator()
+        worker_rejected: list = []
+        chains.append(
+            _ShardWorkerChain(
+                wid=wid,
+                tagging=tagging,
+                monitoring=BinningMonitorStage(
+                    worker_monitor, metrics=worker_registry
+                ),
+                classification=ClassificationStage(
+                    as2org,
+                    min_pop_ases=min_pop_ases,
+                    correlation_window_s=correlation_window_s,
+                ),
+                localisation=LocalisationStage(
+                    investigator,
+                    worker_monitor,
+                    colo,
+                    remote_cache,
+                    enable_investigation=enable_investigation,
+                    rejected=worker_rejected,
+                ),
+                validation=ValidationStage(
+                    remote_cache,
+                    drop_rejected=drop_rejected,
+                    rejected=worker_rejected,
+                ),
+                record=RecordStage(
+                    worker_monitor,
+                    remote_validator,
+                    restore_fraction=restore_fraction,
+                    merge_gap_s=merge_gap_s,
+                ),
+                rejected=worker_rejected,
+                registry=worker_registry,
+                cache=remote_cache,
+                validator=remote_validator,
+            )
+        )
+    runtime = ShardProcessPipeline(
+        chains=chains,
+        ingest=IngestStage(),
+        registry=registry,
+        cache=cache,
+        validator=validator,
+        colo=colo,
+        rejected=rejected,
+        batch_size=batch_size,
+    )
+    return ShardProcessKeplerPipeline(runtime)

@@ -147,7 +147,12 @@ class RecordStage(PassthroughStage):
         elif candidate.outcome is ValidationOutcome.REJECTED:
             record.confirmed_by_dataplane = False
         # Track returns on the signal PoP (where communities are visible).
-        diverted = self.monitor.last_diverted.get(c.pop, set())
+        # A candidate that crossed a monitor-partition boundary carries
+        # the diverted keys itself; otherwise read the live monitor.
+        if candidate.diverted_keys is not None:
+            diverted = candidate.diverted_keys
+        else:
+            diverted = self.monitor.last_diverted.get(c.pop, set())
         if diverted:
             self.monitor.start_tracking(c.pop, set(diverted))
             self._tracked[located].add(c.pop)

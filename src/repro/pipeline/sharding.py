@@ -29,7 +29,6 @@ per-shard record lists into the linear chain's global order.
 from __future__ import annotations
 
 import time
-import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
@@ -39,7 +38,7 @@ from repro.core.dataplane import DataPlaneValidator
 from repro.core.events import OutageRecord
 from repro.core.input import InputModule
 from repro.core.investigation import Investigator
-from repro.core.monitor import OutageMonitor
+from repro.core.monitor import OutageMonitor, partition_of
 from repro.core.signals import SignalClassification
 from repro.docmine.dictionary import PoP
 from repro.pipeline.checkpoint import CheckpointableChain
@@ -65,8 +64,14 @@ from repro.pipeline.validation import ValidationCache, ValidationStage
 
 
 def shard_of(pop: PoP, n_shards: int) -> int:
-    """Stable shard assignment of a PoP (identical across processes)."""
-    return zlib.crc32(str(pop).encode("utf-8")) % n_shards
+    """Stable shard assignment of a PoP (identical across processes).
+
+    The same hash partitions the monitor
+    (:func:`repro.core.monitor.partition_of`), so monitor partition
+    *i* and shard chain *i* always own the same PoP subset — the
+    invariant the shard-process runtime builds on.
+    """
+    return partition_of(pop, n_shards)
 
 
 class ShardRouter(PassthroughStage):

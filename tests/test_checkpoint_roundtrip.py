@@ -6,6 +6,17 @@ restored into a freshly-constructed detector must finish the stream
 with records and signal log identical to an uninterrupted run — on
 two scenario worlds, with and without a data-plane validator, linear
 and sharded.
+
+Two properties cover the partitioned monitor and the layout-free
+document (version 2):
+
+* ``PartitionedMonitor(partitions=n)`` is byte-identical to the
+  singleton monitor for arbitrary partition counts and arbitrary
+  mid-stream checkpoint cuts, including restores into a *different*
+  partition count (the monitor document is canonical);
+* a snapshot written by any shard layout restores into any other
+  (linear <-> sharded, differing shard counts) with identical
+  continued output.
 """
 
 from __future__ import annotations
@@ -90,15 +101,21 @@ def resumed_at(
     params: KeplerParams,
     with_validator: bool,
     cut: int,
+    resume_params: KeplerParams | None = None,
 ) -> tuple[list, list]:
-    """Run to ``cut``, snapshot, JSON round-trip, restore, finish."""
+    """Run to ``cut``, snapshot, JSON round-trip, restore, finish.
+
+    ``resume_params`` restores the document into a detector with a
+    *different* configuration (shard layout, monitor partitioning) —
+    the layout-free checkpoint property.
+    """
     world, snapshot, elements = replay
     first = make_kepler(world, params, with_validator)
     first.prime(snapshot)
     first.process(elements[:cut])
     blob = json.dumps(first.snapshot())
 
-    second = make_kepler(world, params, with_validator)
+    second = make_kepler(world, resume_params or params, with_validator)
     second.restore(json.loads(blob))
     second.process(elements[cut:])
     second.finalize(end_time=END_TIME)
@@ -148,6 +165,79 @@ class TestRoundTripProperties:
         cut = int(frac * len(world_a[2]))
         assert resumed_at(world_a, params, True, cut) == baseline
 
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        partitions=st.integers(min_value=1, max_value=6),
+        restore_partitions=st.integers(min_value=1, max_value=6),
+        frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_partitioned_monitor_matches_singleton_world_a(
+        self, world_a, partitions, restore_partitions, frac
+    ):
+        """PartitionedMonitor(n) == singleton, any n, any cut, any
+        restore partition count (the monitor document is canonical)."""
+        baseline = uninterrupted(world_a, KeplerParams(), True)
+        cut = int(frac * len(world_a[2]))
+        resumed = resumed_at(
+            world_a,
+            KeplerParams(monitor_partitions=partitions),
+            True,
+            cut,
+            resume_params=KeplerParams(
+                monitor_partitions=restore_partitions
+            ),
+        )
+        assert resumed == baseline
+
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        partitions=st.integers(min_value=2, max_value=5),
+        frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_partitioned_monitor_matches_singleton_world_b(
+        self, world_b, partitions, frac
+    ):
+        baseline = uninterrupted(world_b, KeplerParams(), False)
+        cut = int(frac * len(world_b[2]))
+        resumed = resumed_at(
+            world_b,
+            KeplerParams(monitor_partitions=partitions),
+            False,
+            cut,
+        )
+        assert resumed == baseline
+
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        from_shards=st.sampled_from([0, 2, 4]),
+        to_shards=st.sampled_from([0, 2, 3]),
+        frac=st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_cross_layout_restore(self, world_a, from_shards, to_shards, frac):
+        """A snapshot from any shard layout resumes in any other."""
+        baseline = uninterrupted(world_a, KeplerParams(), True)
+        cut = int(frac * len(world_a[2]))
+        resumed = resumed_at(
+            world_a,
+            KeplerParams(shards=from_shards),
+            True,
+            cut,
+            resume_params=KeplerParams(shards=to_shards),
+        )
+        assert resumed == baseline
+
 
 class TestCheckpointDocument:
     def test_snapshot_is_json_serialisable_and_versioned(self, world_a):
@@ -159,7 +249,7 @@ class TestCheckpointDocument:
         blob = json.dumps(document)
         parsed = json.loads(blob)
         assert parsed["format"] == "kepler-checkpoint"
-        assert parsed["version"] == 1
+        assert parsed["version"] == 2
         assert parsed["shards"] == 0
         assert parsed["primed_paths"] == detector.primed_paths
 
@@ -183,13 +273,42 @@ class TestCheckpointDocument:
         with pytest.raises(ValueError, match="version"):
             fresh.restore(document)
 
-    def test_restore_rejects_shard_mismatch(self, world_a):
-        world, _, _ = world_a
+    def test_shard_mismatch_converts_instead_of_rejecting(self, world_a):
+        """A v2 document converts between shard layouts on restore."""
+        world, snapshot, elements = world_a
         detector = make_kepler(world, KeplerParams(shards=4), False)
-        document = detector.snapshot()
+        detector.prime(snapshot)
+        detector.process(elements[: len(elements) // 3])
+        document = json.loads(json.dumps(detector.snapshot()))
         fresh = make_kepler(world, KeplerParams(shards=2), False)
-        with pytest.raises(ValueError, match="shards"):
-            fresh.restore(document)
+        fresh.restore(document)
+        assert (
+            fresh.monitor.total_baseline_entries
+            == detector.monitor.total_baseline_entries
+        )
+
+    def test_partition_layouts_write_identical_documents(self, world_a):
+        """The monitor document is canonical across partition counts."""
+        world, snapshot, elements = world_a
+        documents = []
+        for partitions in (0, 3):
+            detector = make_kepler(
+                world, KeplerParams(monitor_partitions=partitions), False
+            )
+            detector.prime(snapshot)
+            detector.process(elements[: len(elements) // 3])
+            document = detector.snapshot()
+            # Wall-clock metering differs between runs by nature;
+            # everything else must match byte for byte.
+            metrics = document["pipeline"]["metrics"]
+            metrics["stages"] = [
+                [name, fed, emitted]
+                for name, fed, emitted, _ in metrics["stages"]
+            ]
+            metrics["bins"].pop("total_latency_s")
+            metrics["bins"].pop("max_latency_s")
+            documents.append(json.dumps(document, sort_keys=True))
+        assert documents[0] == documents[1]
 
     def test_restore_rejects_foreign_document(self, world_a):
         world, _, _ = world_a

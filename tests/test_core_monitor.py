@@ -213,3 +213,157 @@ class TestParams:
             MonitorParams(t_fail=0.0)
         with pytest.raises(ValueError):
             MonitorParams(t_fail=1.5)
+
+
+class TestEmissionOrder:
+    """close_bin's emission order is an explicit, documented contract:
+    signals sort under signal_sort_key — (PoP kind, PoP id, AS) —
+    regardless of baseline/divergence insertion order.  The
+    partitioned monitor's partial-signal merge relies on it."""
+
+    POPS = [
+        PoP(PoPKind.IXP, "zz-ix"),
+        PoP(PoPKind.FACILITY, "f9"),
+        PoP(PoPKind.CITY, "Vienna"),
+        PoP(PoPKind.FACILITY, "f10"),
+        PoP(PoPKind.IXP, "aa-ix"),
+        PoP(PoPKind.CITY, "Amsterdam"),
+    ]
+
+    def _diverted_monitor(self):
+        """Baselines and divergences installed in adversarial order:
+        PoPs reversed, higher AS numbers first."""
+        monitor = OutageMonitor(MonitorParams())
+        keys = []
+        for p, pop in enumerate(reversed(self.POPS)):
+            for near in (97, 13, 55):
+                for i in range(3):
+                    k = ("rrc00", 100, f"10.{p}.{near}.{i}/32")
+                    keys.append(k)
+                    monitor.prime(
+                        tagged(k, time=0.0, pops=(pop,), near=near, far=near + 1000)
+                    )
+        for k in reversed(keys):
+            monitor.observe(tagged(k, time=10.0, withdraw=True))
+        return monitor
+
+    def test_signals_sorted_under_documented_key(self):
+        from repro.core.monitor import signal_sort_key
+
+        signals = self._diverted_monitor().close_bin()
+        assert len(signals) >= len(self.POPS)
+        assert [signal_sort_key(s) for s in signals] == sorted(
+            signal_sort_key(s) for s in signals
+        )
+        # The key is exactly (kind value, pop id, AS) — pin it so a
+        # refactor cannot silently change the contract.
+        first = signals[0]
+        assert signal_sort_key(first) == (
+            first.pop.kind.value,
+            first.pop.pop_id,
+            first.near_asn,
+        )
+
+    def test_order_is_insertion_independent(self):
+        forward = self._diverted_monitor().close_bin()
+        monitor = OutageMonitor(MonitorParams())
+        for p, pop in enumerate(self.POPS):
+            for near in (13, 55, 97):
+                for i in range(3):
+                    monitor.prime(
+                        tagged(
+                            ("rrc00", 100, f"10.{len(self.POPS) - 1 - p}.{near}.{i}/32"),
+                            time=0.0,
+                            pops=(pop,),
+                            near=near,
+                            far=near + 1000,
+                        )
+                    )
+        for p in range(len(self.POPS)):
+            for near in (13, 55, 97):
+                for i in range(3):
+                    monitor.observe(
+                        tagged(
+                            ("rrc00", 100, f"10.{p}.{near}.{i}/32"),
+                            time=10.0,
+                            withdraw=True,
+                        )
+                    )
+        assert monitor.close_bin() == forward
+
+
+class TestMonitorPartitions:
+    """PartitionedMonitor(n) behaves exactly like the singleton."""
+
+    def _churn(self, monitor):
+        out = []
+        for i in range(12):
+            monitor.prime(
+                tagged(key(i), time=0.0, pops=(POP_F, POP_C), near=10 + i % 3)
+            )
+        for i in range(6):
+            out.extend(
+                monitor.observe(tagged(key(i), time=10.0 + i, withdraw=True))
+            )
+        out.extend(monitor.close_bin())
+        for i in range(6):
+            out.extend(monitor.observe(tagged(key(i), time=70.0 + i)))
+        out.extend(monitor.close_bin())
+        return out
+
+    @pytest.mark.parametrize("partitions", [2, 3, 5])
+    def test_partitioned_signals_match_singleton(self, partitions):
+        from repro.core.monitor import PartitionedMonitor
+
+        single = self._churn(OutageMonitor(MonitorParams()))
+        partitioned = self._churn(
+            PartitionedMonitor(MonitorParams(), partitions=partitions)
+        )
+        assert partitioned == single
+
+    def test_partitions_own_disjoint_pop_subsets(self):
+        from repro.core.monitor import PartitionedMonitor, partition_of
+
+        monitor = PartitionedMonitor(MonitorParams(), partitions=4)
+        for i in range(12):
+            monitor.prime(tagged(key(i), time=0.0, pops=(POP_F, POP_C)))
+        for part in monitor.partitions:
+            for pop in part.baseline:
+                assert partition_of(pop, 4) == part.index
+        assert monitor.baseline_size(POP_F) == 12
+        assert monitor.baseline_size(POP_C) == 12
+        assert monitor.total_baseline_entries == 24
+
+    def test_local_coordinator_computes_its_share(self):
+        from repro.core.monitor import PartitionedMonitor, partition_of
+
+        full = PartitionedMonitor(MonitorParams(), partitions=3)
+        locals_ = [
+            PartitionedMonitor(MonitorParams(), partitions=3, local=(w,))
+            for w in range(3)
+        ]
+        monitors = [full, *locals_]
+        for i in range(9):
+            for m in monitors:
+                m.prime(tagged(key(i), time=0.0, pops=(POP_F, POP_C)))
+        for i in range(9):
+            for m in monitors:
+                m.observe(tagged(key(i), time=10.0, withdraw=True))
+        merged = []
+        for m in locals_:
+            merged.extend(m.close_bin())
+        from repro.core.monitor import signal_sort_key
+
+        merged.sort(key=signal_sort_key)
+        assert merged == full.close_bin()
+        for w, m in enumerate(locals_):
+            for pop in m.monitored_pops():
+                assert partition_of(pop, 3) == w
+
+    def test_invalid_partition_configuration(self):
+        from repro.core.monitor import PartitionedMonitor
+
+        with pytest.raises(ValueError):
+            PartitionedMonitor(MonitorParams(), partitions=0)
+        with pytest.raises(ValueError):
+            PartitionedMonitor(MonitorParams(), partitions=2, local=(5,))
