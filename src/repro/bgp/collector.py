@@ -10,6 +10,7 @@ handle as the production system.
 from __future__ import annotations
 
 import random
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 from repro.bgp.messages import (
@@ -92,6 +93,22 @@ class Collector:
             communities=update.communities,
             afi=update.afi,
         )
+
+    def publish(self, updates: Iterable[BGPUpdate]) -> Iterator[BGPUpdate]:
+        """Observe an update sequence; yield the published feed.
+
+        The generator form of :meth:`observe` — exactly what a live
+        collector hands the ingest tier as one per-collector source
+        (:meth:`repro.core.kepler.Kepler.process_feeds`): updates from
+        down sessions are lost, publication lag is applied.  With
+        ``apply_lag`` the jittered timestamps may leave publication
+        order; the tier surfaces such elements through its
+        late-element accounting rather than re-sorting history.
+        """
+        for update in updates:
+            published = self.observe(update)
+            if published is not None:
+                yield published
 
     def set_session(self, peer_asn: int, up: bool, time: float) -> StreamElement:
         """Flip a peer session; emits the corresponding state message."""

@@ -29,12 +29,24 @@ class BGPStream:
     )
     _counter: Iterator[int] = field(default_factory=itertools.count, repr=False)
     _last_popped: float = float("-inf")
+    #: Elements pushed with a sort key below the last *released* time.
+    #: The stream cannot reorder already-popped history, so such an
+    #: element will be popped after later-keyed ones — a collector
+    #: clock problem the operator should see, not a condition the
+    #: stream silently tolerates.
+    late_pushes: int = 0
 
     def push(self, element: StreamElement) -> None:
-        """Queue one element.  Elements may be pushed out of order."""
-        heapq.heappush(
-            self._heap, (element.sort_key(), next(self._counter), element)
-        )
+        """Queue one element.  Elements may be pushed out of order.
+
+        A push whose sort key lies below the time of the last element
+        already popped arrives too late to be merged in order; it is
+        still queued (it pops next) but counted in :attr:`late_pushes`.
+        """
+        key = element.sort_key()
+        if key[0] < self._last_popped:
+            self.late_pushes += 1
+        heapq.heappush(self._heap, (key, next(self._counter), element))
 
     def push_many(self, elements: Iterable[StreamElement]) -> None:
         for element in elements:

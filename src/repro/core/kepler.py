@@ -51,7 +51,13 @@ if TYPE_CHECKING:
 #: promotion heap — rebuilt on load) so documents are identical across
 #: monitor partition layouts, and the pipeline section converts between
 #: shard layouts on restore (see :mod:`repro.pipeline.checkpoint`).
-CHECKPOINT_VERSION = 2
+#: Version 3: the ingest section gains the per-type drop breakdown
+#: (``dropped_types``) and doubles as the ingest tier's layout-free
+#: feed cursor — the sum of the per-feed admission counters plus the
+#: merge release clock — so any snapshot restores into any
+#: ``ingest_feeds`` layout (see
+#: :func:`repro.pipeline.checkpoint.compose_ingest_state`).
+CHECKPOINT_VERSION = 3
 CHECKPOINT_FORMAT = "kepler-checkpoint"
 
 
@@ -113,6 +119,21 @@ class KeplerParams:
     #: candidate re-route).  Mutually exclusive with ``shards`` /
     #: ``process_workers``; requires the ``fork`` start method.
     shard_processes: int = 0
+    #: Number of collector feed workers of the sharded ingest tier
+    #: (0 = driver-side ingest, the historical path).  With >= 1 the
+    #: facade wraps whichever runtime the other knobs built in an
+    #: :class:`~repro.ingest.tier.IngestTier`: per-collector feed
+    #: workers admit and account locally and a watermark merge
+    #: releases the sorted stream downstream — byte-identical to the
+    #: driver ingest path on a time-sorted input stream (the contract
+    #: of every replay surface; an out-of-order input is *re-merged*
+    #: within the reorder window and surfaced via late-element
+    #: accounting, where the driver path would preserve arrival
+    #: order and count ``out_of_order``), composing with every
+    #: runtime above, and unlocking :meth:`Kepler.process_feeds` for
+    #: per-collector sources consumed concurrently (forked feed
+    #: workers where the platform allows).
+    ingest_feeds: int = 0
 
 
 class Kepler:
@@ -204,6 +225,17 @@ class Kepler:
                 workers=self.params.process_workers,
                 batch_size=self.params.process_batch,
             )
+        if self.params.ingest_feeds >= 1:
+            # Outermost wrapper: the sharded ingest tier replaces the
+            # runtime's driver-side ingest hop with per-collector feed
+            # workers and a watermark merge.  Built after any forked
+            # runtime (its feed workers are per-run, so no thread is
+            # alive at the runtimes' construction-time forks).
+            from repro.ingest import build_ingest_kepler_pipeline
+
+            self.stages = build_ingest_kepler_pipeline(
+                self.stages, feeds=self.params.ingest_feeds
+            )
         self.pipeline = self.stages.pipeline
         #: primed baseline paths (installed outside the streaming path).
         self.primed_paths = 0
@@ -273,6 +305,32 @@ class Kepler:
         not per element — output is identical to feeding one at a time.
         """
         self.pipeline.feed_many(elements)
+
+    def process_feeds(
+        self,
+        feeds: "dict[str, Iterable[StreamElement]] | Iterable[Iterable[StreamElement]]",
+    ) -> None:
+        """Consume per-collector element feeds through the ingest tier.
+
+        Pass a mapping ``{collector: source}`` (see
+        :func:`repro.ingest.split_by_collector`) — each time-sorted
+        source is pinned to its collector's feed worker, consumed
+        concurrently (forked where the platform allows), and the
+        watermark merge releases exactly the stream
+        :func:`~repro.pipeline.ingest.merge_streams` would produce
+        over the union, so output is identical to :meth:`process` on
+        the pre-merged stream.  A bare sequence of sources is also
+        accepted (round-robin feed assignment; see
+        :meth:`repro.ingest.tier.IngestTier.process_feeds` for the
+        tie-break caveat).  Requires
+        ``KeplerParams(ingest_feeds >= 1)``.
+        """
+        if self.params.ingest_feeds < 1:
+            raise ValueError(
+                "process_feeds requires the ingest tier"
+                " (KeplerParams(ingest_feeds=N))"
+            )
+        self.stages.process_feeds(feeds)
 
     def finalize(self, end_time: float | None = None) -> list[OutageRecord]:
         """Flush bins, close tracking, merge oscillations; return records."""

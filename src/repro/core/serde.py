@@ -360,6 +360,23 @@ def signal_batch_from_json(data: list[dict]) -> list[OutageSignal]:
     return [signal_from_json(s) for s in data]
 
 
+def wire_sort_key(wire: list[Any]) -> tuple[float, str, int, str]:
+    """Stream sort key of an encoded raw element, without decoding it.
+
+    Mirrors ``BGPUpdate.sort_key`` / ``BGPStateMessage.sort_key`` over
+    the wire payload shape, so the ingest tier's merge coordinator can
+    order batches published by forked feed workers (which ship encoded
+    elements) without paying a decode per element.  Only the raw
+    stream vocabulary (``"u"``/``"s"``) carries a stream position.
+    """
+    tag, payload = wire[0], wire[1]
+    if tag == "u":
+        return (payload[0], payload[1], payload[2], payload[3])
+    if tag == "s":
+        return (payload[0], payload[1], payload[2], "")
+    raise ValueError(f"wire tag {tag!r} carries no stream sort key")
+
+
 # ----------------------------------------------------------------------
 # Wire envelope: [tag, payload] dispatch for queue transport
 # ----------------------------------------------------------------------

@@ -1,0 +1,42 @@
+"""Sharded collector ingest: per-feed admission and watermark merge.
+
+The paper's deployment leans on BGPStream to unify per-collector
+feeds into one sorted stream (Section 4.1); a production-scale
+detector watching many live collectors needs that unification to be a
+*tier*, not a hop — per-collector feed workers admitting and
+accounting locally, a watermark merge releasing a deterministic
+sorted stream, bounded queues turning a slow collector into
+backpressure instead of silent reordering.
+
+* :mod:`repro.ingest.feed` — feed assignment (:func:`feed_of`), the
+  per-collector splitter, and the worker loops (threads for
+  driver-routed streams, forked processes for collector sources);
+* :mod:`repro.ingest.merge` — :class:`WatermarkMerge`, the pure
+  deterministic release core with the documented ``(sort key, feed)``
+  tie-break and late-element accounting;
+* :mod:`repro.ingest.tier` — :class:`IngestTier` (the runtime),
+  downstream sinks for every pipeline runtime, and the
+  :class:`IngestKeplerPipeline` facade wrapper built by
+  ``KeplerParams(ingest_feeds=N)``.
+"""
+
+from repro.ingest.feed import feed_of, split_by_collector
+from repro.ingest.merge import WatermarkMerge
+from repro.ingest.tier import (
+    ChainSink,
+    IngestKeplerPipeline,
+    IngestTier,
+    WireSink,
+    build_ingest_kepler_pipeline,
+)
+
+__all__ = [
+    "ChainSink",
+    "IngestKeplerPipeline",
+    "IngestTier",
+    "WatermarkMerge",
+    "WireSink",
+    "build_ingest_kepler_pipeline",
+    "feed_of",
+    "split_by_collector",
+]

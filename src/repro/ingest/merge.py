@@ -1,0 +1,239 @@
+"""The watermark merge: deterministic release across concurrent feeds.
+
+:class:`WatermarkMerge` is the pure, synchronous core of the ingest
+tier.  Feed workers push ``(sort_key, payload)`` entries in per-feed
+arrival order together with per-feed **low watermarks** (a promise
+that nothing at or below the watermark remains unpublished); the
+merge releases entries downstream in globally sorted order, gated by
+the minimum promise across feeds, so the released stream never
+depends on *when* batches happened to arrive — only on their content.
+
+**Tie-break (the documented contract).** Entries are released in
+ascending ``(sort_key, feed_index)`` order, per-feed FIFO within one
+feed — exactly the order of ``heapq.merge`` (and therefore
+:func:`repro.pipeline.ingest.merge_streams`) over the per-feed
+streams.  Because the element sort key includes the collector name
+and a collector maps to exactly one feed (:func:`repro.ingest.feed.feed_of`),
+equal keys can only collide *within* a feed, where FIFO applies — so
+for real streams the tie-break is unobservable and the merged output
+is byte-identical to the single-heap :class:`repro.bgp.stream.BGPStream`
+path.
+
+**Release rule.**  The release frontier is the minimum promise over
+feeds still live in this run — a feed's promise is its watermark (a
+non-empty feed whose watermark is missing speaks through its buffered
+head), an end-of-run feed promises everything.  Every buffered entry
+at or below the frontier is releasable *at once*: no unseen element
+can undercut it.  The release pass therefore splits each feed's
+sorted releasable prefix off in one slice and merges the prefixes
+with one C-speed sort over ``(key, feed)`` — a few operations per
+element, not a per-element scan of every feed, which is what lets
+the driver keep up with multiple feeds publishing at full rate.
+
+**Late elements.**  An entry whose key falls below the last
+*released* key — a feed violated its own watermark across release
+calls — cannot be merged into history.  It is released in the next
+pass (merged among its contemporaries) and counted in
+:attr:`late_elements`, mirroring
+:attr:`repro.bgp.stream.BGPStream.late_pushes`: surfaced, never
+silently dropped, and the release clock never rewinds.
+
+**Bounded reorder window.**  :attr:`buffered` / :attr:`peak_buffered`
+expose the window's occupancy; the tier bounds it through its queue
+depths (backpressure), not by dropping.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from operator import itemgetter
+from typing import Any
+
+SortKey = tuple  # (time, collector, peer_asn, prefix)
+
+#: Frontier sentinel above every real sort key (finite times).
+_FRONTIER_END: SortKey = (float("inf"), "", 0, "")
+
+#: Entries are (sort key, payload) pairs; release sorts by key with a
+#: stable sort over feed-ordered concatenation, which realises the
+#: documented ascending (sort key, feed index) order with per-feed
+#: FIFO for full ties.
+_entry_key = itemgetter(0)
+
+
+class WatermarkMerge:
+    """Merge per-feed entry streams under min-watermark release."""
+
+    def __init__(self, feeds: int) -> None:
+        if feeds < 1:
+            raise ValueError("the watermark merge needs >= 1 feed")
+        self.feeds = feeds
+        self._buffers: list[list] = [[] for _ in range(feeds)]
+        self._watermarks: list[SortKey | None] = [None] * feeds
+        self._eor: list[bool] = [False] * feeds
+        #: full sort key of the last released entry (None before any).
+        self.last_released: SortKey | None = None
+        self.released = 0
+        self.late_elements = 0
+        self.buffered = 0
+        self.peak_buffered = 0
+
+    # ------------------------------------------------------------------
+    def begin_run(self) -> None:
+        """Start a new delivery run: clear per-run promises.
+
+        Watermarks and end-of-run flags are promises about the *rest
+        of the current run*; the release cursor (``last_released``)
+        and the late/released accounting persist across runs — the
+        stream clock never rewinds.
+        """
+        for fid in range(self.feeds):
+            self._watermarks[fid] = None
+            self._eor[fid] = False
+
+    def push(
+        self, fid: int, entries: list[tuple[SortKey, Any]], watermark: SortKey | None
+    ) -> None:
+        """Buffer one feed batch and advance the feed's promise."""
+        if entries:
+            self._buffers[fid].extend(entries)
+            self.buffered += len(entries)
+            if self.buffered > self.peak_buffered:
+                self.peak_buffered = self.buffered
+        current = self._watermarks[fid]
+        if watermark is not None and (current is None or watermark > current):
+            self._watermarks[fid] = watermark
+
+    def end_of_run(self, fid: int) -> None:
+        """The feed has published everything for this run."""
+        self._eor[fid] = True
+
+    # ------------------------------------------------------------------
+    def release(self) -> list[Any]:
+        """Pop every entry the current promises allow, in merge order.
+
+        Runs frontier passes until one makes no progress: a pass
+        releases everything at or below the frontier in one bulk
+        slice-and-sort; a feed speaking through its buffered head (no
+        watermark yet) can raise the frontier for the next pass as its
+        head advances.
+        """
+        out: list[Any] = []
+        while True:
+            released = self._release_pass()
+            if not released:
+                return out
+            out.extend(released)
+
+    def _release_pass(self) -> list[Any]:
+        buffers = self._buffers
+        eor = self._eor
+        # The frontier: the strongest promise every live feed makes
+        # about its unseen elements.
+        frontier = _FRONTIER_END
+        for fid in range(self.feeds):
+            if eor[fid]:
+                continue
+            bound = self._watermarks[fid]
+            if bound is None:
+                buffer = buffers[fid]
+                if not buffer:
+                    return []  # a silent live feed gates everything
+                bound = buffer[0][0]
+            if bound < frontier:
+                frontier = bound
+        # Slice each feed's releasable prefix off in bulk.  Prefixes
+        # concatenate in feed order, and the (stable) sort below is by
+        # key alone — so full-key ties keep feed order and per-feed
+        # FIFO: exactly the documented (sort key, feed index) order.
+        merged: list[tuple] = []
+        for fid in range(self.feeds):
+            buffer = buffers[fid]
+            if not buffer:
+                continue
+            if buffer[-1][0] <= frontier:
+                # Whole-buffer release: the overwhelmingly common case
+                # (a punctuated chunk, an end-of-run drain) costs no
+                # per-element scan.
+                merged += buffer
+                buffers[fid] = []
+            else:
+                count = 0
+                for key, _ in buffer:
+                    if key > frontier:
+                        break
+                    count += 1
+                if count:
+                    merged += buffer[:count]
+                    del buffer[:count]
+        if not merged:
+            return []
+        merged.sort(key=_entry_key)
+        self.buffered -= len(merged)
+        self.released += len(merged)
+        cursor = self.last_released
+        if cursor is not None and merged[0][0] < cursor:
+            # Entries below the release clock arrived too late to be
+            # merged into history: counted, still released in order.
+            self.late_elements += bisect_left(merged, cursor, key=_entry_key)
+        tail = merged[-1][0]
+        if cursor is None or tail > cursor:
+            self.last_released = tail
+        return [payload for _, payload in merged]
+
+    # ------------------------------------------------------------------
+    def discard_buffered(self) -> int:
+        """Drop every buffered entry; return how many were dropped.
+
+        Called when a run is aborted (a feed worker failed): entries
+        of an abandoned run must never leak into a later run's
+        release stream.
+        """
+        dropped = self.buffered
+        for fid in range(self.feeds):
+            self._buffers[fid] = []
+        self.buffered = 0
+        return dropped
+
+    def feed_buffered(self, fid: int) -> int:
+        """Entries currently held in one feed's reorder buffer.
+
+        The tier reads this to bound the reorder window: it stops
+        draining a feed's publication queue while the feed is too far
+        ahead of the release frontier, which backpressures the feed
+        worker through its bounded queue.
+        """
+        return len(self._buffers[fid])
+
+    @property
+    def drained(self) -> bool:
+        return self.buffered == 0
+
+    @property
+    def last_time(self) -> float | None:
+        """The release clock: time component of the last released key."""
+        if self.last_released is None:
+            return None
+        return self.last_released[0]
+
+    def set_cursor(self, last_time: float | None) -> None:
+        """Restore the release clock from a checkpoint document.
+
+        The canonical document stores only the stream *time* (the same
+        field the driver ingest path records); the synthetic key
+        ``(time, "", 0, "")`` sorts at-or-before every real key at
+        that time, so post-restore late accounting matches the
+        pre-snapshot semantics: earlier-than-``last_time`` is late,
+        at-``last_time`` is not.
+        """
+        if self.buffered:
+            raise RuntimeError("cannot move the cursor of a non-empty merge")
+        self.last_released = (
+            None if last_time is None else (last_time, "", 0, "")
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WatermarkMerge(feeds={self.feeds}, buffered={self.buffered},"
+            f" released={self.released}, late={self.late_elements})"
+        )

@@ -1,0 +1,871 @@
+"""The sharded collector ingest tier: feed workers + watermark merge.
+
+Until PR 5, ingest — admission and the stream clock — was the one
+serial stage left in the driver: every element of every collector
+passed through one :class:`~repro.pipeline.ingest.IngestStage` hop
+before anything else could happen.  This module makes ingest a tier
+of its own:
+
+.. code-block:: text
+
+      collector feeds                 feed workers (threads/forks)
+    ──────────────────              ───────────────────────────────
+    rrc00 ── elements ──▶ feed 0:  admit + count (+ encode), publish
+    rrc01 ── elements ──▶ feed 1:  seq batches with low watermarks
+    rrc03 ── elements ──▶ feed 2:          │
+                                           ▼
+                              WatermarkMerge (min-watermark release,
+                              bounded reorder window, late accounting)
+                                           │  sorted element batches
+                                           ▼
+                              downstream runtime sink
+                              (linear / sharded chain: feed_from(1),
+                               process runtimes: feed_admitted_wires)
+
+* **Two delivery modes.**  ``feed_many`` (the historical
+  ``Kepler.process`` path) demultiplexes an already-merged stream by
+  collector onto per-run worker *threads* — useful because admission
+  overlaps the downstream chain, and byte-identical to the driver
+  ingest path because the merge's tie-break cannot trigger across
+  collectors.  ``process_feeds`` takes per-collector sources and
+  gives each feed worker its own — *forked* workers (where the
+  platform allows) admit and serde-encode in parallel, and the driver
+  merges keys and forwards encoded batches downstream without an
+  element-by-element hop.
+* **Backpressure, not buffering.**  Every queue is bounded; a fast
+  feed eventually blocks publishing until the merge releases, and the
+  driver only unblocks queues by pumping released elements through
+  the detector.  One slow collector holds the watermark back (the
+  stream must stay ordered) but can never cause silent reordering —
+  an element arriving below the release cursor is surfaced through
+  :attr:`~repro.ingest.merge.WatermarkMerge.late_elements`.
+* **Workers are per-run.**  A run is one ``feed_many`` /
+  ``process_feeds`` call; workers spawn lazily at the first stream
+  element and join before the call returns.  The tier therefore
+  composes with every runtime of :mod:`repro.pipeline.parallel` — no
+  thread is alive when those runtimes fork their own workers — and
+  every facade read or snapshot between calls observes a fully
+  quiescent tier.
+* **Layout-free checkpoints.**  The canonical document keeps exactly
+  one ingest section — the sum of the per-feed admission counters
+  plus the merge's release clock
+  (:func:`repro.pipeline.checkpoint.compose_ingest_state`) — so a
+  snapshot taken under any ``ingest_feeds`` layout restores into any
+  other (including the driver ingest path, and vice versa).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import threading
+import time
+from typing import Any, Iterable
+
+from repro.core.serde import element_from_wire, element_to_wire, wire_sort_key
+from repro.ingest.feed import (
+    chunk_feed_worker,
+    feed_of,
+    source_feed_process,
+    source_feed_worker,
+)
+from repro.ingest.merge import WatermarkMerge
+from repro.pipeline.checkpoint import (
+    compose_ingest_state,
+    split_ingest_state,
+    zero_ingest_state,
+)
+from repro.pipeline.events import PrimingUpdate
+from repro.pipeline.ingest import IngestStage
+from repro.pipeline.metrics import PipelineMetrics, StageMetrics
+from repro.pipeline.parallel import (
+    ProcessStagePipeline,
+    ShardProcessPipeline,
+    fork_available,
+    unpack_wires,
+)
+
+#: Elements routed per chunk in driver-routed mode (one punctuation,
+#: one queue message per feed, per chunk).
+ROUTE_CHUNK = 1024
+#: Bounded queue depth, in batches — backpressure, not buffering.
+FEED_QUEUE_DEPTH = 8
+#: Poll interval for blocking waits (liveness checks in between).
+WAIT_POLL_S = 0.002
+
+
+# ----------------------------------------------------------------------
+# Downstream sinks: where released elements enter the detector
+# ----------------------------------------------------------------------
+class ChainSink:
+    """Feed released elements into an in-process chain after ingest.
+
+    Works for both the linear :class:`~repro.pipeline.runtime.StagePipeline`
+    and the :class:`~repro.pipeline.sharding.ShardedStagePipeline` —
+    both expose ``feed_from(1, batch)``, entering at the tagging stage
+    with the chain's barrier semantics intact.
+    """
+
+    def __init__(self, pipeline) -> None:
+        self.pipeline = pipeline
+
+    def feed_released(self, payloads: list, wired: bool) -> list:
+        if wired:
+            payloads = [element_from_wire(wire) for wire in payloads]
+        return self.pipeline.feed_from(1, payloads)
+
+    def feed_prime(self, element: Any) -> list:
+        return self.pipeline.feed_from(1, [element])
+
+    def flush(self) -> list:
+        return self.pipeline.flush()
+
+
+class WireSink:
+    """Forward released batches to a multiprocess runtime, encoded.
+
+    The process runtimes ship serde wires anyway; batches released by
+    forked feed workers are *already* encoded and pass through without
+    the driver touching a single element.
+    """
+
+    def __init__(self, runtime) -> None:
+        self.runtime = runtime
+
+    def feed_released(self, payloads: list, wired: bool) -> list:
+        wires = (
+            payloads
+            if wired
+            else [element_to_wire(element) for element in payloads]
+        )
+        return self.runtime.feed_admitted_wires(wires)
+
+    def feed_prime(self, element: Any) -> list:
+        return self.runtime.feed_admitted_wires([element_to_wire(element)])
+
+    def flush(self) -> list:
+        return self.runtime.flush()
+
+
+# ----------------------------------------------------------------------
+# Run state (workers are per-run; see the module commentary)
+# ----------------------------------------------------------------------
+class _Run:
+    """Bookkeeping for one delivery run."""
+
+    def __init__(self, feeds: int, wired: bool) -> None:
+        self.wired = wired
+        #: per-feed publication queues (bounded): the feed's half of
+        #: the reorder-window backpressure loop.
+        self.out_qs: list = [None] * feeds
+        self.in_qs: list = []
+        self.workers: list = [None] * feeds
+        self.pending: list[list] = [[] for _ in range(feeds)]
+        self.pending_count = 0
+        self.eor_seen: set[int] = set()
+        #: set on abort: thread workers (which cannot be terminated)
+        #: stop publishing and exit at their next batch boundary.
+        self.cancel = threading.Event()
+
+
+def _tail_key(batch: list) -> tuple | None:
+    """Sort key of the last stream element in a routed sub-batch."""
+    for element in reversed(batch):
+        sort_key = getattr(element, "sort_key", None)
+        if sort_key is not None:
+            return sort_key()
+    return None
+
+
+# ----------------------------------------------------------------------
+# The tier
+# ----------------------------------------------------------------------
+class IngestTier:
+    """Per-feed admission + watermark merge, behind the pipeline surface.
+
+    Presents ``feed`` / ``feed_many`` / ``flush`` (what
+    :class:`~repro.core.kepler.Kepler` drives) plus ``process_feeds``
+    for per-collector sources.  All entry points are synchronous: they
+    return only when every element has cleared the tier — in-flight
+    state never outlives a call, which is what keeps snapshots and
+    facade reads exact without a tier-level drain protocol.
+    """
+
+    def __init__(
+        self,
+        sink,
+        feeds: int,
+        batch_size: int = ROUTE_CHUNK,
+        fork_feeds: bool | None = None,
+    ) -> None:
+        if feeds < 1:
+            raise ValueError("the ingest tier needs >= 1 feed")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.sink = sink
+        self.feeds = feeds
+        self.batch_size = batch_size
+        #: Whether ``process_feeds`` forks its feed workers (None =
+        #: fork where the platform allows).  Forked feeds pay a serde
+        #: hop per element, which buys core-parallel admission —
+        #: worthwhile for attribute-heavy feeds; thread feeds pass
+        #: references and suit light elements or wire-sink runtimes.
+        self.fork_feeds = fork_available() if fork_feeds is None else fork_feeds
+        #: Bounded reorder window, in entries per feed: the pump stops
+        #: draining a feed that is this far ahead of the release
+        #: frontier, so its bounded queue backpressures the worker.
+        #: Must exceed one routed chunk, or a driver blocked shipping
+        #: to one feed could starve the others' watermarks.
+        self.reorder_limit = batch_size * FEED_QUEUE_DEPTH
+        #: per-feed admission stages: the IngestStage counters, per feed.
+        self.admissions = [IngestStage() for _ in range(feeds)]
+        #: per-feed ingest metering (composed into the metrics view).
+        self.meters = [StageMetrics(name="ingest") for _ in range(feeds)]
+        #: driver-side metering of the priming passthrough.
+        self.prime_meter = StageMetrics(name="ingest")
+        #: priming updates admitted outside the stream clock (tier-level:
+        #: primes bypass the feed workers and the merge).
+        self.priming_updates = 0
+        self.merge = WatermarkMerge(feeds)
+        #: Set when a run was aborted (a feed worker failed): the
+        #: stream has a hole at an unknown position, so the tier
+        #: refuses further elements instead of silently resuming.
+        self._failed = False
+
+    # ------------------------------------------------------------------
+    # StagePipeline-compatible surface
+    # ------------------------------------------------------------------
+    def feed(self, element: Any) -> list[Any]:
+        """Push one element through the tier (primes pass straight through).
+
+        Single elements take an inline fast path — admission on the
+        owning feed's stage, merge-cursor bookkeeping, straight to the
+        sink — which is exactly what a one-element run would release
+        (the element is the run's only entry and its own watermark),
+        without spinning a worker set up per call.
+        """
+        if isinstance(element, PrimingUpdate):
+            return self._feed_prime(element)
+        self._check_usable()
+        collector = getattr(element, "collector", None)
+        fid = 0 if collector is None else feed_of(collector, self.feeds)
+        meter = self.meters[fid]
+        began = time.perf_counter()
+        outs = self.admissions[fid].feed(element)
+        meter.seconds += time.perf_counter() - began
+        meter.fed += 1
+        meter.emitted += len(outs)
+        if not outs:
+            return []
+        merge = self.merge
+        for out in outs:
+            key = out.sort_key()
+            if merge.last_released is not None and key < merge.last_released:
+                merge.late_elements += 1
+            else:
+                merge.last_released = key
+            merge.released += 1
+        return self.sink.feed_released(outs, wired=False)
+
+    def feed_many(self, elements: Iterable[Any]) -> list[Any]:
+        """Demultiplex a merged stream across the feed workers.
+
+        Elements route to ``feed_of(collector)``; every chunk boundary
+        broadcasts a punctuation key (the chunk's last stream
+        position) so feeds that received nothing still advance their
+        watermark and the merge releases incrementally.  Priming
+        updates quiesce the current run and pass straight to the sink,
+        preserving their position in the fed order.
+        """
+        self._check_usable()
+        outputs: list[Any] = []
+        run: _Run | None = None
+        feeds = self.feeds
+        try:
+            for element in elements:
+                if isinstance(element, PrimingUpdate):
+                    if run is not None:
+                        outputs.extend(self._finish_run(run))
+                        run = None
+                    outputs.extend(self._feed_prime(element))
+                    continue
+                if run is None:
+                    run = self._start_chunk_run()
+                collector = getattr(element, "collector", None)
+                fid = 0 if collector is None else feed_of(collector, feeds)
+                run.pending[fid].append(element)
+                run.pending_count += 1
+                if run.pending_count >= self.batch_size:
+                    outputs.extend(self._ship_chunk(run))
+            if run is not None:
+                outputs.extend(self._finish_run(run))
+                run = None
+        except BaseException:
+            if run is not None:
+                self._abort_run(run)
+            raise
+        return outputs
+
+    def process_feeds(
+        self,
+        sources: "dict[str, Iterable[Any]] | Iterable[Iterable[Any]]",
+    ) -> list[Any]:
+        """Consume per-collector element sources concurrently.
+
+        The canonical form is a mapping ``{collector: source}`` (what
+        :func:`~repro.ingest.feed.split_by_collector` produces): each
+        source is pinned to ``feed_of(collector)``, preserving the
+        collector-per-feed invariant that makes the merge tie-break
+        unobservable — output is then identical to
+        :meth:`~repro.core.kepler.Kepler.process` on the pre-merged
+        stream.  A bare sequence of sources is also accepted and
+        assigned round-robin; if that splits one collector's equal
+        sort keys across feeds, ties resolve by the documented
+        ``(sort key, feed index)`` order instead of source order.  A
+        feed owning several sources merges them lazily by sort key;
+        each source must be time-sorted and carries stream elements
+        only (prime through :meth:`Kepler.prime`).  Output order is
+        the watermark merge over the per-feed streams — deterministic
+        whatever the worker interleaving.  Where the platform can
+        fork, the workers are forked processes that admit and encode
+        in parallel.
+        """
+        self._check_usable()
+        assignment: list[list] = [[] for _ in range(self.feeds)]
+        if isinstance(sources, dict):
+            for collector in sorted(sources):
+                assignment[feed_of(collector, self.feeds)].append(
+                    sources[collector]
+                )
+        else:
+            for index, source in enumerate(sources):
+                assignment[index % self.feeds].append(source)
+        forked = self.fork_feeds and fork_available()
+        run = _Run(self.feeds, wired=forked)
+        self.merge.begin_run()
+        ctx = multiprocessing.get_context("fork") if forked else None
+        for fid in range(self.feeds):
+            if not assignment[fid]:
+                # No sources: the feed is vacuously done for this run.
+                self.merge.end_of_run(fid)
+                run.eor_seen.add(fid)
+                continue
+            if forked:
+                out_q = ctx.Queue(FEED_QUEUE_DEPTH)
+                worker = ctx.Process(
+                    target=source_feed_process,
+                    args=(
+                        fid,
+                        assignment[fid],
+                        self.admissions[fid],
+                        self.meters[fid],
+                        out_q,
+                        self.batch_size,
+                    ),
+                    daemon=True,
+                    name=f"kepler-feed-{fid}",
+                )
+            else:
+                out_q = queue_mod.Queue(FEED_QUEUE_DEPTH)
+                worker = threading.Thread(
+                    target=source_feed_worker,
+                    args=(
+                        fid,
+                        assignment[fid],
+                        self.admissions[fid],
+                        self.meters[fid],
+                        out_q,
+                        self.batch_size,
+                        run.cancel,
+                    ),
+                    daemon=True,
+                    name=f"kepler-feed-{fid}",
+                )
+            run.out_qs[fid] = out_q
+            run.workers[fid] = worker
+            worker.start()
+        outputs: list[Any] = []
+        try:
+            while len(run.eor_seen) < self.feeds:
+                outputs.extend(self._pump(run, block=True))
+            outputs.extend(self._deliver(run, self.merge.release()))
+            if not self.merge.drained:
+                raise RuntimeError(
+                    "ingest merge failed to drain at end of run"
+                    f" ({self.merge.buffered} entries held back)"
+                )
+        except BaseException:
+            self._abort_run(run)
+            raise
+        for worker in run.workers:
+            if worker is not None:
+                worker.join()
+        if forked:
+            for out_q in run.out_qs:
+                if out_q is not None:
+                    out_q.close()
+        return outputs
+
+    def flush(self) -> list[Any]:
+        """End of stream: nothing is buffered in the tier between calls."""
+        return self.sink.flush()
+
+    # ------------------------------------------------------------------
+    # Driver-routed run machinery
+    # ------------------------------------------------------------------
+    def _start_chunk_run(self) -> _Run:
+        run = _Run(self.feeds, wired=False)
+        self.merge.begin_run()
+        run.out_qs = [
+            queue_mod.Queue(FEED_QUEUE_DEPTH) for _ in range(self.feeds)
+        ]
+        run.in_qs = [
+            queue_mod.Queue(FEED_QUEUE_DEPTH) for _ in range(self.feeds)
+        ]
+        run.workers = [
+            threading.Thread(
+                target=chunk_feed_worker,
+                args=(
+                    fid,
+                    self.admissions[fid],
+                    self.meters[fid],
+                    run.in_qs[fid],
+                    run.out_qs[fid],
+                    run.cancel,
+                ),
+                daemon=True,
+                name=f"kepler-feed-{fid}",
+            )
+            for fid in range(self.feeds)
+        ]
+        for worker in run.workers:
+            worker.start()
+        return run
+
+    def _ship_chunk(self, run: _Run) -> list[Any]:
+        punct: tuple | None = None
+        for batch in run.pending:
+            key = _tail_key(batch)
+            if key is not None and (punct is None or key > punct):
+                punct = key
+        outputs: list[Any] = []
+        for fid in range(self.feeds):
+            message = ("elems", run.pending[fid], punct)
+            run.pending[fid] = []
+            outputs.extend(self._put_checked(run, run.in_qs[fid], message))
+        run.pending_count = 0
+        outputs.extend(self._pump(run, block=False))
+        return outputs
+
+    def _finish_run(self, run: _Run) -> list[Any]:
+        outputs: list[Any] = []
+        if run.pending_count:
+            outputs.extend(self._ship_chunk(run))
+        for in_q in run.in_qs:
+            outputs.extend(self._put_checked(run, in_q, ("eor",)))
+        while len(run.eor_seen) < self.feeds:
+            outputs.extend(self._pump(run, block=True))
+        outputs.extend(self._deliver(run, self.merge.release()))
+        for worker in run.workers:
+            worker.join()
+        if not self.merge.drained:
+            raise RuntimeError(
+                "ingest merge failed to drain at end of run"
+                f" ({self.merge.buffered} entries held back)"
+            )
+        return outputs
+
+    def _put_checked(self, run: _Run, in_q, message) -> list[Any]:
+        """Non-blocking put that keeps the pipeline moving when full.
+
+        A full feed queue means the workers are ahead of the merge:
+        pump the return path (which releases elements downstream and
+        thereby unblocks the workers' bounded output queue) and retry.
+        """
+        outputs: list[Any] = []
+        while True:
+            try:
+                in_q.put_nowait(message)
+                return outputs
+            except queue_mod.Full:
+                outputs.extend(self._pump(run, block=True))
+                self._check_alive(run)
+
+    def _pump(self, run: _Run, block: bool) -> list[Any]:
+        """Sweep the publication queues, merge, release, deliver.
+
+        The sweep skips a feed while its reorder buffer holds more
+        than :attr:`reorder_limit` entries — that feed's bounded queue
+        then fills and its worker blocks: the **bounded reorder
+        window**.  Skipping is deadlock-free: a feed over the limit
+        has buffered entries, so it is never the feed the release rule
+        is waiting on — the blocking feed's queue always drains, its
+        watermark advances, the release frontier moves and the
+        skipped feed's buffer shrinks back under the limit.
+
+        With ``block`` set, one bounded wait happens when a full sweep
+        makes no progress (callers that need more messages loop);
+        liveness is re-checked between waits.
+        """
+        outputs: list[Any] = []
+        merge = self.merge
+        limit = self.reorder_limit
+        while True:
+            progress = False
+            for fid in range(self.feeds):
+                out_q = run.out_qs[fid]
+                if out_q is None or fid in run.eor_seen:
+                    continue
+                while merge.feed_buffered(fid) <= limit:
+                    try:
+                        msg = out_q.get_nowait()
+                    except queue_mod.Empty:
+                        break
+                    progress = True
+                    kind = msg[0]
+                    if kind == "batch":
+                        merge.push(fid, msg[2], msg[3])
+                    elif kind == "pbatch":
+                        wires = unpack_wires(msg[2], msg[3])
+                        watermark = msg[4]
+                        merge.push(
+                            fid,
+                            [(wire_sort_key(wire), wire) for wire in wires],
+                            tuple(watermark)
+                            if watermark is not None
+                            else None,
+                        )
+                    elif kind == "eor":
+                        info = msg[2]
+                        if info is not None:
+                            # A forked worker ships its counters home.
+                            self.admissions[fid].load_state(info["ingest"])
+                            meter = self.meters[fid]
+                            (
+                                meter.fed,
+                                meter.emitted,
+                                meter.seconds,
+                            ) = info["meter"]
+                        merge.end_of_run(fid)
+                        run.eor_seen.add(fid)
+                        break
+                    elif kind == "err":
+                        raise RuntimeError(
+                            f"ingest feed worker failed:\n{msg[2]}"
+                        )
+            released = merge.release()
+            if released:
+                progress = True
+                outputs.extend(self._deliver(run, released))
+            if not block:
+                return outputs
+            if progress:
+                return outputs
+            self._check_alive(run)
+            time.sleep(WAIT_POLL_S)
+
+    def _deliver(self, run: _Run, payloads: list) -> list[Any]:
+        if not payloads:
+            return []
+        return self.sink.feed_released(payloads, run.wired)
+
+    def _check_usable(self) -> None:
+        if self._failed:
+            raise RuntimeError(
+                "ingest tier is unusable after an aborted run (the"
+                " stream has a hole at an unknown position); build a"
+                " fresh detector or restore from a checkpoint"
+            )
+
+    def _abort_run(self, run: _Run) -> None:
+        """Tear a failed run down without leaking into the next one.
+
+        Forked workers are terminated; thread workers are cancelled
+        and *joined* — unblocked by draining both ends of their
+        bounded queues and posting end-of-run — so no worker is still
+        mutating the shared per-feed admission counters once this
+        returns.  Everything the merge still buffered from the
+        abandoned run is discarded — it must never reach the detector
+        — and the tier is poisoned for further *elements*: the stream
+        now has a hole at an unknown position.  Taking a snapshot
+        after an abort remains sound (and is the recovery path): the
+        detector's state is a consistent prefix of the stream, and
+        the workers are quiescent by the time this method returns.
+        """
+        self._failed = True
+        run.cancel.set()
+        for worker in run.workers:
+            if worker is not None and hasattr(worker, "terminate"):
+                worker.terminate()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            alive = False
+            for fid, worker in enumerate(run.workers):
+                if (
+                    worker is None
+                    or hasattr(worker, "terminate")
+                    or not worker.is_alive()
+                ):
+                    continue
+                alive = True
+                # Unblock a worker parked on either bounded queue.
+                in_q = run.in_qs[fid] if fid < len(run.in_qs) else None
+                if in_q is not None:
+                    try:
+                        while True:
+                            in_q.get_nowait()
+                    except queue_mod.Empty:
+                        pass
+                    try:
+                        in_q.put_nowait(("eor",))
+                    except queue_mod.Full:
+                        pass
+                out_q = run.out_qs[fid]
+                if out_q is not None:
+                    try:
+                        while True:
+                            out_q.get_nowait()
+                    except queue_mod.Empty:
+                        pass
+                worker.join(timeout=0.05)
+            if not alive:
+                break
+        for worker in run.workers:
+            if worker is not None and hasattr(worker, "terminate"):
+                worker.join(timeout=2.0)
+        self.merge.discard_buffered()
+
+    def _check_alive(self, run: _Run) -> None:
+        # Workers post "err" before dying; a dead worker whose message
+        # is still queued (or whose buffer is merely capped) surfaces
+        # through the pump — only raise once its queue is quiet, its
+        # buffer is drainable and the worker is truly gone.
+        dead = [
+            worker.name
+            for fid, worker in enumerate(run.workers)
+            if worker is not None
+            and not worker.is_alive()
+            and fid not in run.eor_seen
+            and run.out_qs[fid].empty()
+            and self.merge.feed_buffered(fid) <= self.reorder_limit
+        ]
+        if dead:
+            raise RuntimeError(
+                f"ingest feed worker(s) died without a result: {dead}"
+            )
+
+    def _feed_prime(self, element: PrimingUpdate) -> list[Any]:
+        self.priming_updates += 1
+        self.prime_meter.fed += 1
+        self.prime_meter.emitted += 1
+        return self.sink.feed_prime(element)
+
+    # ------------------------------------------------------------------
+    # Checkpoint composition (the layout-free ingest section)
+    # ------------------------------------------------------------------
+    def composed_ingest_state(self) -> dict:
+        return compose_ingest_state(
+            [admission.state_dict() for admission in self.admissions],
+            self.priming_updates,
+            self.merge.last_time,
+        )
+
+    def composed_ingest_meter(self) -> tuple[int, int, float]:
+        fed = self.prime_meter.fed
+        emitted = self.prime_meter.emitted
+        seconds = self.prime_meter.seconds
+        for meter in self.meters:
+            fed += meter.fed
+            emitted += meter.emitted
+            seconds += meter.seconds
+        return fed, emitted, seconds
+
+    def distribute_ingest_state(
+        self, state: dict, meter: tuple[int, int, float]
+    ) -> None:
+        """Load a canonical ingest section into this feed layout.
+
+        Also clears the aborted-run poison: a checkpoint restore
+        rewinds the whole detector to a consistent stream position,
+        so the hole an aborted run left no longer exists.
+        """
+        self._failed = False
+        per_feed, priming = split_ingest_state(state, self.feeds)
+        for admission, feed_state in zip(self.admissions, per_feed):
+            admission.load_state(feed_state)
+        self.priming_updates = priming
+        self.merge.set_cursor(state["last_time"])
+        self.merge.released = 0
+        self.merge.late_elements = 0
+        self.merge.peak_buffered = 0
+        for index, stage_meter in enumerate(self.meters):
+            stage_meter.fed, stage_meter.emitted, stage_meter.seconds = (
+                meter if index == 0 else (0, 0, 0.0)
+            )
+        self.prime_meter.fed = 0
+        self.prime_meter.emitted = 0
+        self.prime_meter.seconds = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestTier(feeds={self.feeds}, batch={self.batch_size},"
+            f" merge={self.merge!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Facade wrapper: the tier behind the Kepler chain surface
+# ----------------------------------------------------------------------
+def _driver_ingest(inner) -> IngestStage:
+    """The (bypassed) driver-side ingest stage of the wrapped runtime."""
+    ingest = getattr(inner, "ingest", None)
+    if ingest is not None:
+        return ingest
+    return inner.pipeline._ingest  # the multiprocess runtimes
+
+
+def _driver_registry(inner) -> PipelineMetrics:
+    """The registry holding the wrapped runtime's ingest metrics entry."""
+    registry = getattr(inner.pipeline, "_registry", None)
+    if registry is not None:
+        return registry
+    registry = getattr(inner, "upstream_metrics", None)
+    if registry is not None:
+        return registry
+    return inner.metrics
+
+
+class IngestKeplerPipeline:
+    """Facade wrapper: the ingest tier around any chain runtime.
+
+    Mirrors :class:`~repro.pipeline.KeplerPipeline` — the views
+    delegate to the wrapped runtime (whose own wrappers run their
+    drain barriers as needed; the tier itself is always quiescent
+    between calls), and the checkpoint surface swaps the wrapped
+    runtime's (bypassed, zero) ingest section for the tier's composed
+    one.
+    """
+
+    def __init__(self, tier: IngestTier, inner) -> None:
+        self.pipeline = tier
+        self.tier = tier
+        self.inner = inner
+        self.cache = inner.cache
+
+    # -- facade views ---------------------------------------------------
+    @property
+    def records(self):
+        return self.inner.records
+
+    @property
+    def open(self):
+        return self.inner.open
+
+    @property
+    def signal_log(self):
+        return self.inner.signal_log
+
+    @property
+    def rejected(self):
+        return self.inner.rejected
+
+    @property
+    def monitoring(self):
+        return self.inner.monitoring
+
+    @property
+    def metrics(self) -> PipelineMetrics:
+        view = self.inner.metrics
+        if view is getattr(self.inner.pipeline, "metrics", None):
+            # The linear chain exposes its *live* shared registry:
+            # compose a copy before adding the tier counters.  Every
+            # other runtime returns a freshly-composed view (including
+            # the sharded per-shard breakdown), which is safe — and
+            # type-preserving — to annotate in place.
+            composed = PipelineMetrics()
+            for name in view.stages:
+                composed.stage(name)
+            composed.absorb(view)
+            composed.absorb_bins(view)
+            view = composed
+        handle = view.stage("ingest")
+        fed, emitted, seconds = self.tier.composed_ingest_meter()
+        handle.fed += fed
+        handle.emitted += emitted
+        handle.seconds += seconds
+        return view
+
+    # -- lifecycle ------------------------------------------------------
+    def process_feeds(self, sources: Iterable[Iterable[Any]]) -> list[Any]:
+        return self.tier.process_feeds(sources)
+
+    def finalize_records(self, end_time: float | None = None):
+        return self.inner.finalize_records(end_time)
+
+    def close(self) -> None:
+        for target in (self.inner, self.inner.pipeline):
+            close = getattr(target, "close", None)
+            if close is not None:
+                close()
+                return
+
+    # -- checkpointing --------------------------------------------------
+    @staticmethod
+    def _upstream_doc(doc: dict) -> dict:
+        """The sub-document holding the ingest stage state/metrics."""
+        return doc if "stages" in doc else doc["upstream"]
+
+    def checkpoint_parts(self) -> dict:
+        parts = self.inner.checkpoint_parts()
+        doc = self._upstream_doc(parts["pipeline"])
+        doc["stages"]["ingest"] = self.tier.composed_ingest_state()
+        metrics = PipelineMetrics()
+        metrics.load_state(doc["metrics"])
+        handle = metrics.stage("ingest")
+        fed, emitted, seconds = self.tier.composed_ingest_meter()
+        handle.fed += fed
+        handle.emitted += emitted
+        handle.seconds += seconds
+        doc["metrics"] = metrics.state_dict()
+        return parts
+
+    def restore_parts(self, parts: dict) -> None:
+        self.inner.restore_parts(parts)
+        doc = self._upstream_doc(parts["pipeline"])
+        # The wrapped runtime just loaded the full ingest counters into
+        # its driver-side stage and registry entry; under the tier both
+        # are bypassed, so move the state where admission now happens —
+        # otherwise the next composition would double count.
+        metrics = PipelineMetrics()
+        metrics.load_state(doc["metrics"])
+        entry = metrics.stages.get("ingest")
+        meter = (
+            (entry.fed, entry.emitted, entry.seconds)
+            if entry is not None
+            else (0, 0, 0.0)
+        )
+        _driver_ingest(self.inner).load_state(zero_ingest_state())
+        registry_entry = _driver_registry(self.inner).stages.get("ingest")
+        if registry_entry is not None:
+            registry_entry.fed = 0
+            registry_entry.emitted = 0
+            registry_entry.seconds = 0.0
+        self.tier.distribute_ingest_state(doc["stages"]["ingest"], meter)
+
+
+def build_ingest_kepler_pipeline(
+    inner, feeds: int, batch_size: int = ROUTE_CHUNK
+) -> IngestKeplerPipeline:
+    """Wrap a chain runtime in the sharded collector ingest tier.
+
+    ``inner`` is any of the four runtime wrappers the facade builds
+    (linear, thread-sharded, tag-process, shard-process); the sink is
+    chosen to match — wire forwarding for the multiprocess runtimes,
+    post-ingest chain entry for the in-process ones.
+    """
+    runtime = inner.pipeline
+    if isinstance(runtime, (ProcessStagePipeline, ShardProcessPipeline)):
+        sink = WireSink(runtime)
+    else:
+        sink = ChainSink(runtime)
+    return IngestKeplerPipeline(IngestTier(sink, feeds, batch_size), inner)

@@ -12,11 +12,14 @@ should see, not a condition the detector silently tolerates).
 from __future__ import annotations
 
 import heapq
+import logging
 from typing import Any, Iterable, Iterator
 
 from repro.bgp.messages import BGPStateMessage, BGPUpdate, ElemType, StreamElement
 from repro.pipeline.events import PrimingUpdate
 from repro.pipeline.stage import PassthroughStage
+
+logger = logging.getLogger(__name__)
 
 
 def merge_streams(
@@ -36,6 +39,9 @@ class IngestStage(PassthroughStage):
         self.withdrawals = 0
         self.state_messages = 0
         self.dropped = 0
+        #: per-type breakdown of dropped elements, so operators can see
+        #: *what* is being rejected, not just how many.
+        self.dropped_types: dict[str, int] = {}
         self.out_of_order = 0
         self.priming_updates = 0
         self._last_time: float | None = None
@@ -55,6 +61,14 @@ class IngestStage(PassthroughStage):
                 self.announcements += 1
         else:
             self.dropped += 1
+            type_name = type(element).__name__
+            if type_name not in self.dropped_types:
+                logger.warning(
+                    "ingest dropped element of unknown type %s", type_name
+                )
+            self.dropped_types[type_name] = (
+                self.dropped_types.get(type_name, 0) + 1
+            )
             return []
         if self._last_time is not None and element.time < self._last_time:
             self.out_of_order += 1
@@ -67,6 +81,10 @@ class IngestStage(PassthroughStage):
             "withdrawals": self.withdrawals,
             "state_messages": self.state_messages,
             "dropped": self.dropped,
+            "dropped_types": {
+                name: self.dropped_types[name]
+                for name in sorted(self.dropped_types)
+            },
             "out_of_order": self.out_of_order,
             "priming_updates": self.priming_updates,
             "last_time": self._last_time,
@@ -77,6 +95,7 @@ class IngestStage(PassthroughStage):
         self.withdrawals = state["withdrawals"]
         self.state_messages = state["state_messages"]
         self.dropped = state["dropped"]
+        self.dropped_types = dict(state["dropped_types"])
         self.out_of_order = state["out_of_order"]
         self.priming_updates = state["priming_updates"]
         self._last_time = state["last_time"]

@@ -105,6 +105,13 @@ def _unpack(codec: str, payload: Any) -> list[list]:
     return marshal.loads(payload) if codec == "m" else payload
 
 
+#: Public names for the wire-batch codec, shared with the ingest tier
+#: (:mod:`repro.ingest`): its forked feed workers publish the same
+#: marshal-packed wire batches these runtimes ship.
+pack_wires = _pack
+unpack_wires = _unpack
+
+
 # ----------------------------------------------------------------------
 # Worker loop (top-level so the forked children stay importable)
 # ----------------------------------------------------------------------
@@ -281,6 +288,20 @@ class ProcessStagePipeline:
         handle.seconds += time.perf_counter() - began
         handle.fed += fed
         handle.emitted += emitted
+        return self._take_outputs()
+
+    def feed_admitted_wires(self, wires: list[list]) -> list[Any]:
+        """Queue pre-admitted, pre-encoded elements for the tag workers.
+
+        The entry point of the sharded ingest tier: admission already
+        ran in a feed worker (counted there), so the batch bypasses the
+        driver's ingest stage and goes straight into the shipping
+        buffer, preserving arrival order with everything fed through
+        the ordinary path.
+        """
+        self._buffer.extend(wires)
+        if len(self._buffer) >= self.batch_size:
+            self._ship()
         return self._take_outputs()
 
     def flush(self) -> list[Any]:
@@ -1093,6 +1114,11 @@ class ShardProcessPipeline:
         self._buffer: list[list] = []
         self._bid = 0
         self._fid = 0
+        #: control messages ("ack"/"fdone"/"final") drained by _pump.
+        #: A stash, not a return value: _put_checked pumps while
+        #: retrying a full queue, and a control message consumed there
+        #: must still reach the barrier loop that is waiting for it.
+        self._ctl: list = []
         #: per-round phase state, keyed by round id (lockstep workers
         #: mean at most one round is mid-phase; trailing "rdone"
         #: collection may briefly keep a second entry alive).
@@ -1143,6 +1169,21 @@ class ShardProcessPipeline:
         self._pump()
         return []
 
+    def feed_admitted_wires(self, wires: list[list]) -> list[Any]:
+        """Queue pre-admitted, pre-encoded elements for the broadcast.
+
+        Ingest-tier entry point (see
+        :meth:`ProcessStagePipeline.feed_admitted_wires`): feed workers
+        already admitted and encoded the batch, so it lands in the
+        broadcast buffer without a driver element-by-element hop.
+        """
+        self._buffer.extend(wires)
+        if len(self._buffer) >= self.batch_size:
+            self._ship()
+        else:
+            self._pump()
+        return []
+
     def flush(self) -> list[Any]:
         """Drain the stream, then run the end-of-stream trailing-bin round."""
         self._ship()
@@ -1151,10 +1192,13 @@ class ShardProcessPipeline:
         for in_q in self._in_qs:
             self._put_checked(in_q, ("flush", fid))
         done = 0
-        while done < self.workers:
-            for msg in self._pump(block=True):
-                if msg[0] == "fdone" and msg[2] == fid:
-                    done += 1
+        while True:
+            done += sum(
+                1 for msg in self._pop_ctl("fdone") if msg[2] == fid
+            )
+            if done >= self.workers:
+                break
+            self._pump(block=True)
         return []
 
     # ------------------------------------------------------------------
@@ -1211,17 +1255,25 @@ class ShardProcessPipeline:
         for sync_q in self._sync_qs:
             sync_q.put(message)
 
-    def _pump(self, block: bool = False, timeout: float = WAIT_POLL_S) -> list:
+    def _pop_ctl(self, kind: str) -> list:
+        """Remove and return stashed control messages of one kind."""
+        matched = [msg for msg in self._ctl if msg[0] == kind]
+        if matched:
+            self._ctl = [msg for msg in self._ctl if msg[0] != kind]
+        return matched
+
+    def _pump(self, block: bool = False, timeout: float = WAIT_POLL_S) -> None:
         """Drain the return queue, driving round phases and serving reads.
 
-        Returns the control messages ("ack", "fdone", "final") picked
-        up along the way; everything else is handled internally.
+        Control messages ("ack", "fdone", "final") are stashed on
+        ``self._ctl`` for whichever barrier loop is collecting them —
+        never returned and dropped, because pumps also happen inside
+        ``_put_checked`` retries; everything else is handled in place.
         """
         from repro.core.monitor import pop_sort_key
         from repro.pipeline.localisation import common_city
         from repro.pipeline.validation import PRUNE_HORIZON_S
 
-        out: list = []
         while True:
             try:
                 msg = (
@@ -1235,7 +1287,7 @@ class ShardProcessPipeline:
                     # messages loop, callers retrying a put must not
                     # hang on a quiet return queue.
                     self._check_alive()
-                return out
+                return
             block = False  # made progress: drain the rest lazily
             kind = msg[0]
             if kind == "bin":
@@ -1330,8 +1382,7 @@ class ShardProcessPipeline:
                 self.close()
                 raise RuntimeError(f"pipeline worker failed:\n{detail}")
             else:
-                out.append(msg)
-        return out
+                self._ctl.append(msg)
 
     def _merge_rejects(self, fresh: list) -> None:
         from repro.core.monitor import pop_sort_key
@@ -1365,12 +1416,13 @@ class ShardProcessPipeline:
         for in_q in self._in_qs:
             self._put_checked(in_q, ("ctl", bid, sections))
         acks: list = []
-        while len(acks) < self.workers:
+        while True:
             acks.extend(
-                msg
-                for msg in self._pump(block=True)
-                if msg[0] == "ack" and msg[1] == bid
+                msg for msg in self._pop_ctl("ack") if msg[1] == bid
             )
+            if len(acks) >= self.workers:
+                break
+            self._pump(block=True)
         if sections is None:
             return None
         return [info for _, _, wid, info in sorted(acks, key=lambda a: a[2])]
@@ -1388,10 +1440,13 @@ class ShardProcessPipeline:
         for in_q in self._in_qs:
             self._put_checked(in_q, ("finalize", fid, end_time))
         finals: dict[int, list] = {}
-        while len(finals) < self.workers:
-            for msg in self._pump(block=True):
-                if msg[0] == "final" and msg[2] == fid:
+        while True:
+            for msg in self._pop_ctl("final"):
+                if msg[2] == fid:
                     finals[msg[1]] = msg[3]
+            if len(finals) >= self.workers:
+                break
+            self._pump(block=True)
         records = finals[0]
         for wid in range(1, self.workers):
             if finals[wid] != records:
@@ -1500,6 +1555,7 @@ class ShardProcessPipeline:
         ]
         self._rounds.clear()
         self._rf_memo.clear()
+        self._ctl.clear()
         # The driver registry keeps only the ingest entry; everything
         # else lives in (and is re-composed from) the worker registries.
         doc_metrics = PipelineMetrics()

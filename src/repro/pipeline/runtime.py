@@ -93,8 +93,21 @@ class StagePipeline:
         return out
 
     def _run_chunk(self, chunk: list[Any]) -> list[Any]:
-        barrier = self.barrier_index
-        staged = self._run_span(0, barrier, chunk)
+        return self.feed_from(0, chunk)
+
+    def feed_from(self, start: int, elements: list[Any]) -> list[Any]:
+        """Thread one element batch through ``stages[start:]``.
+
+        The entry point of the sharded ingest tier
+        (:mod:`repro.ingest`): elements that were already admitted by
+        a feed worker enter the chain *after* the ingest stage
+        (``start=1``) without being re-counted.  Batching stops at the
+        chain's ``depth_first`` barrier exactly as in
+        :meth:`feed_many`, so the two entry points are
+        output-identical on the same element sequence.
+        """
+        barrier = max(self.barrier_index, start)
+        staged = self._run_span(start, barrier, elements)
         if barrier >= len(self.stages):
             return staged
         out: list[Any] = []

@@ -211,10 +211,16 @@ class ShardedStagePipeline:
         return out
 
     def _run_chunk(self, chunk: list[Any]) -> list[Any]:
+        return self.feed_from(0, chunk)
+
+    def feed_from(self, start: int, elements: list[Any]) -> list[Any]:
+        """Thread a pre-staged batch through the chain from stage
+        ``start`` on, dispatching routed batches to the shard chains
+        (the sharded twin of :meth:`StagePipeline.feed_from`)."""
         upstream = self.upstream
-        barrier = upstream.barrier_index
+        barrier = max(upstream.barrier_index, start)
         out: list[Any] = []
-        for staged in upstream._run_span(0, barrier, chunk):
+        for staged in upstream._run_span(start, barrier, elements):
             out.extend(self._dispatch(upstream._run(barrier, [staged])))
         return out
 

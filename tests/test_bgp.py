@@ -243,6 +243,16 @@ class TestCollector:
         assert msg.is_session_recovery
         assert coll.observe(_announce(time=10.0)) is not None
 
+    def test_publish_yields_the_feed_and_drops_lost_updates(self):
+        coll = self._collector()
+        coll.set_session(100, up=False, time=1.0)
+        updates = [_announce(time=2.0), _announce(time=4.0)]
+        assert list(coll.publish(updates)) == []  # session down: lost
+        coll.set_session(100, up=True, time=5.0)
+        published = list(coll.publish([_announce(time=6.0, prefix="10.1.0.0/24")]))
+        assert [u.time for u in published] == [6.0]
+        assert len(coll.rib) == 1
+
 
 class TestStream:
     def test_merge_is_time_sorted(self):
@@ -278,3 +288,17 @@ class TestStream:
         b = _announce(time=1.0)
         stream = BGPStream.from_elements([a, b])
         assert len(list(stream.drain())) == 2
+
+    def test_late_pushes_counted_not_reordered(self):
+        stream = BGPStream()
+        stream.push(_announce(time=5.0))
+        assert stream.pop() is not None
+        # Below the last released time: history cannot be rewritten —
+        # the element still pops (next), but the violation is counted.
+        stream.push(_announce(time=2.0))
+        assert stream.late_pushes == 1
+        late = stream.pop()
+        assert late is not None and late.time == 2.0
+        # At or after the last released time is not late.
+        stream.push(_announce(time=5.0))
+        assert stream.late_pushes == 1

@@ -8,7 +8,7 @@ two scenario worlds, with and without a data-plane validator, linear
 and sharded.
 
 Two properties cover the partitioned monitor and the layout-free
-document (version 2):
+document (version 3):
 
 * ``PartitionedMonitor(partitions=n)`` is byte-identical to the
   singleton monitor for arbitrary partition counts and arbitrary
@@ -249,7 +249,7 @@ class TestCheckpointDocument:
         blob = json.dumps(document)
         parsed = json.loads(blob)
         assert parsed["format"] == "kepler-checkpoint"
-        assert parsed["version"] == 2
+        assert parsed["version"] == 3
         assert parsed["shards"] == 0
         assert parsed["primed_paths"] == detector.primed_paths
 
@@ -274,7 +274,7 @@ class TestCheckpointDocument:
             fresh.restore(document)
 
     def test_shard_mismatch_converts_instead_of_rejecting(self, world_a):
-        """A v2 document converts between shard layouts on restore."""
+        """A v3 document converts between shard layouts on restore."""
         world, snapshot, elements = world_a
         detector = make_kepler(world, KeplerParams(shards=4), False)
         detector.prime(snapshot)

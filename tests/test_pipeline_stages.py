@@ -156,6 +156,19 @@ class TestIngestStage:
         assert stage.feed(object()) == []
         assert stage.dropped == 1
 
+    def test_dropped_types_metered_and_checkpointed(self):
+        stage = IngestStage()
+        stage.feed(object())
+        stage.feed(object())
+        stage.feed("not an element")
+        assert stage.dropped == 3
+        assert stage.dropped_types == {"object": 2, "str": 1}
+        state = stage.state_dict()
+        assert state["dropped_types"] == {"object": 2, "str": 1}
+        fresh = IngestStage()
+        fresh.load_state(state)
+        assert fresh.dropped_types == {"object": 2, "str": 1}
+
     def test_out_of_order_counted_not_dropped(self):
         stage = IngestStage()
         stage.feed(update(0, 10.0))
