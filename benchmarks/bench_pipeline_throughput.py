@@ -94,7 +94,13 @@ OUTPUT_JSON = REPO_ROOT / "BENCH_pipeline_throughput.json"
 #: seed revision, same machine class): 1211 and 1173 updates/sec.
 PRE_REFACTOR_HOT_PATH_UPDATES_PER_SEC = 1192.0
 
+#: Committed single-core end-to-end rate before the columnar batch
+#: representation (PR 5's BENCH_pipeline_throughput.json), for the
+#: recorded speedup-over-baseline figure.
+PRE_COLUMNAR_END_TO_END_PER_SEC = 68_066.0
+
 N_END_TO_END = 205_000  # a little headroom: loop skips degenerate paths
+E2E_TIMING_RUNS = 3  # best-of-N wall clock (shared-core timing noise)
 HOT_POPS = 20
 HOT_BASELINE = 5_000
 HOT_PENDING = 20_000
@@ -179,19 +185,30 @@ def run_end_to_end() -> dict:
     world = build_world(seed=1)
     elements = synthesize_stream(world, N_END_TO_END)
     assert len(elements) >= 200_000
-    kepler = world.make_kepler()
-    kepler.prime(world.rib_snapshot(0.0))
-    began = time.perf_counter()
-    kepler.process(elements)
-    kepler.finalize(end_time=elements[-1].time + 3600.0)
-    elapsed = time.perf_counter() - began
-    snapshot = kepler.metrics.snapshot()
+    elapsed = None
+    snapshot = None
+    for _ in range(E2E_TIMING_RUNS):
+        kepler = world.make_kepler()
+        kepler.prime(world.rib_snapshot(0.0))
+        began = time.perf_counter()
+        kepler.process(elements)
+        kepler.finalize(end_time=elements[-1].time + 3600.0)
+        took = time.perf_counter() - began
+        if elapsed is None or took < elapsed:
+            elapsed = took
+            snapshot = kepler.metrics.snapshot()
     return {
         "elements": len(elements),
         "seconds": round(elapsed, 3),
+        "timing_runs": E2E_TIMING_RUNS,
         "elements_per_sec": round(len(elements) / elapsed, 1),
+        "baseline_pre_columnar_per_sec": PRE_COLUMNAR_END_TO_END_PER_SEC,
+        "speedup_vs_pre_columnar": round(
+            len(elements) / elapsed / PRE_COLUMNAR_END_TO_END_PER_SEC, 2
+        ),
         "stages": snapshot["stages"],
         "bins": snapshot["bins"],
+        "gauges": snapshot["gauges"],
     }
 
 
@@ -813,7 +830,7 @@ def _run_partition_workload(
     priming: list[BGPUpdate],
     elements: list[StreamElement],
     shard_processes: int,
-) -> tuple[float, tuple]:
+) -> tuple[float, tuple, dict]:
     params = KeplerParams(
         monitor=MonitorParams(stable_window_s=120.0),
         enable_investigation=False,
@@ -838,8 +855,14 @@ def _run_partition_workload(
             for c in kepler.signal_log
         ],
     )
+    sync = {}
+    if shard_processes:
+        sync = {
+            "sync_rounds": kepler.pipeline.sync_rounds,
+            "sync_broadcasts": kepler.pipeline.sync_broadcasts,
+        }
     kepler.close()
-    return elapsed, out
+    return elapsed, out, sync
 
 
 def run_partitioned_monitor() -> dict:
@@ -854,17 +877,27 @@ def run_partitioned_monitor() -> dict:
         return {"skipped": "fork start method unavailable", "cores": cores}
     dictionary, communities = _partition_world()
     priming, elements = _partition_stream(communities)
-    linear_s, linear_out = _run_partition_workload(
+    linear_s, linear_out, _ = _run_partition_workload(
         dictionary, priming, elements, shard_processes=0
     )
-    partitioned_s, partitioned_out = _run_partition_workload(
+    partitioned_s, partitioned_out, sync = _run_partition_workload(
         dictionary, priming, elements, shard_processes=PM_PARTITIONS
     )
     assert partitioned_out == linear_out, (
         "shard-process output diverged from the linear singleton chain"
     )
+    # Fused bin sync: exactly one driver exchange (one broadcast per
+    # collected round) per worker per closed-bin round — the 4-trip
+    # phase protocol is gone.
+    exchanges_per_round = (
+        sync["sync_broadcasts"] / sync["sync_rounds"]
+        if sync.get("sync_rounds")
+        else 0.0
+    )
     gate_enforced = cores >= PM_MIN_CORES
     return {
+        "driver_exchanges_per_worker_per_bin": exchanges_per_round,
+        **sync,
         "pops": PM_POPS,
         "bins": PM_BINS,
         "elements": len(elements),
@@ -1058,6 +1091,92 @@ def run_ingest_tier() -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Identity-only mode: byte-identity smoke across every runtime
+# ----------------------------------------------------------------------
+IDENTITY_ELEMENTS = 30_000
+IDENTITY_SEEDS = (1, 3)
+
+
+def _identity_runtimes() -> list[tuple[str, dict]]:
+    from repro.pipeline import fork_available
+
+    combos: list[tuple[str, dict]] = [
+        ("linear", {}),
+        ("shards", {"shards": 2, "shard_workers": 2}),
+    ]
+    if fork_available():
+        combos += [
+            (
+                "process_workers",
+                {"process_workers": 2, "process_batch": 512},
+            ),
+            (
+                "shard_processes",
+                {"shard_processes": 2, "process_batch": 512},
+            ),
+        ]
+    return combos
+
+
+def run_identity() -> dict:
+    """Byte-identity smoke: every runtime × ingest tier, two worlds.
+
+    No timing, no throughput gates — just the invariant that gates
+    every optimisation in this file: records, signal log and rejects
+    must be byte-identical to the linear chain whichever runtime and
+    transport combination processed the stream.  Fast enough for a CI
+    smoke job (`--identity`).
+    """
+    report: dict = {}
+    for seed in IDENTITY_SEEDS:
+        world = build_world(seed=seed)
+        elements = synthesize_stream(world, IDENTITY_ELEMENTS)
+        priming = world.rib_snapshot(0.0)
+        elements.extend(_baseline_churn(priming, IDENTITY_ELEMENTS))
+        elements.sort(key=lambda e: e.sort_key())
+        reference = None
+        runtimes: dict[str, bool] = {}
+        for name, overrides in _identity_runtimes():
+            for feeds in (0, 2):
+                kepler = world.make_kepler(
+                    params=KeplerParams(ingest_feeds=feeds, **overrides),
+                    validator=PureValidator(),
+                )
+                kepler.prime(priming)
+                kepler.process(elements)
+                kepler.finalize(end_time=elements[-1].time + 3600.0)
+                observed = _process_observed(kepler)
+                kepler.close()
+                label = f"{name}+ingest_feeds" if feeds else name
+                if reference is None:
+                    reference = observed
+                runtimes[label] = observed == reference
+                assert observed == reference, (
+                    f"world seed {seed}: {label} diverged from the"
+                    " linear chain"
+                )
+        assert reference[1], (
+            f"world seed {seed}: stream raised no signals — the"
+            " identity check would be vacuous"
+        )
+        report[f"world_seed_{seed}"] = {
+            "elements": len(elements),
+            "records": len(reference[0]),
+            "signal_log": len(reference[1]),
+            "rejected": len(reference[2]),
+            "runtimes": runtimes,
+        }
+    return report
+
+
+def test_runtime_identity():
+    """Pytest entry for the identity smoke (no perf gates)."""
+    report = run_identity()
+    for world in report.values():
+        assert all(world["runtimes"].values()), report
+
+
 def emit(report: dict) -> None:
     OUTPUT_JSON.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -1096,6 +1215,10 @@ def test_pipeline_throughput():
     # monitor-stage scale-out only where there are cores for it.
     if "skipped" not in partitioned:
         assert partitioned["output_identical"], partitioned
+        # Fused sync: exactly one driver exchange per worker per bin.
+        assert (
+            partitioned["driver_exchanges_per_worker_per_bin"] == 1.0
+        ), partitioned
         if partitioned["gate_enforced"]:
             assert partitioned["speedup"] >= PM_SPEEDUP_GATE, partitioned
     # Ingest-tier gates: released-stream identity always; the >= 1.5x
@@ -1107,5 +1230,11 @@ def test_pipeline_throughput():
 
 
 if __name__ == "__main__":
-    test_pipeline_throughput()
-    print(f"wrote {OUTPUT_JSON}")
+    import sys
+
+    if "--identity" in sys.argv[1:]:
+        print(json.dumps(run_identity(), indent=2))
+        print("identity smoke passed (no timings recorded)")
+    else:
+        test_pipeline_throughput()
+        print(f"wrote {OUTPUT_JSON}")

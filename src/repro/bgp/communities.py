@@ -27,6 +27,12 @@ class Community:
             raise ValueError(f"community ASN {self.asn} out of range")
         if not 0 <= self.value <= 0xFFFFFFFF:
             raise ValueError(f"community value {self.value} out of range")
+        # Communities are dict keys on the tagging hot path; the
+        # generated dataclass __hash__ rebuilds a field tuple per call.
+        object.__setattr__(self, "_hash", hash((self.asn, self.value)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def is_extended(self) -> bool:

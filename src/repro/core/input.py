@@ -59,13 +59,14 @@ class TaggedPath:
         return None
 
 
-#: Distinct (AS path, communities) pairs memoised before the cache is
-#: dropped and rebuilt.  BGP streams repeat the same attribute pairs
+#: Distinct (AS path, communities) pairs memoised before the oldest
+#: generation is dropped.  BGP streams repeat the same attribute pairs
 #: constantly (one peer re-announcing its table), so the hit rate is
 #: high long before the bound is reached.
 MEMO_MAX_ENTRIES = 65536
 
 _MEMO_MISS = object()
+_TAGGED_NEW = TaggedPath.__new__
 
 
 class InputModule:
@@ -76,8 +77,18 @@ class InputModule:
     untouched — so the sanitised path and derived tags are memoised
     per pair.  Repeated announcements from the same peers (the common
     case on the 37%-of-runtime tagging hot path) skip sanitisation and
-    the community walk entirely.  The memo is a derived cache, not
-    state: it is never checkpointed and each process keeps its own.
+    the community walk entirely.  The memo key is the pair of *id
+    tuples* — the AS path and the flattened ``(asn, value, ...)``
+    community ints — so the columnar wire path can consult the same
+    memo straight from a batch's interned community-id table without
+    materialising ``Community`` objects at all.
+
+    The memo is segmented into two generations: when the young
+    generation fills, the old one is dropped and the young one ages
+    into its place, so the working set survives every rotation (a
+    wholesale clear restarted the hit rate from zero).  The memo is a
+    derived cache, not state: it is never checkpointed and each
+    process keeps its own.
     """
 
     def __init__(
@@ -92,60 +103,204 @@ class InputModule:
         self.discarded_count = 0
         self.memo_max = memo_max
         self.memo_hits = 0
-        #: (as_path, communities) -> (clean path, tags), or None when
-        #: the sanitizer discards the path.
+        #: entries dropped by generation rotation (cache telemetry,
+        #: surfaced as a metrics gauge — never checkpointed).
+        self.memo_evictions = 0
+        #: (as_path ints, flat community ints) -> (clean path, tags),
+        #: or None when the sanitizer discards the path.
         self._memo: dict[
-            tuple[tuple[int, ...], tuple],
+            tuple[tuple[int, ...], tuple[int, ...]],
             tuple[tuple[int, ...], tuple[PoPTag, ...]] | None,
         ] = {}
+        self._memo_old: dict = {}
+        self._gen_max = max(1, memo_max // 2)
 
     def process(self, update: BGPUpdate) -> TaggedPath | None:
         """Parse one update; ``None`` when the path must be discarded."""
-        key: PathKey = (update.collector, update.peer_asn, update.prefix)
-        if update.elem_type is ElemType.WITHDRAWAL:
+        source = update.__dict__
+        elem_type = source["elem_type"]
+        key: PathKey = (
+            source["collector"],
+            source["peer_asn"],
+            source["prefix"],
+        )
+        if elem_type is ElemType.WITHDRAWAL:
             self.parsed_count += 1
-            return TaggedPath(
-                key=key,
-                time=update.time,
-                elem_type=update.elem_type,
-                as_path=(),
-                tags=(),
-                afi=update.afi,
+            tagged = _TAGGED_NEW(TaggedPath)
+            fields = tagged.__dict__
+            fields["key"] = key
+            fields["time"] = source["time"]
+            fields["elem_type"] = elem_type
+            fields["as_path"] = ()
+            fields["tags"] = ()
+            fields["afi"] = source["afi"]
+            return tagged
+        communities = source["communities"]
+        if len(communities) == 1:
+            community = communities[0]
+            memo_key = (
+                source["as_path"],
+                (community.asn, community.value),
             )
-        memo_key = (update.as_path, update.communities)
+        else:
+            flat: list[int] = []
+            for community in communities:
+                flat.append(community.asn)
+                flat.append(community.value)
+            memo_key = (source["as_path"], tuple(flat))
         cached = self._memo.get(memo_key, _MEMO_MISS)
         if cached is not _MEMO_MISS:
             self.memo_hits += 1
         else:
-            clean = sanitize_path(update.as_path)
-            cached = (
-                None if clean is None else (clean, self._map_tags(clean, update))
-            )
-            if len(self._memo) >= self.memo_max:
-                self._memo.clear()
-            self._memo[memo_key] = cached
+            cached = self._lookup(memo_key[0], memo_key[1], communities)
         if cached is None:
             self.discarded_count += 1
             return None
         self.parsed_count += 1
         clean_path, tags = cached
-        return TaggedPath(
-            key=key,
-            time=update.time,
-            elem_type=update.elem_type,
-            as_path=clean_path,
-            tags=tags,
-            afi=update.afi,
-        )
+        tagged = _TAGGED_NEW(TaggedPath)
+        fields = tagged.__dict__
+        fields["key"] = key
+        fields["time"] = source["time"]
+        fields["elem_type"] = elem_type
+        fields["as_path"] = clean_path
+        fields["tags"] = tags
+        fields["afi"] = source["afi"]
+        return tagged
+
+    def process_batch(self, elements, out: list, fallback=None) -> None:
+        """Tag a chunk of stream elements into ``out``.
+
+        The columnar-tagging entry point: one loop with every lookup
+        hoisted to a local, so the per-element cost is the memo probe
+        and the ``TaggedPath`` fill — no attribute traffic, no
+        per-element method call.  Counters are accumulated locally and
+        folded into the module's totals once per batch (observable
+        state only moves between batches, which is when metrics and
+        checkpoints read it).  Elements that are not plain
+        ``BGPUpdate`` go through ``fallback`` (a callable returning a
+        list, e.g. ``TaggingStage.feed``) and keep their slot order;
+        without one they are appended untouched.
+        """
+        append = out.append
+        extend = out.extend
+        memo_get = self._memo.get
+        lookup = self._lookup
+        miss = _MEMO_MISS
+        new = _TAGGED_NEW
+        cls = TaggedPath
+        update_cls = BGPUpdate
+        withdrawal = ElemType.WITHDRAWAL
+        parsed = 0
+        hits = 0
+        discarded = 0
+        for update in elements:
+            if type(update) is not update_cls:
+                if fallback is None:
+                    append(update)
+                else:
+                    extend(fallback(update))
+                continue
+            source = update.__dict__
+            elem_type = source["elem_type"]
+            key = (
+                source["collector"],
+                source["peer_asn"],
+                source["prefix"],
+            )
+            if elem_type is withdrawal:
+                parsed += 1
+                tagged = new(cls)
+                fields = tagged.__dict__
+                fields["key"] = key
+                fields["time"] = source["time"]
+                fields["elem_type"] = elem_type
+                fields["as_path"] = ()
+                fields["tags"] = ()
+                fields["afi"] = source["afi"]
+                append(tagged)
+                continue
+            communities = source["communities"]
+            if len(communities) == 1:
+                community = communities[0]
+                memo_key = (
+                    source["as_path"],
+                    (community.asn, community.value),
+                )
+            else:
+                flat: list[int] = []
+                for community in communities:
+                    flat.append(community.asn)
+                    flat.append(community.value)
+                memo_key = (source["as_path"], tuple(flat))
+            cached = memo_get(memo_key, miss)
+            if cached is not miss:
+                hits += 1
+            else:
+                cached = lookup(memo_key[0], memo_key[1], communities)
+            if cached is None:
+                discarded += 1
+                continue
+            parsed += 1
+            tagged = new(cls)
+            fields = tagged.__dict__
+            fields["key"] = key
+            fields["time"] = source["time"]
+            fields["elem_type"] = elem_type
+            fields["as_path"] = cached[0]
+            fields["tags"] = cached[1]
+            fields["afi"] = source["afi"]
+            append(tagged)
+        self.parsed_count += parsed
+        self.memo_hits += hits
+        self.discarded_count += discarded
+
+    def _lookup(
+        self,
+        as_path: tuple[int, ...],
+        flat_communities: tuple[int, ...],
+        communities,
+    ) -> tuple[tuple[int, ...], tuple[PoPTag, ...]] | None:
+        """Memoised (clean path, tags) for one id-tuple attribute pair.
+
+        ``communities`` may be a ``Community`` tuple or ``None``; it is
+        only touched on a full miss, where the columnar path rebuilds
+        objects lazily from the flat ints.
+        """
+        memo_key = (as_path, flat_communities)
+        cached = self._memo.get(memo_key, _MEMO_MISS)
+        if cached is not _MEMO_MISS:
+            self.memo_hits += 1
+            return cached
+        cached = self._memo_old.get(memo_key, _MEMO_MISS)
+        if cached is not _MEMO_MISS:
+            self.memo_hits += 1
+        else:
+            if communities is None:
+                from repro.core.serde import communities_from_flat
+
+                communities = communities_from_flat(flat_communities)
+            clean = sanitize_path(as_path)
+            cached = (
+                None
+                if clean is None
+                else (clean, self._map_tags(clean, communities))
+            )
+        if len(self._memo) >= self._gen_max:
+            self.memo_evictions += len(self._memo_old)
+            self._memo_old = self._memo
+            self._memo = {}
+        self._memo[memo_key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     def _map_tags(
-        self, path: tuple[int, ...], update: BGPUpdate
+        self, path: tuple[int, ...], communities
     ) -> tuple[PoPTag, ...]:
         tags: list[PoPTag] = []
         seen: set[tuple[PoP, int | None]] = set()
         position = {asn: i for i, asn in enumerate(path)}
-        for community in update.communities:
+        for community in communities:
             pop = self.dictionary.lookup(community)
             if pop is None:
                 continue

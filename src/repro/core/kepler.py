@@ -19,6 +19,7 @@ can meter, test or shard the stages individually.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 from collections.abc import Iterable
 from typing import TYPE_CHECKING
@@ -59,6 +60,13 @@ if TYPE_CHECKING:
 #: :func:`repro.pipeline.checkpoint.compose_ingest_state`).
 CHECKPOINT_VERSION = 3
 CHECKPOINT_FORMAT = "kepler-checkpoint"
+
+#: First-generation collector threshold while the stream loop runs
+#: (see :meth:`Kepler.process`).  Steady-state allocations are
+#: acyclic, so delaying cycle detection trades a bounded amount of
+#: cycle-garbage latency for not re-walking the heap every ~700
+#: allocations.
+_STREAM_GC_GEN0 = 2_000_000
 
 
 @dataclass
@@ -303,8 +311,22 @@ class Kepler:
         Elements travel in chunks (:meth:`StagePipeline.feed_many`),
         so the per-stage dispatch and metering cost is paid per chunk,
         not per element — output is identical to feeding one at a time.
+
+        The cyclic collector's first-generation threshold is raised
+        for the duration of the loop (and restored after): steady-state
+        stream processing allocates heavily but acyclically — tagged
+        paths, baseline entries, signal batches — and at the default
+        threshold every few hundred allocations trigger a scan whose
+        full-heap generations re-walk the long-lived RIB baseline.
         """
-        self.pipeline.feed_many(elements)
+        thresholds = gc.get_threshold()
+        if thresholds[0]:
+            gc.set_threshold(_STREAM_GC_GEN0, *thresholds[1:])
+        try:
+            self.pipeline.feed_many(elements)
+        finally:
+            if thresholds[0]:
+                gc.set_threshold(*thresholds)
 
     def process_feeds(
         self,

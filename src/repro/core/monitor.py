@@ -46,7 +46,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.bgp.messages import BGPStateMessage
+from repro.bgp.messages import BGPStateMessage, ElemType
 from repro.core.events import OutageSignal
 from repro.core.input import PathKey, PoPTag, TaggedPath
 from repro.docmine.dictionary import PoP
@@ -132,6 +132,14 @@ class _TrackState:
         return len(self.returned) / len(self.keys)
 
 
+#: Bits reserved for the PoP index in a packed (key, pop) pending id.
+_POP_SHIFT = 20
+_POP_MASK = (1 << _POP_SHIFT) - 1
+#: Cap on the per-partition derived-column caches (tag columns, path
+#: AS-sets); wholesale clear on overflow — they are pure caches.
+_COLS_CACHE_MAX = 65536
+
+
 class MonitorPartition:
     """Per-partition detection core: one PoP subset's monitor state.
 
@@ -140,6 +148,16 @@ class MonitorPartition:
     pure with respect to the stream: it holds no binning clock — the
     coordinator closes bins — and reads the feed-gap set through a
     reference shared with its siblings.
+
+    The hot per-element state is columnar: path keys and PoPs are
+    interned to dense integer ids, and per-key PoP membership
+    (baseline, pending, tracking) is an int bitmask in a dense list
+    indexed by key id.  The per-bin fold therefore runs on C-speed
+    list indexing and integer mask arithmetic; the object-shaped
+    views (``baseline``, ``_pending`` entries) are only touched when
+    an event actually changes state.  The intern tables grow with the
+    key universe — the same order of memory as the baseline itself —
+    and are rebuilt empty on :meth:`reset`.
 
     Return tracking is deliberately ownership-agnostic: a partition
     fed the full stream can track *any* PoP's diverted keys, which is
@@ -161,8 +179,18 @@ class MonitorPartition:
         self._gapped = gapped
         #: pop -> key -> entry (the stable baseline).
         self.baseline: dict[PoP, dict[PathKey, _BaselineEntry]] = {}
-        #: reverse index key -> pops with a baseline entry for it.
-        self._key_pops: dict[PathKey, set[PoP]] = {}
+        #: key/PoP intern tables: id assignment order is arrival order
+        #: and is never observable (all serialised forms use objects).
+        self._key_ids: dict[PathKey, int] = {}
+        self._keys: list[PathKey] = []
+        self._pop_ids: dict[PoP, int] = {}
+        self._pops: list[PoP] = []
+        #: per-key PoP membership masks, indexed by key id: bit p set
+        #: in ``_base_mask[k]`` iff ``_keys[k]`` has a baseline entry
+        #: for ``_pops[p]`` (likewise pending candidates / tracking).
+        self._base_mask: list[int] = []
+        self._pend_mask: list[int] = []
+        self._track_mask: list[int] = []
         #: reverse index (collector, peer) -> baseline keys of that peer,
         #: so feed-gap corrections touch only the gapped peers' paths.
         self._peer_keys: dict[tuple[str, int], set[PathKey]] = {}
@@ -170,23 +198,28 @@ class MonitorPartition:
         #: contributes one count to its near- and far-end AS.  Avoids the
         #: full baseline walk per diverted pop at every bin close.
         self._as_totals: dict[PoP, dict[int, int]] = {}
-        #: stability candidates: (pop, key) -> entry with first-seen time.
-        self._pending: dict[tuple[PoP, PathKey], _BaselineEntry] = {}
-        #: reverse index key -> pops with a pending candidate for it,
-        #: so withdrawals and tag changes do not scan all of ``_pending``.
-        self._pending_by_key: dict[PathKey, set[PoP]] = {}
-        #: promotion queue: (since, tiebreak, pop, key); entries whose
+        #: stability candidates: packed (key_id << _POP_SHIFT | pop_id)
+        #: -> plain ``(near_asn, far_asn, since, path_ases)`` tuple (the
+        #: fold allocates one per candidate; a dataclass would double
+        #: the cost of the hottest allocation in the system).
+        self._pending: dict[
+            int, tuple[int | None, int | None, float, frozenset[int]]
+        ] = {}
+        #: promotion queue: (since, tiebreak, packed_id); entries whose
         #: candidate was reset are invalidated lazily on pop.  The
         #: tiebreak is a plain int (not itertools.count) so taking a
         #: checkpoint never mutates the partition.
-        self._pending_heap: list[tuple[float, int, PoP, PathKey]] = []
+        self._pending_heap: list[tuple[float, int, int]] = []
         self._heap_counter = 0
+        #: derived-column caches keyed by id() of memo-shared tuples;
+        #: the cached value holds a reference to its source object, so
+        #: a live cache hit is always an identity hit.
+        self._tags_cols: dict[int, tuple] = {}
+        self._path_ases: dict[int, tuple] = {}
         #: divergences observed in the current bin (own pops only).
         self._diverted: dict[PoP, set[PathKey]] = {}
         #: open-outage return tracking (any pop — see class docstring).
         self._tracking: dict[PoP, _TrackState] = {}
-        #: reverse index key -> tracked pops whose key-set contains it.
-        self._tracking_by_key: dict[PathKey, set[PoP]] = {}
         #: diverted keys of the most recently closed bin, per own PoP.
         self.last_diverted: dict[PoP, set[PathKey]] = {}
 
@@ -194,6 +227,54 @@ class MonitorPartition:
         if self.n_partitions == 1:
             return True
         return partition_of(pop, self.n_partitions) == self.index
+
+    # ------------------------------------------------------------------
+    # Interning (internal ids; never serialised)
+    # ------------------------------------------------------------------
+    def _intern_key(self, key: PathKey) -> int:
+        idx = self._key_ids.get(key)
+        if idx is None:
+            idx = self._key_ids[key] = len(self._keys)
+            self._keys.append(key)
+            self._base_mask.append(0)
+            self._pend_mask.append(0)
+            self._track_mask.append(0)
+        return idx
+
+    def _intern_pop(self, pop: PoP) -> int:
+        idx = self._pop_ids.get(pop)
+        if idx is None:
+            idx = self._pop_ids[pop] = len(self._pops)
+            if idx >= _POP_MASK:
+                raise OverflowError("too many distinct PoPs to intern")
+            self._pops.append(pop)
+        return idx
+
+    def _tag_cols(self, tags: tuple[PoPTag, ...]) -> tuple:
+        """Derived columns for one (memo-shared) tag tuple.
+
+        Returns ``(tags, update_mask, owned)`` where ``update_mask``
+        has the bit of every tagged PoP and ``owned`` holds one
+        ``(pop_id, bit, near_asn, far_asn)`` row per owned tag.
+        Cached per distinct tuple identity: the tagging memo shares
+        tag tuples across elements, so the cache hit rate tracks the
+        memo's.
+        """
+        cache = self._tags_cols
+        if len(cache) > _COLS_CACHE_MAX:
+            cache.clear()
+        single = self.n_partitions == 1
+        mask = 0
+        owned = []
+        for tag in tags:
+            idx = self._intern_pop(tag.pop)
+            bit = 1 << idx
+            mask |= bit
+            if single or self.owns(tag.pop):
+                owned.append((idx, bit, tag.near_asn, tag.far_asn))
+        cols = (tags, mask, tuple(owned))
+        cache[id(tags)] = cols
+        return cols
 
     # ------------------------------------------------------------------
     # Baseline priming (initial RIB snapshot, assumed stable)
@@ -228,7 +309,7 @@ class MonitorPartition:
         )
         entries[key] = entry
         self._count_entry(pop, entry, +1)
-        self._key_pops.setdefault(key, set()).add(pop)
+        self._base_mask[self._intern_key(key)] |= 1 << self._intern_pop(pop)
         self._peer_keys.setdefault((key[0], key[1]), set()).add(key)
 
     def _remove(self, pop: PoP, key: PathKey) -> None:
@@ -240,17 +321,21 @@ class MonitorPartition:
             if not entries:
                 self.baseline.pop(pop, None)
                 self._as_totals.pop(pop, None)
-        pops = self._key_pops.get(key)
-        if pops is not None:
-            pops.discard(pop)
-            if not pops:
-                self._key_pops.pop(key, None)
-                peer = (key[0], key[1])
-                keys = self._peer_keys.get(peer)
-                if keys is not None:
-                    keys.discard(key)
-                    if not keys:
-                        self._peer_keys.pop(peer, None)
+        key_idx = self._key_ids.get(key)
+        pop_idx = self._pop_ids.get(pop)
+        if key_idx is not None and pop_idx is not None:
+            bit = 1 << pop_idx
+            mask = self._base_mask[key_idx]
+            if mask & bit:
+                mask &= ~bit
+                self._base_mask[key_idx] = mask
+                if not mask:
+                    peer = (key[0], key[1])
+                    keys = self._peer_keys.get(peer)
+                    if keys is not None:
+                        keys.discard(key)
+                        if not keys:
+                            self._peer_keys.pop(peer, None)
 
     def _count_entry(self, pop: PoP, entry: _BaselineEntry, delta: int) -> None:
         totals = self._as_totals.setdefault(pop, {})
@@ -266,23 +351,37 @@ class MonitorPartition:
     # ------------------------------------------------------------------
     # Pending-candidate bookkeeping (indexed by key for O(1) resets)
     # ------------------------------------------------------------------
-    def _pending_add(self, pop: PoP, key: PathKey, entry: _BaselineEntry) -> None:
-        self._pending[(pop, key)] = entry
-        self._pending_by_key.setdefault(key, set()).add(pop)
+    def _pending_add(
+        self,
+        pop: PoP,
+        key: PathKey,
+        entry: tuple[int | None, int | None, float, frozenset[int]],
+    ) -> None:
+        key_idx = self._intern_key(key)
+        packed = key_idx << _POP_SHIFT | self._intern_pop(pop)
+        self._pending[packed] = entry
+        self._pend_mask[key_idx] |= 1 << (packed & _POP_MASK)
         self._heap_counter += 1
         heapq.heappush(
             self._pending_heap,
-            (entry.since, self._heap_counter, pop, key),
+            (entry[2], self._heap_counter, packed),
         )
 
     def _pending_discard(self, pop: PoP, key: PathKey) -> None:
-        if self._pending.pop((pop, key), None) is None:
+        key_idx = self._key_ids.get(key)
+        pop_idx = self._pop_ids.get(pop)
+        if key_idx is None or pop_idx is None:
             return
-        pops = self._pending_by_key.get(key)
-        if pops is not None:
-            pops.discard(pop)
-            if not pops:
-                self._pending_by_key.pop(key, None)
+        if self._pending.pop(key_idx << _POP_SHIFT | pop_idx, None) is None:
+            return
+        self._pend_mask[key_idx] &= ~(1 << pop_idx)
+
+    def iter_pending(self):
+        """Yield live ``(pop, key, entry)`` candidates (unordered)."""
+        keys = self._keys
+        pops = self._pops
+        for packed, entry in self._pending.items():
+            yield pops[packed & _POP_MASK], keys[packed >> _POP_SHIFT], entry
 
     # ------------------------------------------------------------------
     # Streaming interface (driven by the coordinator)
@@ -292,49 +391,138 @@ class MonitorPartition:
         key = tagged.key
         if (key[0], key[1]) in self._gapped:
             return  # feed gap: ignore, do not interpret as divergence
-        update_pops = tagged.pops()
+        self.apply_events((tagged,))
 
-        # Divergence check against the baseline.
-        for pop in list(self._key_pops.get(key, ())):
-            if tagged.is_withdrawal or pop not in update_pops:
-                self._diverted.setdefault(pop, set()).add(key)
-        # Return tracking for open outages (indexed: only pops whose
-        # tracked key-set contains this key are touched).
-        for pop in self._tracking_by_key.get(key, ()):
-            track = self._tracking[pop]
-            if not tagged.is_withdrawal and pop in update_pops:
-                track.returned.add(key)
-            else:
-                track.returned.discard(key)
+    def apply_events(self, events) -> None:
+        """Fold a run of admitted elements in arrival order.
 
-        # Stability accounting for future baseline entries.
-        if tagged.is_withdrawal:
-            for pop in list(self._pending_by_key.get(key, ())):
-                self._pending_discard(pop, key)
-            return
-        for tag in tagged.tags:
-            if not self.owns(tag.pop):
+        The columnar hot loop: per element it costs one intern lookup
+        for the key, one identity-cache hit for the tag columns, and a
+        handful of dense-list reads and bitmask tests.  The object
+        structures (``_pending`` entries, divergence/tracking sets)
+        are only touched when a mask test says the element changes
+        state.  The feed-gap admission check already ran at arrival
+        time (see :meth:`PartitionedMonitor.observe`).
+
+        Semantics per element are exactly :meth:`apply`'s historical
+        per-element transition — divergence against the baseline
+        mask, return tracking, withdrawal-resets, stability-candidate
+        add/reset — replayed in arrival order, so folding any prefix
+        is state-identical to per-element application.
+        """
+        key_ids_get = self._key_ids.get
+        intern_key = self._intern_key
+        base_mask = self._base_mask
+        pend_mask = self._pend_mask
+        track_mask = self._track_mask
+        tags_cols_get = self._tags_cols.get
+        tag_cols = self._tag_cols
+        path_cache = self._path_ases
+        pending = self._pending
+        heap = self._pending_heap
+        heappush = heapq.heappush
+        counter = self._heap_counter
+        pops = self._pops
+        diverted = self._diverted
+        tracking = self._tracking
+        withdrawal = ElemType.WITHDRAWAL
+        shift = _POP_SHIFT
+        for tagged in events:
+            source = tagged.__dict__
+            key = source["key"]
+            tags = source["tags"]
+            is_withdrawal = source["elem_type"] is withdrawal
+            cols = tags_cols_get(id(tags))
+            if cols is None:
+                cols = tag_cols(tags)
+            update_mask = cols[1]
+            key_idx = key_ids_get(key)
+            if key_idx is None:
+                key_idx = intern_key(key)
+            kmask = base_mask[key_idx]
+            tmask = track_mask[key_idx]
+            pmask = pend_mask[key_idx]
+            # Steady-state fast path: the element changes nothing.  An
+            # announcement whose tags split exactly into baseline bits
+            # (no divergence, no candidacy reset) and already-pending
+            # bits (since keeps its first-seen time) is a no-op, as is
+            # a withdrawal of a key with no state at all.  This is the
+            # bulk of a stable stream: re-announcements of pending
+            # candidates and of baseline paths.
+            if not tmask:
+                if is_withdrawal:
+                    if not kmask and not pmask:
+                        continue
+                elif (kmask | pmask) == update_mask and not (kmask & pmask):
+                    continue
+            if kmask:
+                # Divergence check against the baseline.
+                div = kmask if is_withdrawal else kmask & ~update_mask
+                while div:
+                    bit = div & -div
+                    div ^= bit
+                    pop = pops[bit.bit_length() - 1]
+                    keys = diverted.get(pop)
+                    if keys is None:
+                        keys = diverted[pop] = set()
+                    keys.add(key)
+            if tmask:
+                # Return tracking for open outages (indexed: only pops
+                # whose tracked key-set contains this key are touched).
+                while tmask:
+                    bit = tmask & -tmask
+                    tmask ^= bit
+                    track = tracking[pops[bit.bit_length() - 1]]
+                    if not is_withdrawal and update_mask & bit:
+                        track.returned.add(key)
+                    else:
+                        track.returned.discard(key)
+            if is_withdrawal:
+                # Stability candidates of a withdrawn key all reset.
+                if pmask:
+                    packed_key = key_idx << shift
+                    while pmask:
+                        bit = pmask & -pmask
+                        pmask ^= bit
+                        del pending[packed_key | (bit.bit_length() - 1)]
+                    pend_mask[key_idx] = 0
                 continue
-            pending_key = (tag.pop, key)
-            in_baseline = key in self.baseline.get(tag.pop, {})
-            if in_baseline:
-                self._pending_discard(tag.pop, key)
-                continue
-            if pending_key not in self._pending:
-                self._pending_add(
-                    tag.pop,
-                    key,
-                    _BaselineEntry(
-                        near_asn=tag.near_asn,
-                        far_asn=tag.far_asn,
-                        since=tagged.time,
-                        path_ases=frozenset(tagged.as_path[1:]),
-                    ),
-                )
-        # Tags that disappeared reset their pending candidacy.
-        for pop in list(self._pending_by_key.get(key, ())):
-            if pop not in update_pops:
-                self._pending_discard(pop, key)
+            new_mask = pmask
+            for pop_idx, bit, near_asn, far_asn in cols[2]:
+                if kmask & bit:
+                    # Already in the baseline: candidacy resets.
+                    if new_mask & bit:
+                        del pending[key_idx << shift | pop_idx]
+                        new_mask &= ~bit
+                    continue
+                if not (new_mask & bit):
+                    path = source["as_path"]
+                    cached = path_cache.get(id(path))
+                    if cached is None:
+                        if len(path_cache) > _COLS_CACHE_MAX:
+                            path_cache.clear()
+                        ases = frozenset(path[1:])
+                        path_cache[id(path)] = (path, ases)
+                    else:
+                        ases = cached[1]
+                    since = source["time"]
+                    packed = key_idx << shift | pop_idx
+                    pending[packed] = (near_asn, far_asn, since, ases)
+                    counter += 1
+                    heappush(heap, (since, counter, packed))
+                    new_mask |= bit
+            # Tags that disappeared reset their pending candidacy.
+            stale = new_mask & ~update_mask
+            if stale:
+                packed_key = key_idx << shift
+                new_mask &= ~stale
+                while stale:
+                    bit = stale & -stale
+                    stale ^= bit
+                    del pending[packed_key | (bit.bit_length() - 1)]
+            if new_mask != pmask:
+                pend_mask[key_idx] = new_mask
+        self._heap_counter = counter
 
     # ------------------------------------------------------------------
     # Bin closing: partial signal computation
@@ -436,27 +624,32 @@ class MonitorPartition:
         # ``since`` no longer matches the live entry).  Sustained
         # announce/withdraw churn leaves stale tuples behind faster
         # than promotion drains them, so compact when they dominate.
-        if len(self._pending_heap) > max(1024, 2 * len(self._pending)):
+        if len(self._pending_heap) > max(4096, 4 * len(self._pending)):
             rebuilt = []
-            for (pop, key), entry in self._pending.items():
+            for packed, entry in self._pending.items():
                 self._heap_counter += 1
-                rebuilt.append((entry.since, self._heap_counter, pop, key))
+                rebuilt.append((entry[2], self._heap_counter, packed))
             heapq.heapify(rebuilt)
             self._pending_heap = rebuilt
         threshold = now - self.params.stable_window_s
         heap = self._pending_heap
         while heap and heap[0][0] <= threshold:
-            since, _, pop, key = heapq.heappop(heap)
-            entry = self._pending.get((pop, key))
-            if entry is None or entry.since != since:
+            since, _, packed = heapq.heappop(heap)
+            entry = self._pending.get(packed)
+            if entry is None or entry[2] != since:
                 continue
-            self._pending_discard(pop, key)
+            pop = self._pops[packed & _POP_MASK]
+            key = self._keys[packed >> _POP_SHIFT]
+            del self._pending[packed]
+            self._pend_mask[packed >> _POP_SHIFT] &= ~(
+                1 << (packed & _POP_MASK)
+            )
             self._install(
                 pop,
                 key,
-                PoPTag(pop=pop, near_asn=entry.near_asn, far_asn=entry.far_asn),
-                entry.since,
-                entry.path_ases,
+                PoPTag(pop=pop, near_asn=entry[0], far_asn=entry[1]),
+                entry[2],
+                entry[3],
             )
 
     # ------------------------------------------------------------------
@@ -468,8 +661,9 @@ class MonitorPartition:
             existing.keys.update(keys)
         else:
             self._tracking[pop] = _TrackState(keys=set(keys))
+        bit = 1 << self._intern_pop(pop)
         for key in keys:
-            self._tracking_by_key.setdefault(key, set()).add(pop)
+            self._track_mask[self._intern_key(key)] |= bit
 
     def returned_fraction(self, pop: PoP) -> float | None:
         track = self._tracking.get(pop)
@@ -481,12 +675,16 @@ class MonitorPartition:
         track = self._tracking.pop(pop, None)
         if track is None:
             return
+        pop_idx = self._pop_ids.get(pop)
+        if pop_idx is None:
+            return
+        clear = ~(1 << pop_idx)
+        key_ids_get = self._key_ids.get
+        track_mask = self._track_mask
         for key in track.keys:
-            pops = self._tracking_by_key.get(key)
-            if pops is not None:
-                pops.discard(pop)
-                if not pops:
-                    self._tracking_by_key.pop(key, None)
+            key_idx = key_ids_get(key)
+            if key_idx is not None:
+                track_mask[key_idx] &= clear
 
     # ------------------------------------------------------------------
     # Queries used by investigation / Kepler
@@ -520,16 +718,22 @@ class MonitorPartition:
     # ------------------------------------------------------------------
     def reset(self) -> None:
         self.baseline.clear()
-        self._key_pops.clear()
+        self._key_ids.clear()
+        self._keys.clear()
+        self._pop_ids.clear()
+        self._pops.clear()
+        self._base_mask.clear()
+        self._pend_mask.clear()
+        self._track_mask.clear()
+        self._tags_cols.clear()
+        self._path_ases.clear()
         self._peer_keys.clear()
         self._as_totals.clear()
         self._pending.clear()
-        self._pending_by_key.clear()
         self._pending_heap.clear()
         self._heap_counter = 0
         self._diverted.clear()
         self._tracking.clear()
-        self._tracking_by_key.clear()
         self.last_diverted = {}
 
     def load_baseline_entry(
@@ -548,16 +752,7 @@ class MonitorPartition:
         self, pop: PoP, key: PathKey, entry_json: list
     ) -> None:
         near, far, since, path_ases = entry_json
-        self._pending_add(
-            pop,
-            key,
-            _BaselineEntry(
-                near_asn=near,
-                far_asn=far,
-                since=since,
-                path_ases=frozenset(path_ases),
-            ),
-        )
+        self._pending_add(pop, key, (near, far, since, frozenset(path_ases)))
 
     def load_tracking_entry(
         self, pop: PoP, keys: set[PathKey], returned: set[PathKey]
@@ -608,6 +803,11 @@ class PartitionedMonitor:
         }
         self._part_list = [self._parts[i] for i in indices]
         self._single = self._part_list[0] if len(self._part_list) == 1 else None
+        #: in-bin elements deferred for the grouped per-bin fold; the
+        #: feed-gap admission check already ran at arrival time.  The
+        #: list is cleared in place (never rebound): the monitoring
+        #: stage's batch feeder holds a bound ``append`` across calls.
+        self._events: list[TaggedPath] = []
         self._bin_start: float | None = None
         #: merged diverted keys of the most recently closed bin.
         self.last_diverted: dict[PoP, set[PathKey]] = {}
@@ -631,6 +831,10 @@ class PartitionedMonitor:
     # ------------------------------------------------------------------
     def prime(self, tagged: TaggedPath) -> None:
         """Install a path into the baseline directly (table dump)."""
+        # Earlier stream elements must see the pre-prime baseline: fold
+        # them before the install becomes visible.
+        if self._events:
+            self._flush_events()
         for part in self._part_list:
             part.prime(tagged)
 
@@ -642,19 +846,37 @@ class PartitionedMonitor:
             self._gapped.discard(peer)
 
     def observe(self, tagged: TaggedPath) -> list[OutageSignal]:
-        """Feed one tagged element; returns signals of any closed bins."""
+        """Feed one tagged element; returns signals of any closed bins.
+
+        In-bin elements are admitted (feed-gap check at arrival time)
+        and deferred; the grouped fold over the whole bin runs at the
+        close — or earlier, when a query needs divergence, pending or
+        tracking state mid-bin.  The fold replays arrival order, so
+        any flush prefix is state-identical to per-element application.
+        """
         signals: list[OutageSignal] = []
         if self._bin_start is None:
             self._bin_start = self._bin_floor(tagged.time)
         while tagged.time >= self._bin_start + self.params.bin_interval_s:
             signals.extend(self.close_bin())
+        key = tagged.key
+        if (key[0], key[1]) not in self._gapped:
+            self._events.append(tagged)
+        return signals
+
+    def _flush_events(self) -> None:
+        """Fold the deferred in-bin elements into every partition."""
+        events = self._events
+        if not events:
+            return
+        batch = events[:]
+        events.clear()
         single = self._single
         if single is not None:
-            single.apply(tagged)
+            single.apply_events(batch)
         else:
             for part in self._part_list:
-                part.apply(tagged)
-        return signals
+                part.apply_events(batch)
 
     def _bin_floor(self, time: float) -> float:
         width = self.params.bin_interval_s
@@ -670,6 +892,8 @@ class PartitionedMonitor:
         partitions return their partials already sorted, and the
         cross-partition merge preserves that total order.
         """
+        if self._events:
+            self._flush_events()
         if self._bin_start is None:
             return []
         bin_start = self._bin_start
@@ -718,12 +942,18 @@ class PartitionedMonitor:
     # Open-outage return tracking
     # ------------------------------------------------------------------
     def start_tracking(self, pop: PoP, keys: set[PathKey]) -> None:
+        if self._events:
+            self._flush_events()
         self._tracking_part(pop).start_tracking(pop, keys)
 
     def returned_fraction(self, pop: PoP) -> float | None:
+        if self._events:
+            self._flush_events()
         return self._tracking_part(pop).returned_fraction(pop)
 
     def stop_tracking(self, pop: PoP) -> None:
+        if self._events:
+            self._flush_events()
         self._tracking_part(pop).stop_tracking(pop)
 
     @property
@@ -752,6 +982,8 @@ class PartitionedMonitor:
         """
         from repro.core.serde import key_to_json, pop_to_json
 
+        if self._events:
+            self._flush_events()
         baseline: list = []
         pending: list = []
         diverted: list = []
@@ -768,9 +1000,13 @@ class PartitionedMonitor:
                         ],
                     ]
                 )
-            for (pop, key), entry in part._pending.items():
+            for pop, key, entry in part.iter_pending():
                 pending.append(
-                    [pop_to_json(pop), key_to_json(key), _entry_to_json(entry)]
+                    [
+                        pop_to_json(pop),
+                        key_to_json(key),
+                        [entry[0], entry[1], entry[2], sorted(entry[3])],
+                    ]
                 )
             for pop, keys in part._diverted.items():
                 diverted.append(
@@ -820,6 +1056,7 @@ class PartitionedMonitor:
         """
         from repro.core.serde import key_from_json, pop_from_json
 
+        self._events.clear()
         for part in self._part_list:
             part.reset()
         self._gapped.clear()
@@ -869,6 +1106,8 @@ class PartitionedMonitor:
     @property
     def pending_count(self) -> int:
         """Number of live stability candidates."""
+        if self._events:
+            self._flush_events()
         return sum(part.pending_count for part in self._part_list)
 
     @property

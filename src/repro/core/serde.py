@@ -17,6 +17,17 @@ has an encoder, and :func:`element_to_wire` / :func:`element_from_wire`
 wrap them in a tagged envelope so a queue consumer can dispatch without
 guessing.
 
+Bulk transport is *columnar*: :func:`encode_batch` turns a chunk of
+stream elements into a struct-of-arrays batch — parallel field columns
+per element family plus per-batch interned AS-path / community /
+tag-set id tables — and :func:`decode_batch` rebuilds the elements
+with one table decode per distinct value instead of one per element.
+:func:`tag_wire_batch` runs the tagging stage *on the batch itself*:
+the community→PoP derivation becomes a bulk pass over the interned id
+columns (the input module's memo is keyed on exactly these id tuples),
+so repeated attribute pairs inside a batch cost one dict probe and
+never materialise an intermediate ``BGPUpdate``.
+
 Conventions:
 
 * a :class:`~repro.docmine.dictionary.PoP` is ``[kind, pop_id]``;
@@ -210,6 +221,34 @@ _POPKIND_VALUE = {k: k.value for k in PoPKind}
 _INTERN_MAX = 65536
 _COMMUNITY_INTERN: dict[tuple[int, int], Community] = {}
 _POP_INTERN: dict[tuple[str, str], PoP] = {}
+#: Cumulative entries dropped per intern table when a full table is
+#: cleared (cache telemetry, surfaced through ``intern_stats`` and the
+#: metrics gauges — never checkpointed, never part of pipeline state).
+_INTERN_EVICTIONS = {"community": 0, "pop": 0, "path": 0, "tagset": 0}
+
+
+def intern_stats() -> dict[str, dict[str, int]]:
+    """Size/cap/eviction counters for every serde intern table.
+
+    The tables are per-process derived caches; these numbers feed the
+    ``serde_interns`` metrics gauge so operators can see churn (a high
+    eviction count means the vocabulary exceeds the cap and cross-batch
+    object sharing is degrading).
+    """
+    sizes = {
+        "community": len(_COMMUNITY_INTERN),
+        "pop": len(_POP_INTERN),
+        "path": len(_PATH_INTERN),
+        "tagset": len(_TAGSET_INTERN),
+    }
+    return {
+        name: {
+            "size": sizes[name],
+            "cap": _INTERN_MAX,
+            "evictions": _INTERN_EVICTIONS[name],
+        }
+        for name in sorted(sizes)
+    }
 
 
 def _intern_community(asn: int, value: int) -> Community:
@@ -217,12 +256,24 @@ def _intern_community(asn: int, value: int) -> Community:
     community = _COMMUNITY_INTERN.get(key)
     if community is None:
         if len(_COMMUNITY_INTERN) >= _INTERN_MAX:
+            _INTERN_EVICTIONS["community"] += len(_COMMUNITY_INTERN)
             _COMMUNITY_INTERN.clear()
         community = object.__new__(Community)
         community.__dict__["asn"] = asn
         community.__dict__["value"] = value
+        community.__dict__["_hash"] = hash(key)
         _COMMUNITY_INTERN[key] = community
     return community
+
+
+def communities_from_flat(flat: tuple[int, ...]) -> tuple[Community, ...]:
+    """Rebuild an interned ``Community`` tuple from flat ``(asn, value)`` ints."""
+    interned = _COMMUNITY_INTERN.get
+    return tuple(
+        interned((flat[i], flat[i + 1]))
+        or _intern_community(flat[i], flat[i + 1])
+        for i in range(0, len(flat), 2)
+    )
 
 
 def _intern_pop(kind: str, pop_id: str) -> PoP:
@@ -230,6 +281,7 @@ def _intern_pop(kind: str, pop_id: str) -> PoP:
     pop = _POP_INTERN.get(key)
     if pop is None:
         if len(_POP_INTERN) >= _INTERN_MAX:
+            _INTERN_EVICTIONS["pop"] += len(_POP_INTERN)
             _POP_INTERN.clear()
         pop = PoP(kind=PoPKind(kind), pop_id=pop_id)
         _POP_INTERN[key] = pop
@@ -450,3 +502,507 @@ def element_from_wire(wire: list[Any]) -> Any:
     if tag == "py":
         return wire[1]
     raise ValueError(f"unknown wire tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Columnar batches: struct-of-arrays bulk transport
+# ----------------------------------------------------------------------
+# A batch is one tuple of parallel columns instead of a list of
+# per-element envelopes:
+#
+#   (kinds, u_rows, t_rows, s_rows, path_tab, comm_tab, tag_tab, other)
+#
+# ``kinds`` is a bytes string of per-element kind codes preserving slot
+# order across the families.  ``u_rows``/``t_rows``/``s_rows`` are
+# tuples of parallel field columns for the update / tagged-path /
+# state-message families; AS paths, flattened community ints and
+# flattened tag quads are stored once each in the per-batch id tables
+# and referenced by column index.  Everything marshals natively.
+#
+# Decoding interns table entries in the per-process tables below, so
+# identical paths and tag sets decode to the *same* objects across
+# batches — downstream ``id()``-keyed caches (the monitor's derived
+# tag columns) hit across batch boundaries instead of once per batch.
+_K_UPDATE = 0
+_K_PRIMING = 1
+_K_STATE = 2
+_K_TAGGED = 3
+_K_PRIMED = 4
+_K_OTHER = 5
+
+_PATH_INTERN: dict[tuple[int, ...], tuple[int, ...]] = {}
+_TAGSET_INTERN: dict[tuple, tuple[PoPTag, ...]] = {}
+
+
+def _intern_path(path: tuple[int, ...]) -> tuple[int, ...]:
+    hit = _PATH_INTERN.get(path)
+    if hit is None:
+        if len(_PATH_INTERN) >= _INTERN_MAX:
+            _INTERN_EVICTIONS["path"] += len(_PATH_INTERN)
+            _PATH_INTERN.clear()
+        _PATH_INTERN[path] = hit = path
+    return hit
+
+
+def _tagset_from_flat(flat: tuple) -> tuple[PoPTag, ...]:
+    """Rebuild an interned ``PoPTag`` tuple from flat (kind, id, near, far) quads."""
+    hit = _TAGSET_INTERN.get(flat)
+    if hit is not None:
+        return hit
+    interned = _POP_INTERN.get
+    built = []
+    for i in range(0, len(flat), 4):
+        tag = object.__new__(PoPTag)
+        kind, pop_id = flat[i], flat[i + 1]
+        fields = tag.__dict__
+        fields["pop"] = interned((kind, pop_id)) or _intern_pop(kind, pop_id)
+        fields["near_asn"] = flat[i + 2]
+        fields["far_asn"] = flat[i + 3]
+        built.append(tag)
+    hit = tuple(built)
+    if len(_TAGSET_INTERN) >= _INTERN_MAX:
+        _INTERN_EVICTIONS["tagset"] += len(_TAGSET_INTERN)
+        _TAGSET_INTERN.clear()
+    _TAGSET_INTERN[flat] = hit
+    return hit
+
+
+def encode_batch(elements: list) -> tuple:
+    """Encode a chunk of stream elements as one columnar batch.
+
+    Table dedup is id-first: streams repeat the same path/community
+    tuples constantly (often literally the same objects, via the
+    tagging memo or the decode interns), so the common probe is one
+    ``id()`` dict hit with a value-keyed dict behind it for equal-but-
+    distinct objects.
+    """
+    priming_update, primed_path, _sb, _ba = _event_types()
+    kinds = bytearray()
+    append_kind = kinds.append
+    u_time: list = []
+    u_coll: list = []
+    u_peer: list = []
+    u_pfx: list = []
+    u_elem: list = []
+    u_path: list = []
+    u_comm: list = []
+    u_afi: list = []
+    t_key: list = []
+    t_time: list = []
+    t_elem: list = []
+    t_path: list = []
+    t_tags: list = []
+    t_afi: list = []
+    s_time: list = []
+    s_coll: list = []
+    s_peer: list = []
+    s_old: list = []
+    s_new: list = []
+    path_tab: list = []
+    comm_tab: list = []
+    tag_tab: list = []
+    other: list = []
+    path_ids: dict = {}
+    path_vals: dict = {}
+    comm_ids: dict = {}
+    comm_vals: dict = {}
+    tag_ids: dict = {}
+    tag_vals: dict = {}
+    elem_value = _ELEM_VALUE
+    session_value = _SESSION_VALUE
+    kind_value = _POPKIND_VALUE
+
+    def path_index(path) -> int:
+        index = path_ids.get(id(path))
+        if index is None:
+            index = path_vals.get(path)
+            if index is None:
+                index = len(path_tab)
+                path_tab.append(path)
+                path_vals[path] = index
+            path_ids[id(path)] = index
+        return index
+
+    def comm_index(communities) -> int:
+        index = comm_ids.get(id(communities))
+        if index is None:
+            flat: list[int] = []
+            for community in communities:
+                flat.append(community.asn)
+                flat.append(community.value)
+            key = tuple(flat)
+            index = comm_vals.get(key)
+            if index is None:
+                index = len(comm_tab)
+                comm_tab.append(key)
+                comm_vals[key] = index
+            comm_ids[id(communities)] = index
+        return index
+
+    def tags_index(tags) -> int:
+        index = tag_ids.get(id(tags))
+        if index is None:
+            flat: list = []
+            for tag in tags:
+                flat.append(kind_value[tag.pop.kind])
+                flat.append(tag.pop.pop_id)
+                flat.append(tag.near_asn)
+                flat.append(tag.far_asn)
+            key = tuple(flat)
+            index = tag_vals.get(key)
+            if index is None:
+                index = len(tag_tab)
+                tag_tab.append(key)
+                tag_vals[key] = index
+            tag_ids[id(tags)] = index
+        return index
+
+    def add_update(update, kind: int) -> None:
+        source = update.__dict__
+        append_kind(kind)
+        u_time.append(source["time"])
+        u_coll.append(source["collector"])
+        u_peer.append(source["peer_asn"])
+        u_pfx.append(source["prefix"])
+        u_elem.append(elem_value[source["elem_type"]])
+        u_path.append(path_index(source["as_path"]))
+        u_comm.append(comm_index(source["communities"]))
+        u_afi.append(source["afi"])
+
+    def add_tagged(tagged, kind: int) -> None:
+        source = tagged.__dict__
+        append_kind(kind)
+        t_key.append(source["key"])
+        t_time.append(source["time"])
+        t_elem.append(elem_value[source["elem_type"]])
+        t_path.append(path_index(source["as_path"]))
+        t_tags.append(tags_index(source["tags"]))
+        t_afi.append(source["afi"])
+
+    def add_state(message) -> None:
+        source = message.__dict__
+        append_kind(_K_STATE)
+        s_time.append(source["time"])
+        s_coll.append(source["collector"])
+        s_peer.append(source["peer_asn"])
+        s_old.append(session_value[source["old_state"]])
+        s_new.append(session_value[source["new_state"]])
+
+    for element in elements:
+        cls = type(element)
+        if cls is BGPUpdate:
+            add_update(element, _K_UPDATE)
+        elif cls is priming_update:
+            add_update(element.update, _K_PRIMING)
+        elif cls is BGPStateMessage:
+            add_state(element)
+        elif cls is TaggedPath:
+            add_tagged(element, _K_TAGGED)
+        elif cls is primed_path:
+            add_tagged(element.path, _K_PRIMED)
+        elif isinstance(element, BGPUpdate):
+            add_update(element, _K_UPDATE)
+        elif isinstance(element, BGPStateMessage):
+            add_state(element)
+        elif isinstance(element, TaggedPath):
+            add_tagged(element, _K_TAGGED)
+        elif isinstance(element, priming_update):
+            add_update(element.update, _K_PRIMING)
+        elif isinstance(element, primed_path):
+            add_tagged(element.path, _K_PRIMED)
+        else:
+            append_kind(_K_OTHER)
+            other.append(element_to_wire(element))
+
+    return (
+        bytes(kinds),
+        (u_time, u_coll, u_peer, u_pfx, u_elem, u_path, u_comm, u_afi),
+        (t_key, t_time, t_elem, t_path, t_tags, t_afi),
+        (s_time, s_coll, s_peer, s_old, s_new),
+        path_tab,
+        comm_tab,
+        tag_tab,
+        other,
+    )
+
+
+def decode_batch(batch: tuple) -> list:
+    """Decode a columnar batch back to its element list, in slot order.
+
+    Tables decode once up front — paths through the path intern,
+    community flats through the community intern, tag flats through the
+    tag-set intern — then each row is a straight ``__dict__`` fill from
+    its family's zipped columns.
+    """
+    priming_update, primed_path, _sb, _ba = _event_types()
+    kinds, u_rows, t_rows, s_rows, path_tab, comm_tab, tag_tab, other = batch
+    paths = [_intern_path(tuple(p)) for p in path_tab]
+    comms = [communities_from_flat(tuple(f)) for f in comm_tab]
+    tagsets = [_tagset_from_flat(tuple(f)) for f in tag_tab]
+    u_iter = zip(*u_rows)
+    t_iter = zip(*t_rows)
+    s_iter = zip(*s_rows)
+    o_iter = iter(other)
+    elem_types = _ELEM_TYPES
+    session_states = _SESSION_STATES
+    new = object.__new__
+    update_cls = BGPUpdate
+    tagged_cls = TaggedPath
+    state_cls = BGPStateMessage
+    out: list = []
+    append = out.append
+    for kind in kinds:
+        if kind <= _K_PRIMING:  # _K_UPDATE or _K_PRIMING
+            time_, coll, peer, pfx, elem, pi, ci, afi = next(u_iter)
+            update = new(update_cls)
+            fields = update.__dict__
+            fields["time"] = time_
+            fields["collector"] = coll
+            fields["peer_asn"] = peer
+            fields["prefix"] = pfx
+            fields["elem_type"] = elem_types[elem]
+            fields["as_path"] = paths[pi]
+            fields["communities"] = comms[ci]
+            fields["afi"] = afi
+            append(
+                update
+                if kind == _K_UPDATE
+                else priming_update(update=update)
+            )
+        elif kind == _K_TAGGED or kind == _K_PRIMED:
+            key, time_, elem, pi, ti, afi = next(t_iter)
+            tagged = new(tagged_cls)
+            fields = tagged.__dict__
+            fields["key"] = (key[0], key[1], key[2])
+            fields["time"] = time_
+            fields["elem_type"] = elem_types[elem]
+            fields["as_path"] = paths[pi]
+            fields["tags"] = tagsets[ti]
+            fields["afi"] = afi
+            append(
+                tagged if kind == _K_TAGGED else primed_path(path=tagged)
+            )
+        elif kind == _K_STATE:
+            time_, coll, peer, old, new_state = next(s_iter)
+            message = new(state_cls)
+            fields = message.__dict__
+            fields["time"] = time_
+            fields["collector"] = coll
+            fields["peer_asn"] = peer
+            fields["old_state"] = session_states[old]
+            fields["new_state"] = session_states[new_state]
+            append(message)
+        else:
+            append(element_from_wire(next(o_iter)))
+    return out
+
+
+_PAIR_MISS = object()
+
+
+def tag_wire_batch(input_module, batch: tuple, fallback=None) -> tuple:
+    """Run the tagging stage over a columnar batch, column to column.
+
+    The bulk equivalent of decode → ``TaggingStage.feed`` per element →
+    re-encode, with the intermediate objects elided: update rows never
+    materialise a ``BGPUpdate``, and the community→PoP derivation is
+    driven entirely by the batch's interned ``(path_idx, comm_idx)``
+    columns.  A per-batch pair cache maps each distinct id pair to its
+    output table slots (or a discard), so the first occurrence pays one
+    memo probe against ``input_module`` — the same two-generation memo
+    the scalar path uses, keyed on the very tuples sitting in the
+    tables — and every repeat is one dict hit.  Counters fold into the
+    module's totals exactly as the scalar path would have counted them.
+
+    Elements outside the update families (``other`` rows) go through
+    ``fallback`` (e.g. ``TaggingStage.feed``) and keep their slot
+    order; tagged rows pass through with their tables re-interned.
+    """
+    kinds, u_rows, t_rows, s_rows, path_tab, comm_tab, tag_tab, other = batch
+    u_iter = zip(*u_rows)
+    t_iter = zip(*t_rows)
+    s_iter = zip(*s_rows)
+    o_iter = iter(other)
+    out_kinds = bytearray()
+    append_kind = out_kinds.append
+    o_t_key: list = []
+    o_t_time: list = []
+    o_t_elem: list = []
+    o_t_path: list = []
+    o_t_tags: list = []
+    o_t_afi: list = []
+    o_s_time: list = []
+    o_s_coll: list = []
+    o_s_peer: list = []
+    o_s_old: list = []
+    o_s_new: list = []
+    out_path_tab: list = []
+    out_tag_tab: list = []
+    out_other: list = []
+    out_path_ids: dict = {}
+    out_path_vals: dict = {}
+    out_tag_ids: dict = {}
+    out_tag_vals: dict = {}
+    #: objects registered in the id-keyed dicts must stay alive for the
+    #: duration of the batch — a memo rotation mid-batch could free one
+    #: and recycle its id for a different tuple.
+    keepalive: list = []
+    kind_value = _POPKIND_VALUE
+
+    def out_path_index(path) -> int:
+        index = out_path_ids.get(id(path))
+        if index is None:
+            index = out_path_vals.get(path)
+            if index is None:
+                index = len(out_path_tab)
+                out_path_tab.append(path)
+                out_path_vals[path] = index
+            out_path_ids[id(path)] = index
+            keepalive.append(path)
+        return index
+
+    def out_tags_index(tags) -> int:
+        index = out_tag_ids.get(id(tags))
+        if index is None:
+            flat: list = []
+            for tag in tags:
+                flat.append(kind_value[tag.pop.kind])
+                flat.append(tag.pop.pop_id)
+                flat.append(tag.near_asn)
+                flat.append(tag.far_asn)
+            key = tuple(flat)
+            index = out_tag_vals.get(key)
+            if index is None:
+                index = len(out_tag_tab)
+                out_tag_tab.append(key)
+                out_tag_vals[key] = index
+            out_tag_ids[id(tags)] = index
+            keepalive.append(tags)
+        return index
+
+    def out_flat_tags_index(flat) -> int:
+        index = out_tag_vals.get(flat)
+        if index is None:
+            index = len(out_tag_tab)
+            out_tag_tab.append(flat)
+            out_tag_vals[flat] = index
+        return index
+
+    def add_out(element) -> None:
+        """Fallback output → out-batch row (the rare, generic path)."""
+        if isinstance(element, TaggedPath):
+            _emit_tagged(element, _K_TAGGED)
+        elif isinstance(element, BGPStateMessage):
+            append_kind(_K_STATE)
+            source = element.__dict__
+            o_s_time.append(source["time"])
+            o_s_coll.append(source["collector"])
+            o_s_peer.append(source["peer_asn"])
+            o_s_old.append(_SESSION_VALUE[source["old_state"]])
+            o_s_new.append(_SESSION_VALUE[source["new_state"]])
+        elif isinstance(element, primed_path):
+            _emit_tagged(element.path, _K_PRIMED)
+        else:
+            append_kind(_K_OTHER)
+            out_other.append(element_to_wire(element))
+
+    def _emit_tagged(tagged, kind: int) -> None:
+        source = tagged.__dict__
+        append_kind(kind)
+        o_t_key.append(source["key"])
+        o_t_time.append(source["time"])
+        o_t_elem.append(_ELEM_VALUE[source["elem_type"]])
+        o_t_path.append(out_path_index(source["as_path"]))
+        o_t_tags.append(out_tags_index(source["tags"]))
+        o_t_afi.append(source["afi"])
+
+    primed_path = _event_types()[1]
+    withdrawal_value = _ELEM_VALUE[ElemType.WITHDRAWAL]
+    empty_path_index = out_path_index(())
+    empty_tags_index = out_flat_tags_index(())
+    pair_cache: dict = {}
+    pair_get = pair_cache.get
+    pair_miss = _PAIR_MISS
+    lookup = input_module._lookup
+    parsed = 0
+    hits = 0
+    discarded = 0
+    for kind in kinds:
+        if kind <= _K_PRIMING:  # _K_UPDATE or _K_PRIMING
+            time_, coll, peer, pfx, elem, pi, ci, afi = next(u_iter)
+            if elem == withdrawal_value:
+                parsed += 1
+                if kind == _K_PRIMING:
+                    continue  # untaggable: cannot seed a baseline
+                append_kind(_K_TAGGED)
+                o_t_key.append((coll, peer, pfx))
+                o_t_time.append(time_)
+                o_t_elem.append(elem)
+                o_t_path.append(empty_path_index)
+                o_t_tags.append(empty_tags_index)
+                o_t_afi.append(afi)
+                continue
+            pair = pair_get((pi, ci), pair_miss)
+            if pair is not pair_miss:
+                hits += 1
+            else:
+                cached = lookup(path_tab[pi], comm_tab[ci], None)
+                if cached is None:
+                    pair = None
+                else:
+                    pair = (
+                        out_path_index(cached[0]),
+                        out_tags_index(cached[1]),
+                    )
+                pair_cache[(pi, ci)] = pair
+            if pair is None:
+                discarded += 1
+                continue
+            parsed += 1
+            if kind == _K_PRIMING and not out_tag_tab[pair[1]]:
+                continue  # tagless priming path: no baseline to seed
+            append_kind(_K_TAGGED if kind == _K_UPDATE else _K_PRIMED)
+            o_t_key.append((coll, peer, pfx))
+            o_t_time.append(time_)
+            o_t_elem.append(elem)
+            o_t_path.append(pair[0])
+            o_t_tags.append(pair[1])
+            o_t_afi.append(afi)
+        elif kind == _K_TAGGED or kind == _K_PRIMED:
+            key, time_, elem, pi, ti, afi = next(t_iter)
+            append_kind(kind)
+            o_t_key.append(key)
+            o_t_time.append(time_)
+            o_t_elem.append(elem)
+            o_t_path.append(out_path_index(tuple(path_tab[pi])))
+            o_t_tags.append(out_flat_tags_index(tuple(tag_tab[ti])))
+            o_t_afi.append(afi)
+        elif kind == _K_STATE:
+            time_, coll, peer, old, new_state = next(s_iter)
+            append_kind(_K_STATE)
+            o_s_time.append(time_)
+            o_s_coll.append(coll)
+            o_s_peer.append(peer)
+            o_s_old.append(old)
+            o_s_new.append(new_state)
+        else:
+            wire = next(o_iter)
+            if fallback is None:
+                append_kind(_K_OTHER)
+                out_other.append(wire)
+            else:
+                for produced in fallback(element_from_wire(wire)):
+                    add_out(produced)
+    input_module.parsed_count += parsed
+    input_module.memo_hits += hits
+    input_module.discarded_count += discarded
+    return (
+        bytes(out_kinds),
+        ((), (), (), (), (), (), (), ()),
+        (o_t_key, o_t_time, o_t_elem, o_t_path, o_t_tags, o_t_afi),
+        (o_s_time, o_s_coll, o_s_peer, o_s_old, o_s_new),
+        out_path_tab,
+        (),
+        out_tag_tab,
+        out_other,
+    )

@@ -51,6 +51,15 @@ class PoP:
     kind: PoPKind
     pop_id: str
 
+    def __post_init__(self) -> None:
+        # PoPs key the monitor's baseline/divergence dicts and ride in
+        # update-pop sets on the per-element hot path; caching the hash
+        # beats the generated dataclass __hash__ (field-tuple per call).
+        object.__setattr__(self, "_hash", hash((self.kind, self.pop_id)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         return f"{self.kind.value}:{self.pop_id}"
 

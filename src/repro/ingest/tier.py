@@ -62,7 +62,7 @@ import threading
 import time
 from typing import Any, Iterable
 
-from repro.core.serde import element_from_wire, element_to_wire, wire_sort_key
+from repro.core.serde import element_from_wire, wire_sort_key
 from repro.ingest.feed import (
     chunk_feed_worker,
     feed_of,
@@ -122,26 +122,25 @@ class ChainSink:
 
 
 class WireSink:
-    """Forward released batches to a multiprocess runtime, encoded.
+    """Forward released batches into a multiprocess runtime's buffer.
 
-    The process runtimes ship serde wires anyway; batches released by
-    forked feed workers are *already* encoded and pass through without
-    the driver touching a single element.
+    Batches released by forked feed workers arrive *already* encoded
+    as per-element envelopes (the merge coordinator sorts them by wire
+    key without decoding) and the runtime decodes them once into its
+    columnar shipping buffer; in-process feeds hand their elements
+    over directly.
     """
 
     def __init__(self, runtime) -> None:
         self.runtime = runtime
 
     def feed_released(self, payloads: list, wired: bool) -> list:
-        wires = (
-            payloads
-            if wired
-            else [element_to_wire(element) for element in payloads]
-        )
-        return self.runtime.feed_admitted_wires(wires)
+        if wired:
+            return self.runtime.feed_admitted_wires(payloads)
+        return self.runtime.feed_admitted(payloads)
 
     def feed_prime(self, element: Any) -> list:
-        return self.runtime.feed_admitted_wires([element_to_wire(element)])
+        return self.runtime.feed_admitted([element])
 
     def flush(self) -> list:
         return self.runtime.flush()

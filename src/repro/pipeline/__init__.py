@@ -127,6 +127,7 @@ def build_kepler_pipeline(
 ) -> KeplerPipeline:
     """Wire the canonical Kepler stage chain."""
     metrics = metrics or PipelineMetrics()
+    metrics.register_cache_gauges(input_module)
     rejected: list[SignalClassification] = []
     cache = ValidationCache(validator)
     ingest = IngestStage()

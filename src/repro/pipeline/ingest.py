@@ -46,6 +46,68 @@ class IngestStage(PassthroughStage):
         self.priming_updates = 0
         self._last_time: float | None = None
 
+    def feed_batch(self, elements: list[Any]) -> list[Any]:
+        """Batch admission: count a run of plain updates in one pass.
+
+        The common chunk is all ``BGPUpdate`` — counted with local
+        tallies and returned as-is (admission drops nothing from such
+        a run).  The first non-update element falls back to
+        :meth:`feed` for the remainder of the chunk.
+        """
+        last = self._last_time
+        announcements = withdrawals = out_of_order = 0
+        withdrawal = ElemType.WITHDRAWAL
+        out: list[Any] | None = None
+        for index, element in enumerate(elements):
+            if type(element) is BGPUpdate:
+                if element.elem_type is withdrawal:
+                    withdrawals += 1
+                else:
+                    announcements += 1
+                elem_time = element.time
+                if last is not None and elem_time < last:
+                    out_of_order += 1
+                last = elem_time
+            elif isinstance(element, PrimingUpdate):
+                self.priming_updates += 1
+            elif isinstance(element, BGPStateMessage):
+                self.state_messages += 1
+                elem_time = element.time
+                if last is not None and elem_time < last:
+                    out_of_order += 1
+                last = elem_time
+            elif isinstance(element, BGPUpdate):
+                if element.elem_type is withdrawal:
+                    withdrawals += 1
+                else:
+                    announcements += 1
+                elem_time = element.time
+                if last is not None and elem_time < last:
+                    out_of_order += 1
+                last = elem_time
+            else:
+                self.dropped += 1
+                type_name = type(element).__name__
+                if type_name not in self.dropped_types:
+                    logger.warning(
+                        "ingest dropped element of unknown type %s", type_name
+                    )
+                self.dropped_types[type_name] = (
+                    self.dropped_types.get(type_name, 0) + 1
+                )
+                if out is None:
+                    out = list(elements[:index])
+                continue
+            if out is not None:
+                out.append(element)
+        self.announcements += announcements
+        self.withdrawals += withdrawals
+        self.out_of_order += out_of_order
+        self._last_time = last
+        if out is not None:
+            return out
+        return elements if isinstance(elements, list) else list(elements)
+
     def feed(self, element: Any) -> list[Any]:
         if isinstance(element, PrimingUpdate):
             # RIB-snapshot paths: admitted outside the stream clock

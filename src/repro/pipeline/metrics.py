@@ -10,6 +10,7 @@ population — so capacity trends are visible without profiling.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 
 @dataclass
@@ -20,6 +21,10 @@ class StageMetrics:
     fed: int = 0
     emitted: int = 0
     seconds: float = 0.0
+    #: metered feed calls — one per chunk on the batched runtimes, so
+    #: ``fed / batches`` is the realised batch size.  Run telemetry,
+    #: not state: never checkpointed, zeroed on restore.
+    batches: int = 0
 
     @property
     def throughput(self) -> float:
@@ -28,6 +33,20 @@ class StageMetrics:
             return 0.0
         return self.fed / self.seconds
 
+    @property
+    def ns_per_element(self) -> float:
+        """Stage nanoseconds per element fed (0 when nothing fed)."""
+        if self.fed <= 0:
+            return 0.0
+        return self.seconds * 1e9 / self.fed
+
+    @property
+    def mean_batch(self) -> float:
+        """Realised elements per metered feed call."""
+        if self.batches <= 0:
+            return 0.0
+        return self.fed / self.batches
+
     def as_dict(self) -> dict[str, float | int | str]:
         return {
             "name": self.name,
@@ -35,6 +54,9 @@ class StageMetrics:
             "emitted": self.emitted,
             "seconds": round(self.seconds, 6),
             "throughput_per_s": round(self.throughput, 1),
+            "ns_per_element": round(self.ns_per_element, 1),
+            "batches": self.batches,
+            "mean_batch": round(self.mean_batch, 1),
         }
 
 
@@ -79,6 +101,25 @@ class PipelineMetrics:
     def __init__(self) -> None:
         self.stages: dict[str, StageMetrics] = {}
         self.bins = BinStats()
+        #: pull-based gauge sources: name -> zero-arg callable, sampled
+        #: at :meth:`gauges` / :meth:`snapshot` time so the reported
+        #: value is never stale.  Gauges expose derived-cache telemetry
+        #: (tagging-memo evictions, serde intern table sizes) of the
+        #: *calling process*; they are observability, not state, and
+        #: are deliberately absent from :meth:`state_dict`.
+        self._gauge_sources: dict[str, Callable[[], int | float]] = {}
+
+    def gauge_source(
+        self, name: str, source: Callable[[], int | float]
+    ) -> None:
+        """Register (or replace) a named gauge callable."""
+        self._gauge_sources[name] = source
+
+    def gauges(self) -> dict[str, int | float]:
+        """Sample every registered gauge now."""
+        return {
+            name: source() for name, source in self._gauge_sources.items()
+        }
 
     def stage(self, name: str) -> StageMetrics:
         metrics = self.stages.get(name)
@@ -98,6 +139,7 @@ class PipelineMetrics:
                 self.stages[name].as_dict() for name in self.stages
             ],
             "bins": self.bins.as_dict(),
+            "gauges": self.gauges(),
         }
 
     # ------------------------------------------------------------------
@@ -144,6 +186,7 @@ class PipelineMetrics:
             metrics.fed = 0
             metrics.emitted = 0
             metrics.seconds = 0.0
+            metrics.batches = 0
         self.bins.count = 0
         self.bins.total_latency_s = 0.0
         self.bins.max_latency_s = 0.0
@@ -157,6 +200,7 @@ class PipelineMetrics:
             mine.fed += metrics.fed
             mine.emitted += metrics.emitted
             mine.seconds += metrics.seconds
+            mine.batches += metrics.batches
 
     def absorb_bins(self, other: "PipelineMetrics") -> None:
         """Fold another registry's bin gauges into this one.
@@ -176,6 +220,40 @@ class PipelineMetrics:
         )
         self.bins.last_baseline_entries = bins.last_baseline_entries
         self.bins.last_pending_entries = bins.last_pending_entries
+
+    def adopt_gauges(self, other: "PipelineMetrics") -> None:
+        """Share another registry's gauge sources (composed views)."""
+        self._gauge_sources.update(other._gauge_sources)
+
+    def register_cache_gauges(self, input_module) -> None:
+        """Point the standard cache gauges at ``input_module``.
+
+        Registers the tagging-memo telemetry (``memo_entries``,
+        ``memo_hits``, ``memo_evictions``) plus one size and one
+        eviction gauge per wire-intern table in
+        :mod:`repro.core.serde`.  Safe to call in every builder: the
+        sources are process-local, so a forked worker inheriting the
+        registration samples its *own* caches.
+        """
+        from repro.core import serde
+
+        self.gauge_source(
+            "memo_entries",
+            lambda: len(input_module._memo) + len(input_module._memo_old),
+        )
+        self.gauge_source("memo_hits", lambda: input_module.memo_hits)
+        self.gauge_source(
+            "memo_evictions", lambda: input_module.memo_evictions
+        )
+        for table in ("community", "pop", "path", "tagset"):
+            self.gauge_source(
+                f"intern_{table}_entries",
+                lambda t=table: serde.intern_stats()[t]["size"],
+            )
+            self.gauge_source(
+                f"intern_{table}_evictions",
+                lambda t=table: serde.intern_stats()[t]["evictions"],
+            )
 
     def describe(self) -> str:
         """Compact one-line-per-stage human-readable summary."""

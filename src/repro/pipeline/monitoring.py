@@ -84,6 +84,60 @@ class BinningMonitorStage(PassthroughStage):
             )
         return out
 
+    def feed_run(
+        self, elements: list[Any], start: int
+    ) -> tuple[list[Any], int]:
+        """Consume a run of ``elements[start:]``; stop at the first output.
+
+        The batch entry point used by the runtime's barrier loop: plain
+        in-bin tagged paths are admitted straight into the monitor's
+        deferred fold buffer (one append per element — the grouped fold
+        runs at the bin close), while anything that can emit or reorder
+        observable state — a bin-closing element, a passthrough element
+        — is handled by :meth:`feed` and ends the run, so emitted
+        batches still clear the chain before the monitor advances.
+        Returns ``(outputs, next_index)``.
+        """
+        monitor = self.monitor
+        defer = monitor._events.append
+        gapped = monitor._gapped
+        bin_start = monitor._bin_start
+        width = monitor.params.bin_interval_s
+        limit = None if bin_start is None else bin_start + width
+        n = len(elements)
+        i = start
+        while i < n:
+            element = elements[i]
+            if type(element) is TaggedPath:
+                elem_time = element.__dict__["time"]
+                if limit is None:
+                    bin_start = monitor._bin_floor(elem_time)
+                    monitor._bin_start = bin_start
+                    limit = bin_start + width
+                elif elem_time >= limit:
+                    # Bin close: the per-element path does the metrics
+                    # bookkeeping; stop so outputs cascade first.
+                    return self.feed(element), i + 1
+                if gapped:
+                    key = element.__dict__["key"]
+                    if (key[0], key[1]) in gapped:
+                        i += 1
+                        continue
+                defer(element)
+                i += 1
+                continue
+            if isinstance(element, PrimedPath):
+                monitor.prime(element.path)
+                self.primed += 1
+                i += 1
+                continue
+            if isinstance(element, BGPStateMessage):
+                monitor.observe_state(element)
+                i += 1
+                continue
+            return [element], i + 1
+        return [], n
+
     def flush(self) -> list[Any]:
         """Close the trailing partial bin (no BinAdvanced: end of stream)."""
         signals = self.monitor.close_bin()

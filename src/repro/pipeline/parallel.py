@@ -21,11 +21,18 @@ message queues:
     (the linear chain *or* the whole sharded runtime, live in
      the driver process)
 
-* **Transport** is the checkpoint serde (:mod:`repro.core.serde`),
-  extended to the full event vocabulary: every element travels as a
-  compact ``[tag, payload]`` envelope in configurable batches, and a
-  batch marshals to one bytes object (both ends are forks of one
-  interpreter), so queue pickling degenerates to a memcpy.
+* **Transport** is the columnar batch codec of the checkpoint serde
+  (:mod:`repro.core.serde`): a batch ships as one struct-of-arrays
+  tuple — parallel field columns plus per-batch interned AS-path /
+  community / tag-set id tables — and marshals to one bytes object
+  (both ends are forks of one interpreter), so queue pickling
+  degenerates to a memcpy.  Workers run the tagging stage *on the
+  columns* (:func:`~repro.core.serde.tag_wire_batch`): repeated
+  attribute pairs cost one dict probe against the batch's id columns
+  and no intermediate objects exist; the driver decodes tagged rows
+  through per-process intern tables, so identical paths and tag sets
+  stay the *same objects* across batches and the monitor's
+  ``id()``-keyed derived-column caches hit across batch boundaries.
 * **Ordering**: the driver stamps every batch with a sequence number
   and round-robins across tag workers; returned batches pass through
   a reorder buffer and feed the monitor strictly in stream order, so
@@ -63,7 +70,12 @@ import time
 import traceback
 from typing import Any, Iterable
 
-from repro.core.serde import element_from_wire, element_to_wire
+from repro.core.serde import (
+    decode_batch,
+    element_from_wire,
+    encode_batch,
+    tag_wire_batch,
+)
 from repro.pipeline.checkpoint import CheckpointableChain
 from repro.pipeline.metrics import PipelineMetrics
 from repro.pipeline.sharding import ShardedStagePipeline
@@ -118,10 +130,14 @@ unpack_wires = _unpack
 def _tag_worker_loop(
     worker_id: int, tagging, registry: PipelineMetrics, in_q, ret_q
 ) -> None:
-    """One tagging worker: decode -> TaggingStage.feed -> encode.
+    """One tagging worker: a columnar batch in, a columnar batch out.
 
-    The serde decode/encode cost is metered into the stage handle —
-    it is the true cost of running the stage remotely.
+    The whole batch runs through
+    :func:`~repro.core.serde.tag_wire_batch` — the community→PoP
+    derivation as a bulk pass over the batch's interned id columns,
+    with no intermediate element objects.  The transform cost is
+    metered into the stage handle — it is the true cost of running
+    the stage remotely.
     """
     handle = registry.stage(tagging.name)
     try:
@@ -129,16 +145,14 @@ def _tag_worker_loop(
             msg = in_q.get()
             kind = msg[0]
             if kind == "batch":
-                seq, wires = msg[1], _unpack(msg[2], msg[3])
-                out: list[Any] = []
+                seq, batch = msg[1], _unpack(msg[2], msg[3])
                 began = time.perf_counter()
-                for wire in wires:
-                    out.extend(tagging.feed(element_from_wire(wire)))
-                encoded = [element_to_wire(o) for o in out]
+                out = tag_wire_batch(tagging.input, batch, tagging.feed)
                 handle.seconds += time.perf_counter() - began
-                handle.fed += len(wires)
-                handle.emitted += len(out)
-                ret_q.put(("batch", seq, *_pack(encoded)))
+                handle.fed += len(batch[0])
+                handle.batches += 1
+                handle.emitted += len(out[0])
+                ret_q.put(("batch", seq, *_pack(out)))
             elif kind == "ctl":
                 ret_q.put(
                     (
@@ -257,10 +271,10 @@ class ProcessStagePipeline:
         handle = self._ingest_handle
         handle.seconds += time.perf_counter() - began
         handle.fed += 1
+        handle.batches += 1
         handle.emitted += len(outs)
         buffer = self._buffer
-        for out in outs:
-            buffer.append(element_to_wire(out))
+        buffer.extend(outs)
         if len(buffer) >= self.batch_size:
             self._ship()
         return self._take_outputs()
@@ -268,7 +282,6 @@ class ProcessStagePipeline:
     def feed_many(self, elements: Iterable[Any]) -> list[Any]:
         ingest = self._ingest.feed
         handle = self._ingest_handle
-        encode = element_to_wire
         buffer = self._buffer
         size = self.batch_size
         fed = 0
@@ -278,8 +291,7 @@ class ProcessStagePipeline:
             fed += 1
             outs = ingest(element)
             emitted += len(outs)
-            for out in outs:
-                buffer.append(encode(out))
+            buffer.extend(outs)
             if len(buffer) >= size:
                 handle.seconds += time.perf_counter() - began
                 self._ship()
@@ -287,22 +299,34 @@ class ProcessStagePipeline:
                 began = time.perf_counter()
         handle.seconds += time.perf_counter() - began
         handle.fed += fed
+        handle.batches += 1
         handle.emitted += emitted
         return self._take_outputs()
 
-    def feed_admitted_wires(self, wires: list[list]) -> list[Any]:
-        """Queue pre-admitted, pre-encoded elements for the tag workers.
+    def feed_admitted(self, elements: list[Any]) -> list[Any]:
+        """Queue pre-admitted elements for the tag workers.
 
         The entry point of the sharded ingest tier: admission already
-        ran in a feed worker (counted there), so the batch bypasses the
+        ran in a feed worker (counted there), so the chunk bypasses the
         driver's ingest stage and goes straight into the shipping
         buffer, preserving arrival order with everything fed through
         the ordinary path.
         """
-        self._buffer.extend(wires)
+        self._buffer.extend(elements)
         if len(self._buffer) >= self.batch_size:
             self._ship()
         return self._take_outputs()
+
+    def feed_admitted_wires(self, wires: list[list]) -> list[Any]:
+        """Envelope-encoded variant of :meth:`feed_admitted`.
+
+        Forked ingest feed workers ship per-element envelopes (they
+        sort batches by wire key without decoding); the driver decodes
+        once here and the elements ride the columnar batch path.
+        """
+        return self.feed_admitted(
+            [element_from_wire(wire) for wire in wires]
+        )
 
     def flush(self) -> list[Any]:
         self.sync()
@@ -315,7 +339,11 @@ class ProcessStagePipeline:
     def _ship(self) -> None:
         if not self._buffer:
             return
-        message = ("batch", self._ship_seq, *_pack(self._buffer))
+        message = (
+            "batch",
+            self._ship_seq,
+            *_pack(encode_batch(self._buffer)),
+        )
         self._ship_seq += 1
         self._buffer = []
         target = self._least_loaded_queue()
@@ -388,8 +416,10 @@ class ProcessStagePipeline:
                 raise RuntimeError(f"pipeline worker failed:\n{detail}")
         return acks
 
-    def _feed_tagged(self, wires: list) -> None:
-        # One element at a time from the monitor on: the monitor is the
+    def _feed_tagged(self, batch: tuple) -> None:
+        # The tagged batch decodes in one columnar pass (shared table
+        # objects across batches, via the serde interns), then feeds
+        # the monitor one element at a time: the monitor is the
         # chain's depth_first barrier — each element's signal batches
         # and bin markers must clear the downstream stages before the
         # monitor consumes the next element.  The monitor feed itself
@@ -400,16 +430,15 @@ class ProcessStagePipeline:
         outputs = self._outputs
         monitor = self.inner.monitoring
         handle = self._registry.stage(monitor.name)
-        decode = element_from_wire
         feed = monitor.feed
         sharded = self._sharded
         upstream = pipeline.upstream if sharded else pipeline
         fed = 0
         emitted = 0
         began = time.perf_counter()
-        for wire in wires:
+        for element in decode_batch(batch):
             fed += 1
-            outs = feed(decode(wire))
+            outs = feed(element)
             if not outs:
                 continue
             emitted += len(outs)
@@ -424,6 +453,7 @@ class ProcessStagePipeline:
             began = time.perf_counter()
         handle.seconds += time.perf_counter() - began
         handle.fed += fed
+        handle.batches += 1
         handle.emitted += emitted
 
     def _take_outputs(self) -> list[Any]:
@@ -504,6 +534,7 @@ class ProcessStagePipeline:
             composed.stage(stage.name)
         composed.absorb(inner_view)
         composed.absorb_bins(inner_view)
+        composed.adopt_gauges(inner_view)
         scratch = PipelineMetrics()
         for info in infos:
             scratch.load_state(info["metrics"])
@@ -709,46 +740,58 @@ def build_process_kepler_pipeline(
 # The tagging fan-out above still funnels every TaggedPath into one
 # monitor in the driver — the last order-dependent singleton on the hot
 # path.  The shard-process runtime removes it: every worker process
-# runs a *complete* chain
+# runs the stateful stream stages
 #
-#     tagging -> monitor partition -> classification -> localisation
-#             -> validation -> record
+#     tagging -> monitor partition -> record
 #
 # over the same broadcast element stream.  Worker *w*'s monitor is a
 # ``PartitionedMonitor(partitions=N, local=(w,))`` — it maintains the
 # baseline, pending and divergence state of exactly the PoPs with
 # ``partition_of(pop, N) == w`` and computes exactly partition *w*'s
-# share of every bin close; classification, localisation and
-# validation then run on that partial locally (the shard hash equals
-# the partition hash, so the worker owns its signals end to end).
+# share of every bin close.  The per-bin analysis stages —
+# classification, localisation, validation — run *in the driver*, on
+# the merged global signal stream: they execute once per bin (not per
+# element), their cost is negligible next to the stream stages, and
+# centralising them collapses the bin-close barrier to a single fused
+# exchange per worker.
 #
-# The driver keeps only what is inherently global:
+# The driver therefore keeps:
 #
 # * **ingest** (admission + the stream clock) and the broadcast fan-out
-#   of encoded element batches to every worker;
-# * the **probe cache and validator** — workers probe through a
-#   blocking driver round trip, preserving the at-most-one-probe-per-
-#   (PoP, bin) invariant exactly (the cache document stays identical to
-#   the linear chain's);
-# * the **per-bin sync** (the only cross-shard hops): bins close in
+#   of columnar element batches to every worker;
+# * the **analysis chain and its shared state** — the one
+#   classification window, the probe cache (at-most-one-probe-per-
+#   (PoP, bin) is structural: only the driver probes), the signal log
+#   and the reject list, all with exact linear-chain semantics since
+#   they process the same merged batches in the same order;
+# * the **per-bin sync** (the only cross-shard hop): bins close in
 #   lockstep on every worker (same stream, same clock), and each close
-#   runs a fixed phase protocol —
+#   is ONE fused exchange per worker —
 #
-#       1. every worker reports its partial signals       ("bin")
-#       2. driver: zero signals globally -> skip; else "go"
-#       3. workers classify their partials; driver unions
-#          the concurrent-PoP sets (§4.3)                 ("cls"/"cctx")
-#       4. workers localise; driver merges epicenters and
-#          computes the city scope (§4.3)                 ("loc"/"city")
-#       5. workers validate; driver merges the candidates,
-#          sorts them by signal PoP (the linear emission
-#          order) and broadcasts them                     ("val"/"cand")
-#       6. every worker applies the full candidate list to
-#          its record stage, then the bin marker
+#       1. every worker ships, in a single message, its partial
+#          signals *and* everything the driver analysis needs from
+#          its monitor partition: the baseline far-AS/link sets of
+#          the PoPs in its share of the correlation window, and its
+#          monitor's last-diverted path keys            ("bin")
+#       2. the driver merges the partials under the monitor's signal
+#          sort key (the linear close order), runs classification →
+#          localisation → validation against the shipped baselines,
+#          stamps each candidate with its PoP's diverted keys, and
+#          broadcasts the candidate list in linear emission
+#          order                                        ("fin")
+#       3. every worker applies the full candidate list to its
+#          record stage, then the bin marker, and posts a fire-and-
+#          forget round-done marker that lets the driver prune its
+#          probe cache and round memos                  ("rdone")
 #
-# * the deterministic merges of the global views (signal log, reject
-#   list), sorted per phase by PoP exactly like the thread-sharded
-#   runtime.
+#   The previous protocol cost four driver round trips per worker per
+#   bin (report / classify / localise / validate phase ladder); the
+#   fused exchange costs exactly one.
+#
+# Each worker prunes its shipped window share against its *local* bin
+# clock (the max bin_start among its own signals), which can only lag
+# the global clock — so the shipped read set is always a superset of
+# the PoPs the driver's window holds for that partition, never a miss.
 #
 # The **record lifecycle is replicated, not sharded**: every worker
 # applies the identical, globally-ordered candidate sequence, so all
@@ -758,52 +801,44 @@ def build_process_kepler_pipeline(
 # cheapest stage by orders of magnitude, and replication removes every
 # cross-partition monitor read a located-elsewhere record would
 # otherwise need — candidates carry their signal PoP's diverted keys
-# across the partition boundary (``OutageCandidate.diverted_keys``).
+# across the partition boundary (``OutageCandidate.diverted_keys``,
+# stamped by the driver from the shipped last-diverted maps).
 #
 # Checkpoints compose the **linear canonical document**: worker 0's
 # tagging/record states (replicas), the merged monitor partitions
-# (`merge_monitor_states`), the windows merged under the documented
-# signal sort key, and the driver's ingest/cache/reject/log state — so
-# a shard-process snapshot restores into any runtime and vice versa.
+# (`merge_monitor_states`), the driver's classification document
+# (log + window — already canonical, it IS the linear stage), and the
+# driver's ingest/cache/reject state — so a shard-process snapshot
+# restores into any runtime and vice versa.
 #
 # Determinism caveat: the validator is treated as a pure function of
-# (PoP, time) — ``validate`` is memoised globally (exactly like every
-# other runtime) and ``restored_fraction`` is memoised per bin round,
-# because the replicated record stages read it once each.
-
-_ROUND_SKIP = "skip"
-_ROUND_GO = "go"
+# (PoP, time) — ``validate`` is memoised in the driver's cache
+# (exactly like every other runtime) and ``restored_fraction`` is
+# memoised per bin round, because the replicated record stages read
+# it once each.
 
 
-class _RemoteValidationCache:
-    """Worker-side probe proxy: at-most-once semantics live in the driver.
+class _ShippedBaselines:
+    """Driver-side monitor stand-in built from worker-shipped reads.
 
-    ``validate`` is a blocking driver round trip (the driver owns the
-    real :class:`~repro.pipeline.validation.ValidationCache`); probes
-    only ever happen inside a sync-round phase or a finalize, when the
-    driver is serving.  ``prune`` is a no-op — the driver prunes its
-    cache at every advancing round.
+    The localisation stage reads exactly two things from the monitor:
+    ``baseline_far_ases(pop)`` and ``baseline_links(pop)`` for the
+    PoPs of the classifications it localises.  Those PoPs always sit
+    in the correlation window, and each worker ships its window
+    share's baseline sets inside its fused "bin" message — so the
+    driver serves the reads from the merged shipment of the current
+    round, with no monitor round trip at all.
     """
 
     def __init__(self) -> None:
-        self.wid: int | None = None
-        self._ret_q = None
-        self._sync_q = None
+        #: pop -> (far_ases, links), replaced every fused round.
+        self.reads: dict = {}
 
-    def connect(self, wid: int, ret_q, sync_q) -> None:
-        self.wid = wid
-        self._ret_q = ret_q
-        self._sync_q = sync_q
+    def baseline_far_ases(self, pop) -> set:
+        return self.reads[pop][0]
 
-    def validate(self, pop, time_):
-        self._ret_q.put(("probe", self.wid, pop, time_))
-        kind, payload = self._sync_q.get()
-        if kind != "probe":  # pragma: no cover - protocol guard
-            raise RuntimeError(f"expected probe reply, got {kind!r}")
-        return payload
-
-    def prune(self, older_than: float) -> None:
-        del older_than
+    def baseline_links(self, pop) -> set:
+        return self.reads[pop][1]
 
 
 class _RemoteValidator:
@@ -838,62 +873,59 @@ class _RemoteValidator:
 
 
 class _ShardWorkerChain:
-    """The stage set one shard worker owns (built pre-fork)."""
+    """The stage set one shard worker owns (built pre-fork).
+
+    Only the stateful stream stages live here — tagging, the monitor
+    partition, the record replica.  The analysis stages run in the
+    driver; ``correlation_window_s`` tells the worker how much of its
+    own signal history the driver's window can still hold, i.e. which
+    PoPs' baseline reads each fused "bin" message must ship.
+    """
 
     def __init__(
         self,
         wid: int,
         tagging,
         monitoring,
-        classification,
-        localisation,
-        validation,
         record,
-        rejected: list,
         registry: PipelineMetrics,
-        cache: _RemoteValidationCache,
         validator: _RemoteValidator,
+        correlation_window_s: float,
     ) -> None:
         self.wid = wid
         self.tagging = tagging
         self.monitoring = monitoring
-        self.classification = classification
-        self.localisation = localisation
-        self.validation = validation
         self.record = record
-        self.rejected = rejected
         self.registry = registry
-        self.cache = cache
         self.validator = validator
+        self.correlation_window_s = correlation_window_s
 
 
 def _shard_worker_loop(chain: _ShardWorkerChain, in_q, sync_q, ret_q) -> None:
-    """One end-to-end shard worker: full chain over the broadcast stream."""
+    """One shard worker: stream stages over the broadcast element stream."""
     from repro.pipeline.events import BinAdvanced, SignalBatch
 
     wid = chain.wid
-    chain.cache.connect(wid, ret_q, sync_q)
     chain.validator.connect(wid, ret_q, sync_q)
     monitor = chain.monitoring.monitor
     tag_handle = chain.registry.stage(chain.tagging.name)
     mon_handle = chain.registry.stage(chain.monitoring.name)
+    record_handle = chain.registry.stage(chain.record.name)
+    window_s = chain.correlation_window_s
     round_id = 0
+    #: this worker's share of the driver's correlation window — pruned
+    #: against the *local* bin clock, which can only lag the global
+    #: one, so the shipped read set is a superset of what the driver's
+    #: window holds for this partition.
+    own_window: list = []
 
-    def metered(stage, handle, element):
+    def feed_record(element) -> None:
         began = time.perf_counter()
-        out = stage.feed(element)
-        handle.seconds += time.perf_counter() - began
-        handle.fed += 1
-        handle.emitted += len(out)
-        return out
-
-    def feed_stage(stage, element):
-        return metered(stage, chain.registry.stage(stage.name), element)
-
-    def drain_rejects() -> list:
-        fresh = chain.rejected[:]
-        chain.rejected.clear()
-        return fresh
+        out = chain.record.feed(element)
+        record_handle.seconds += time.perf_counter() - began
+        record_handle.fed += 1
+        record_handle.batches += 1
+        record_handle.emitted += len(out)
 
     def await_phase(expected: str):
         kind, *payload = sync_q.get()
@@ -904,95 +936,79 @@ def _shard_worker_loop(chain: _ShardWorkerChain, in_q, sync_q, ret_q) -> None:
         return payload
 
     def sync_round(signals: list, advanced: float | None) -> None:
+        # The fused bin exchange: one message up (partial signals plus
+        # the baseline reads and diverted keys the driver analysis
+        # needs), one broadcast back (the globally ordered candidate
+        # list).  See the module commentary.
         nonlocal round_id
         round_id += 1
-        ret_q.put(("bin", wid, round_id, signals, advanced))
-        mode, now_bin = await_phase("binctl")
-        if mode == _ROUND_GO:
-            outs = feed_stage(
-                chain.classification,
-                SignalBatch(signals=signals, now_bin=now_bin),
+        own_window.extend(signals)
+        reads: dict = {}
+        if own_window:
+            local_now = max(s.bin_start for s in own_window)
+            horizon = local_now - window_s
+            own_window[:] = [
+                s for s in own_window if s.bin_start >= horizon
+            ]
+            far_ases = monitor.baseline_far_ases
+            links = monitor.baseline_links
+            for signal in own_window:
+                pop = signal.pop
+                if pop not in reads:
+                    reads[pop] = (far_ases(pop), links(pop))
+        ret_q.put(
+            (
+                "bin",
+                wid,
+                round_id,
+                signals,
+                advanced,
+                reads,
+                dict(monitor.last_diverted),
             )
-            batch = outs[0] if outs else None
-            log = chain.classification.signal_log[:]
-            chain.classification.signal_log.clear()
-            ret_q.put(
-                (
-                    "cls",
-                    wid,
-                    round_id,
-                    log,
-                    set(batch.concurrent) if batch is not None else None,
-                )
-            )
-            (concurrent,) = await_phase("cctx")
-            if concurrent is not None:
-                located = None
-                if batch is not None:
-                    batch.concurrent = set(concurrent)
-                    louts = feed_stage(chain.localisation, batch)
-                    located = louts[0] if louts else None
-                ret_q.put(
-                    (
-                        "loc",
-                        wid,
-                        round_id,
-                        list(located.results) if located is not None else [],
-                        drain_rejects(),
-                    )
-                )
-                (city,) = await_phase("city")
-                candidates: list = []
-                if located is not None:
-                    located.city_scope = city
-                    candidates = feed_stage(chain.validation, located)
-                    for candidate in candidates:
-                        candidate.diverted_keys = frozenset(
-                            monitor.last_diverted.get(
-                                candidate.classification.pop, ()
-                            )
-                        )
-                ret_q.put(("val", wid, round_id, candidates, drain_rejects()))
-                (ordered,) = await_phase("cand")
-                for candidate in ordered:
-                    feed_stage(chain.record, candidate)
+        )
+        (candidates,) = await_phase("fin")
+        for candidate in candidates:
+            feed_record(candidate)
         if advanced is not None:
-            marker = BinAdvanced(now=advanced)
-            feed_stage(chain.validation, marker)  # remote prune: no-op
-            feed_stage(chain.record, marker)
+            feed_record(BinAdvanced(now=advanced))
         ret_q.put(("rdone", wid, round_id))
 
-    def feed_element(wire) -> None:
-        element = element_from_wire(wire)
+    def feed_tagged(out) -> None:
         began = time.perf_counter()
-        tagged_outs = chain.tagging.feed(element)
-        tag_handle.seconds += time.perf_counter() - began
-        tag_handle.fed += 1
-        tag_handle.emitted += len(tagged_outs)
-        for out in tagged_outs:
-            began = time.perf_counter()
-            mouts = chain.monitoring.feed(out)
-            mon_handle.seconds += time.perf_counter() - began
-            mon_handle.fed += 1
-            mon_handle.emitted += len(mouts)
-            if not mouts:
-                continue
-            signals: list = []
-            advanced: float | None = None
-            for mout in mouts:
-                if isinstance(mout, SignalBatch):
-                    signals = mout.signals
-                elif isinstance(mout, BinAdvanced):
-                    advanced = mout.now
-            sync_round(signals, advanced)
+        mouts = chain.monitoring.feed(out)
+        mon_handle.seconds += time.perf_counter() - began
+        mon_handle.fed += 1
+        mon_handle.batches += 1
+        mon_handle.emitted += len(mouts)
+        if not mouts:
+            return
+        signals: list = []
+        advanced: float | None = None
+        for mout in mouts:
+            if isinstance(mout, SignalBatch):
+                signals = mout.signals
+            elif isinstance(mout, BinAdvanced):
+                advanced = mout.now
+        sync_round(signals, advanced)
 
     try:
         while True:
             msg = in_q.get()
             kind = msg[0]
             if kind == "batch":
-                for wire in _unpack(msg[1], msg[2]):
-                    feed_element(wire)
+                batch = _unpack(msg[1], msg[2])
+                began = time.perf_counter()
+                tagged = tag_wire_batch(
+                    chain.tagging.input, batch, chain.tagging.feed
+                )
+                elements = decode_batch(tagged)
+                tag_handle.seconds += time.perf_counter() - began
+                tag_handle.fed += len(batch[0])
+                tag_handle.batches += 1
+                tag_handle.emitted += len(elements)
+                for element in elements:
+                    feed_tagged(element)
             elif kind == "flush":
                 began = time.perf_counter()
                 flushed = chain.monitoring.flush()
@@ -1019,8 +1035,6 @@ def _shard_worker_loop(chain: _ShardWorkerChain, in_q, sync_q, ret_q) -> None:
                             info[section] = chain.tagging.state_dict()
                         elif section == "monitoring":
                             info[section] = chain.monitoring.state_dict()
-                        elif section == "classify":
-                            info[section] = chain.classification.state_dict()
                         elif section == "record":
                             info[section] = chain.record.state_dict()
                         elif section == "metrics":
@@ -1029,6 +1043,8 @@ def _shard_worker_loop(chain: _ShardWorkerChain, in_q, sync_q, ret_q) -> None:
                             info[section] = chain.monitoring.primed
                 ret_q.put(("ack", msg[1], wid, info))
             elif kind == "load":
+                from repro.core.serde import signal_from_json
+
                 doc = msg[1]
                 round_id = 0
                 chain.registry.reset()
@@ -1036,9 +1052,10 @@ def _shard_worker_loop(chain: _ShardWorkerChain, in_q, sync_q, ret_q) -> None:
                     chain.registry.load_state(doc["metrics"])
                 chain.tagging.load_state(doc["tagging"])
                 chain.monitoring.load_state(doc["monitoring"])
-                chain.classification.load_state(doc["classify"])
+                own_window[:] = [
+                    signal_from_json(s) for s in doc["window"]
+                ]
                 chain.record.load_state(doc["record"])
-                chain.rejected.clear()
             elif kind == "stop":
                 return
     except Exception:
@@ -1069,7 +1086,10 @@ class ShardProcessPipeline:
         registry: PipelineMetrics,
         cache,
         validator,
-        colo,
+        classification,
+        localisation,
+        validation,
+        baselines: _ShippedBaselines,
         rejected: list,
         batch_size: int = DEFAULT_BATCH,
     ) -> None:
@@ -1091,9 +1111,12 @@ class ShardProcessPipeline:
         self._ingest_handle = registry.stage(ingest.name)
         self.cache = cache
         self.validator = validator
-        self.colo = colo
-        #: chronological global views, merged deterministically per phase.
-        self.signal_log: list = []
+        #: the driver-resident analysis chain (linear-chain semantics
+        #: over the merged signal stream; see the module commentary).
+        self._classification = classification
+        self._localisation = localisation
+        self._validation = validation
+        self._baselines = baselines
         self.rejected = rejected
 
         ctx = multiprocessing.get_context("fork")
@@ -1127,7 +1150,17 @@ class ShardProcessPipeline:
         #: router-equivalent counters (observability parity).
         self.batches_routed = 0
         self.signals_routed = 0
+        #: fused-sync counters: rounds completed, and driver→worker
+        #: broadcasts sent inside them — the bench asserts their ratio
+        #: is exactly one exchange per worker per bin.
+        self.sync_rounds = 0
+        self.sync_broadcasts = 0
         self._closed = False
+
+    @property
+    def signal_log(self) -> list:
+        """The global chronological signal log (the driver stage's own)."""
+        return self._classification.signal_log
 
     # ------------------------------------------------------------------
     # StagePipeline-compatible surface
@@ -1138,9 +1171,9 @@ class ShardProcessPipeline:
         handle = self._ingest_handle
         handle.seconds += time.perf_counter() - began
         handle.fed += 1
+        handle.batches += 1
         handle.emitted += len(outs)
-        for out in outs:
-            self._buffer.append(element_to_wire(out))
+        self._buffer.extend(outs)
         if len(self._buffer) >= self.batch_size:
             self._ship()
         return []
@@ -1148,7 +1181,6 @@ class ShardProcessPipeline:
     def feed_many(self, elements: Iterable[Any]) -> list[Any]:
         ingest = self._ingest.feed
         handle = self._ingest_handle
-        encode = element_to_wire
         size = self.batch_size
         fed = 0
         emitted = 0
@@ -1157,32 +1189,38 @@ class ShardProcessPipeline:
             fed += 1
             outs = ingest(element)
             emitted += len(outs)
-            for out in outs:
-                self._buffer.append(encode(out))
+            self._buffer.extend(outs)
             if len(self._buffer) >= size:
                 handle.seconds += time.perf_counter() - began
                 self._ship()
                 began = time.perf_counter()
         handle.seconds += time.perf_counter() - began
         handle.fed += fed
+        handle.batches += 1
         handle.emitted += emitted
         self._pump()
         return []
 
-    def feed_admitted_wires(self, wires: list[list]) -> list[Any]:
-        """Queue pre-admitted, pre-encoded elements for the broadcast.
+    def feed_admitted(self, elements: list[Any]) -> list[Any]:
+        """Queue pre-admitted elements for the broadcast.
 
         Ingest-tier entry point (see
-        :meth:`ProcessStagePipeline.feed_admitted_wires`): feed workers
-        already admitted and encoded the batch, so it lands in the
-        broadcast buffer without a driver element-by-element hop.
+        :meth:`ProcessStagePipeline.feed_admitted`): admission already
+        ran in a feed worker, so the chunk lands in the broadcast
+        buffer without a driver element-by-element hop.
         """
-        self._buffer.extend(wires)
+        self._buffer.extend(elements)
         if len(self._buffer) >= self.batch_size:
             self._ship()
         else:
             self._pump()
         return []
+
+    def feed_admitted_wires(self, wires: list[list]) -> list[Any]:
+        """Envelope-encoded variant of :meth:`feed_admitted`."""
+        return self.feed_admitted(
+            [element_from_wire(wire) for wire in wires]
+        )
 
     def flush(self) -> list[Any]:
         """Drain the stream, then run the end-of-stream trailing-bin round."""
@@ -1207,7 +1245,7 @@ class ShardProcessPipeline:
     def _ship(self) -> None:
         if not self._buffer:
             return
-        message = ("batch", *_pack(self._buffer))
+        message = ("batch", *_pack(encode_batch(self._buffer)))
         self._buffer = []
         for in_q in self._in_qs:
             self._put_checked(in_q, message)
@@ -1243,15 +1281,15 @@ class ShardProcessPipeline:
         if state is None:
             state = self._rounds[rid] = {
                 "bin": {},
-                "cls": {},
-                "loc": {},
-                "val": {},
+                "reads": {},
+                "diverted": {},
                 "rdone": set(),
                 "advanced": None,
             }
         return state
 
     def _broadcast_sync(self, message) -> None:
+        self.sync_broadcasts += 1
         for sync_q in self._sync_qs:
             sync_q.put(message)
 
@@ -1270,8 +1308,6 @@ class ShardProcessPipeline:
         never returned and dropped, because pumps also happen inside
         ``_put_checked`` retries; everything else is handled in place.
         """
-        from repro.core.monitor import pop_sort_key
-        from repro.pipeline.localisation import common_city
         from repro.pipeline.validation import PRUNE_HORIZON_S
 
         while True:
@@ -1291,70 +1327,15 @@ class ShardProcessPipeline:
             block = False  # made progress: drain the rest lazily
             kind = msg[0]
             if kind == "bin":
-                _, wid, rid, signals, advanced = msg
+                _, wid, rid, signals, advanced, reads, diverted = msg
                 state = self._round(rid)
                 state["bin"][wid] = signals
+                state["reads"].update(reads)
+                state["diverted"].update(diverted)
                 if advanced is not None:
                     state["advanced"] = advanced
                 if len(state["bin"]) == self.workers:
-                    merged = [s for w in sorted(state["bin"]) for s in state["bin"][w]]
-                    if merged:
-                        self.batches_routed += 1
-                        self.signals_routed += len(merged)
-                        now_bin = max(s.bin_start for s in merged)
-                        self._broadcast_sync(("binctl", _ROUND_GO, now_bin))
-                    else:
-                        self._broadcast_sync(("binctl", _ROUND_SKIP, None))
-            elif kind == "cls":
-                _, wid, rid, log, concurrent = msg
-                state = self._round(rid)
-                state["cls"][wid] = (log, concurrent)
-                if len(state["cls"]) == self.workers:
-                    fresh = [
-                        c
-                        for w in sorted(state["cls"])
-                        for c in state["cls"][w][0]
-                    ]
-                    fresh.sort(key=lambda c: pop_sort_key(c.pop))
-                    self.signal_log.extend(fresh)
-                    union: set | None = None
-                    for _, concurrent_w in state["cls"].values():
-                        if concurrent_w is not None:
-                            union = (union or set()) | concurrent_w
-                    self._broadcast_sync(("cctx", union))
-            elif kind == "loc":
-                _, wid, rid, results, rejects = msg
-                state = self._round(rid)
-                state["loc"][wid] = (results, rejects)
-                if len(state["loc"]) == self.workers:
-                    self._merge_rejects(
-                        [r for _, rejects_w in state["loc"].values() for r in rejects_w]
-                    )
-                    merged = [
-                        located
-                        for w in sorted(state["loc"])
-                        for located in state["loc"][w][0]
-                    ]
-                    self._broadcast_sync(
-                        ("city", common_city(merged, self.colo))
-                    )
-            elif kind == "val":
-                _, wid, rid, candidates, rejects = msg
-                state = self._round(rid)
-                state["val"][wid] = (candidates, rejects)
-                if len(state["val"]) == self.workers:
-                    self._merge_rejects(
-                        [r for _, rejects_w in state["val"].values() for r in rejects_w]
-                    )
-                    ordered = [
-                        c
-                        for w in sorted(state["val"])
-                        for c in state["val"][w][0]
-                    ]
-                    ordered.sort(
-                        key=lambda c: pop_sort_key(c.classification.pop)
-                    )
-                    self._broadcast_sync(("cand", ordered))
+                    self._finish_round(state)
             elif kind == "rdone":
                 _, wid, rid = msg
                 state = self._round(rid)
@@ -1364,11 +1345,6 @@ class ShardProcessPipeline:
                         self.cache.prune(state["advanced"] - PRUNE_HORIZON_S)
                     self._rf_memo.clear()
                     del self._rounds[rid]
-            elif kind == "probe":
-                _, wid, pop, time_ = msg
-                self._sync_qs[wid].put(
-                    ("probe", self.cache.validate(pop, time_))
-                )
             elif kind == "rf":
                 _, wid, pop, time_ = msg
                 memo_key = (pop, time_)
@@ -1384,18 +1360,66 @@ class ShardProcessPipeline:
             else:
                 self._ctl.append(msg)
 
-    def _merge_rejects(self, fresh: list) -> None:
-        from repro.core.monitor import pop_sort_key
+    def _finish_round(self, state: dict) -> None:
+        """All partials in: run the driver analysis, broadcast once.
 
-        if fresh:
-            fresh.sort(key=lambda c: pop_sort_key(c.pop))
-            self.rejected.extend(fresh)
+        The partials merge under the monitor's signal sort key — the
+        exact order a singleton monitor's ``close_bin`` would emit —
+        then flow through the driver's classification → localisation →
+        validation stages with plain linear-chain semantics (window,
+        probe cache, reject list are all the real, single objects).
+        A zero-signal round skips the stages entirely, matching the
+        linear chain (its classification feed is a no-op without
+        signals) while still releasing the workers.
+        """
+        import heapq
+
+        from repro.core.monitor import signal_sort_key
+        from repro.pipeline.events import SignalBatch
+
+        bins = state["bin"]
+        merged = list(
+            heapq.merge(
+                *(bins[w] for w in sorted(bins)), key=signal_sort_key
+            )
+        )
+        candidates: list = []
+        if merged:
+            self.batches_routed += 1
+            self.signals_routed += len(merged)
+            self._baselines.reads = state["reads"]
+            diverted = state["diverted"]
+            registry = self._registry
+            outs = [SignalBatch(signals=merged, now_bin=None)]
+            for stage in (
+                self._classification,
+                self._localisation,
+                self._validation,
+            ):
+                handle = registry.stage(stage.name)
+                nexts: list = []
+                began = time.perf_counter()
+                for element in outs:
+                    nexts.extend(stage.feed(element))
+                handle.seconds += time.perf_counter() - began
+                handle.fed += len(outs)
+                handle.batches += 1
+                handle.emitted += len(nexts)
+                outs = nexts
+            candidates = outs
+            for candidate in candidates:
+                candidate.diverted_keys = frozenset(
+                    diverted.get(candidate.classification.pop, ())
+                )
+        self.sync_rounds += 1
+        self._broadcast_sync(("fin", candidates))
 
     # ------------------------------------------------------------------
     # Drain barrier and worker-state collection
     # ------------------------------------------------------------------
-    #: Worker state sections a checkpoint composition needs.
-    FULL_STATE = ("tagging", "monitoring", "classify", "record", "metrics")
+    #: Worker state sections a checkpoint composition needs (the
+    #: classification document is driver-resident).
+    FULL_STATE = ("tagging", "monitoring", "record", "metrics")
 
     def sync(
         self, sections: tuple[str, ...] | None = None
@@ -1461,14 +1485,8 @@ class ShardProcessPipeline:
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
         from repro.core.monitor import merge_monitor_states
-        from repro.core.serde import classification_to_json
-        from repro.pipeline.checkpoint import signal_json_key
 
         infos = self.sync(self.FULL_STATE)
-        window = [
-            s for info in infos for s in info["classify"]["window"]
-        ]
-        window.sort(key=signal_json_key)
         stages = {
             "ingest": self._ingest.state_dict(),
             "tagging": infos[0]["tagging"],
@@ -1478,14 +1496,11 @@ class ShardProcessPipeline:
                     [info["monitoring"]["monitor"] for info in infos]
                 ),
             },
-            "classify": {
-                "signal_log": [
-                    classification_to_json(c) for c in self.signal_log
-                ],
-                "window": window,
-            },
-            "localise": {},
-            "validate": {},
+            # The driver stage IS the linear classification stage over
+            # the merged signal stream; its document is canonical.
+            "classify": self._classification.state_dict(),
+            "localise": self._localisation.state_dict(),
+            "validate": self._validation.state_dict(),
             "record": infos[0]["record"],
         }
         return {
@@ -1496,12 +1511,13 @@ class ShardProcessPipeline:
     def _compose_metrics(self, infos: list[dict]) -> PipelineMetrics:
         """One registry over driver + workers.
 
-        Ingest is driver-side; tagging, monitor and record counters are
-        per-worker replicas of the same logical work (take worker 0);
-        the sharded classify/localise/validate stages sum.  Bin gauges:
-        closes are lockstep (count from worker 0), the population
-        gauges are per-partition and sum to the global population, and
-        close latencies sum (aggregate CPU across partitions).
+        The driver registry carries ingest and the driver-resident
+        analysis stages (classify/localise/validate) directly; tagging,
+        monitor and record counters are per-worker replicas of the
+        same logical work (take worker 0).  Bin gauges: closes are
+        lockstep (count from worker 0), the population gauges are
+        per-partition and sum to the global population, and close
+        latencies sum (aggregate CPU across partitions).
         """
         composed = PipelineMetrics()
         for name in (
@@ -1510,6 +1526,7 @@ class ShardProcessPipeline:
         ):
             composed.stage(name)
         composed.absorb(self._registry)
+        composed.adopt_gauges(self._registry)
         registries = []
         for info in infos:
             registry = PipelineMetrics()
@@ -1522,14 +1539,6 @@ class ShardProcessPipeline:
                 handle.fed = entry.fed
                 handle.emitted = entry.emitted
                 handle.seconds = entry.seconds
-        for name in ("classify", "localise", "validate"):
-            handle = composed.stage(name)
-            for registry in registries:
-                entry = registry.stages.get(name)
-                if entry is not None:
-                    handle.fed += entry.fed
-                    handle.emitted += entry.emitted
-                    handle.seconds += entry.seconds
         bins = composed.bins
         bins.count = registries[0].bins.count
         for registry in registries:
@@ -1541,37 +1550,43 @@ class ShardProcessPipeline:
             bins.last_pending_entries += registry.bins.last_pending_entries
         return composed
 
+    #: Stage metrics entries the driver registry owns (the rest are
+    #: composed from the worker registries).
+    _DRIVER_STAGES = ("ingest", "classify", "localise", "validate")
+
     def load_state(self, state: dict) -> None:
         """Distribute a linear pipeline document across the workers."""
         from repro.core.monitor import partition_of
-        from repro.core.serde import classification_from_json, pop_from_json
+        from repro.core.serde import pop_from_json
 
         self.sync()  # quiesce in-flight batches first
         stages = state["stages"]
         self._ingest.load_state(stages["ingest"])
-        self.signal_log[:] = [
-            classification_from_json(c)
-            for c in stages["classify"]["signal_log"]
-        ]
+        self._classification.load_state(stages["classify"])
+        self._localisation.load_state(stages["localise"])
+        self._validation.load_state(stages["validate"])
+        self._baselines.reads = {}
         self._rounds.clear()
         self._rf_memo.clear()
         self._ctl.clear()
-        # The driver registry keeps only the ingest entry; everything
-        # else lives in (and is re-composed from) the worker registries.
+        # The driver registry keeps the entries of the driver-resident
+        # stages; the stream-stage entries live in (and are re-composed
+        # from) the worker registries.
         doc_metrics = PipelineMetrics()
         doc_metrics.load_state(state["metrics"])
         self._registry.reset()
-        ingest_entry = doc_metrics.stages.get("ingest")
-        if ingest_entry is not None:
-            handle = self._registry.stage("ingest")
-            handle.fed = ingest_entry.fed
-            handle.emitted = ingest_entry.emitted
-            handle.seconds = ingest_entry.seconds
+        for name in self._DRIVER_STAGES:
+            entry = doc_metrics.stages.get(name)
+            if entry is not None:
+                handle = self._registry.stage(name)
+                handle.fed = entry.fed
+                handle.emitted = entry.emitted
+                handle.seconds = entry.seconds
         worker0_metrics = {
             "stages": [
                 [m.name, m.fed, m.emitted, m.seconds]
                 for m in doc_metrics.stages.values()
-                if m.name != "ingest"
+                if m.name not in self._DRIVER_STAGES
             ],
             "bins": state["metrics"]["bins"],
         }
@@ -1588,7 +1603,7 @@ class ShardProcessPipeline:
                     {
                         "tagging": stages["tagging"],
                         "monitoring": stages["monitor"],
-                        "classify": {"signal_log": [], "window": window},
+                        "window": window,
                         "record": stages["record"],
                         "metrics": worker0_metrics if wid == 0 else None,
                     },
@@ -1735,8 +1750,10 @@ def build_shard_process_kepler_pipeline(
     ``monitor`` supplies the :class:`~repro.core.monitor.MonitorParams`
     template; each worker gets its own single-partition coordinator
     (``PartitionedMonitor(partitions=workers, local=(w,))``) built
-    pre-fork, along with its full downstream chain.  The driver keeps
-    ingest, the probe cache over ``validator``, and the global views.
+    pre-fork, along with its record replica.  The driver keeps ingest,
+    the analysis chain (classification → localisation → validation
+    over the merged signal stream, reading shipped baselines), the
+    probe cache over ``validator``, and the global views.
     """
     from repro.core.monitor import PartitionedMonitor
     from repro.pipeline.classification import ClassificationStage
@@ -1748,18 +1765,18 @@ def build_shard_process_kepler_pipeline(
     from repro.pipeline.validation import ValidationCache, ValidationStage
 
     registry = metrics or PipelineMetrics()
+    registry.register_cache_gauges(input_module)
     cache = ValidationCache(validator)
     rejected: list = []
     tagging = TaggingStage(input_module)
     chains: list[_ShardWorkerChain] = []
     for wid in range(workers):
         worker_registry = PipelineMetrics()
+        worker_registry.register_cache_gauges(input_module)
         worker_monitor = PartitionedMonitor(
             monitor.params, partitions=workers, local=(wid,)
         )
-        remote_cache = _RemoteValidationCache()
         remote_validator = _RemoteValidator()
-        worker_rejected: list = []
         chains.append(
             _ShardWorkerChain(
                 wid=wid,
@@ -1767,43 +1784,43 @@ def build_shard_process_kepler_pipeline(
                 monitoring=BinningMonitorStage(
                     worker_monitor, metrics=worker_registry
                 ),
-                classification=ClassificationStage(
-                    as2org,
-                    min_pop_ases=min_pop_ases,
-                    correlation_window_s=correlation_window_s,
-                ),
-                localisation=LocalisationStage(
-                    investigator,
-                    worker_monitor,
-                    colo,
-                    remote_cache,
-                    enable_investigation=enable_investigation,
-                    rejected=worker_rejected,
-                ),
-                validation=ValidationStage(
-                    remote_cache,
-                    drop_rejected=drop_rejected,
-                    rejected=worker_rejected,
-                ),
                 record=RecordStage(
                     worker_monitor,
                     remote_validator,
                     restore_fraction=restore_fraction,
                     merge_gap_s=merge_gap_s,
                 ),
-                rejected=worker_rejected,
                 registry=worker_registry,
-                cache=remote_cache,
                 validator=remote_validator,
+                correlation_window_s=correlation_window_s,
             )
         )
+    baselines = _ShippedBaselines()
     runtime = ShardProcessPipeline(
         chains=chains,
         ingest=IngestStage(),
         registry=registry,
         cache=cache,
         validator=validator,
-        colo=colo,
+        classification=ClassificationStage(
+            as2org,
+            min_pop_ases=min_pop_ases,
+            correlation_window_s=correlation_window_s,
+        ),
+        localisation=LocalisationStage(
+            investigator,
+            baselines,
+            colo,
+            cache,
+            enable_investigation=enable_investigation,
+            rejected=rejected,
+        ),
+        validation=ValidationStage(
+            cache,
+            drop_rejected=drop_rejected,
+            rejected=rejected,
+        ),
+        baselines=baselines,
         rejected=rejected,
         batch_size=batch_size,
     )

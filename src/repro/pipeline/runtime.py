@@ -81,8 +81,14 @@ class StagePipeline:
         the chain before the barrier stage's state advances further.
         """
         out: list[Any] = []
-        chunk: list[Any] = []
         size = self.chunk_size
+        if type(elements) is list:
+            # The common call (a materialised stream): slice chunks out
+            # directly instead of copying element by element.
+            for start in range(0, len(elements), size):
+                out.extend(self._run_chunk(elements[start : start + size]))
+            return out
+        chunk: list[Any] = []
         for element in elements:
             chunk.append(element)
             if len(chunk) >= size:
@@ -111,6 +117,25 @@ class StagePipeline:
         if barrier >= len(self.stages):
             return staged
         out: list[Any] = []
+        stage, metrics = self._metered[barrier]
+        feed_run = getattr(stage, "feed_run", None)
+        if feed_run is not None:
+            # Barrier stages with a batch feeder consume maximal
+            # non-emitting runs in one call; emitted batches still
+            # clear the rest of the chain before the next run starts,
+            # exactly as the per-element loop below.
+            index, count = 0, len(staged)
+            while index < count:
+                began = time.perf_counter()
+                outs, advanced = feed_run(staged, index)
+                metrics.seconds += time.perf_counter() - began
+                metrics.fed += advanced - index
+                metrics.batches += 1
+                metrics.emitted += len(outs)
+                index = advanced
+                if outs:
+                    out.extend(self._run(barrier + 1, outs))
+            return out
         for element in staged:
             out.extend(self._run(barrier, [element]))
         return out
@@ -145,12 +170,17 @@ class StagePipeline:
         for stage, metrics in self._metered[start:stop]:
             if not current:
                 break
-            produced: list[Any] = []
+            feed_batch = getattr(stage, "feed_batch", None)
             began = time.perf_counter()
-            for element in current:
-                produced.extend(stage.feed(element))
+            if feed_batch is not None:
+                produced: list[Any] = feed_batch(current)
+            else:
+                produced = []
+                for element in current:
+                    produced.extend(stage.feed(element))
             metrics.seconds += time.perf_counter() - began
             metrics.fed += len(current)
+            metrics.batches += 1
             metrics.emitted += len(produced)
             current = produced
         return current

@@ -381,6 +381,7 @@ class ShardedStagePipeline:
         out = stage.feed(element)
         metrics.seconds += time.perf_counter() - began
         metrics.fed += 1
+        metrics.batches += 1
         metrics.emitted += len(out)
         return out
 
@@ -461,6 +462,7 @@ class ShardedStagePipeline:
     def metrics(self) -> ShardedMetricsView:
         view = ShardedMetricsView([c.metrics for c in self.chains])
         view.absorb(self.upstream.metrics)
+        view.adopt_gauges(self.upstream.metrics)
         view.bins = self.upstream.metrics.bins
         for chain in self.chains:
             view.absorb(chain.metrics)
@@ -569,6 +571,7 @@ def build_sharded_kepler_pipeline(
 ) -> ShardedKeplerPipeline:
     """Wire the sharded Kepler chain: shared upstream, N shard chains."""
     metrics = metrics or PipelineMetrics()
+    metrics.register_cache_gauges(input_module)
     rejected: list[SignalClassification] = []
     cache = ValidationCache(validator)
     ingest = IngestStage()

@@ -43,6 +43,17 @@ class TaggingStage(PassthroughStage):
             return [] if tagged is None else [tagged]
         return [element]
 
+    def feed_batch(self, elements: list[Any]) -> list[Any]:
+        """Batch entry point: one hoisted pass over the whole chunk.
+
+        Plain updates run through :meth:`InputModule.process_batch`
+        (the columnar tagging loop); interleaved priming/state
+        elements fall back to :meth:`feed` and keep their slot order.
+        """
+        out: list[Any] = []
+        self.input.process_batch(elements, out, self.feed)
+        return out
+
     def state_dict(self) -> dict:
         return {
             "parsed_count": self.input.parsed_count,
