@@ -99,8 +99,13 @@ PRE_REFACTOR_HOT_PATH_UPDATES_PER_SEC = 1192.0
 #: recorded speedup-over-baseline figure.
 PRE_COLUMNAR_END_TO_END_PER_SEC = 68_066.0
 
+#: Committed single-core end-to-end rate before the batch-native hot
+#: path (PR 6's BENCH_pipeline_throughput.json: columnar wire batches,
+#: object fold): the reference for the batch-native speedup figure.
+PRE_BATCH_NATIVE_END_TO_END_PER_SEC = 238_194.6
+
 N_END_TO_END = 205_000  # a little headroom: loop skips degenerate paths
-E2E_TIMING_RUNS = 3  # best-of-N wall clock (shared-core timing noise)
+E2E_TIMING_RUNS = 5  # best-of-N wall clock (shared-core timing noise)
 HOT_POPS = 20
 HOT_BASELINE = 5_000
 HOT_PENDING = 20_000
@@ -181,31 +186,56 @@ def synthesize_stream(world, n_elements: int) -> list[StreamElement]:
     return elements
 
 
-def run_end_to_end() -> dict:
+def _peak_rss_kb() -> int:
+    """Lifetime peak RSS of this process in KB (Linux ``ru_maxrss``)."""
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def run_end_to_end(
+    n_elements: int = N_END_TO_END,
+    timing_runs: int = E2E_TIMING_RUNS,
+) -> dict:
     world = build_world(seed=1)
-    elements = synthesize_stream(world, N_END_TO_END)
-    assert len(elements) >= 200_000
+    elements = synthesize_stream(world, n_elements)
+    if n_elements >= N_END_TO_END:
+        assert len(elements) >= 200_000
     elapsed = None
     snapshot = None
-    for _ in range(E2E_TIMING_RUNS):
+    rss_runs = []
+    for _ in range(timing_runs):
         kepler = world.make_kepler()
         kepler.prime(world.rib_snapshot(0.0))
         began = time.perf_counter()
         kepler.process(elements)
         kepler.finalize(end_time=elements[-1].time + 3600.0)
         took = time.perf_counter() - began
+        rss_runs.append(_peak_rss_kb())
         if elapsed is None or took < elapsed:
             elapsed = took
             snapshot = kepler.metrics.snapshot()
+    per_sec = len(elements) / elapsed
     return {
         "elements": len(elements),
         "seconds": round(elapsed, 3),
-        "timing_runs": E2E_TIMING_RUNS,
-        "elements_per_sec": round(len(elements) / elapsed, 1),
+        "timing_runs": timing_runs,
+        "elements_per_sec": round(per_sec, 1),
         "baseline_pre_columnar_per_sec": PRE_COLUMNAR_END_TO_END_PER_SEC,
         "speedup_vs_pre_columnar": round(
-            len(elements) / elapsed / PRE_COLUMNAR_END_TO_END_PER_SEC, 2
+            per_sec / PRE_COLUMNAR_END_TO_END_PER_SEC, 2
         ),
+        "baseline_pre_batch_native_per_sec": (
+            PRE_BATCH_NATIVE_END_TO_END_PER_SEC
+        ),
+        "speedup_vs_pre_batch_native": round(
+            per_sec / PRE_BATCH_NATIVE_END_TO_END_PER_SEC, 2
+        ),
+        # ``ru_maxrss`` is a process-lifetime high-water mark, so the
+        # per-run series is monotone: growth between runs is memory the
+        # run added on top of everything benched before it.
+        "peak_rss_kb": rss_runs[-1],
+        "peak_rss_kb_runs": rss_runs,
         "stages": snapshot["stages"],
         "bins": snapshot["bins"],
         "gauges": snapshot["gauges"],
@@ -1182,6 +1212,64 @@ def emit(report: dict) -> None:
 
 
 # ----------------------------------------------------------------------
+# Soft per-stage regression check: warn-only, for the identity CI job
+# ----------------------------------------------------------------------
+REGRESSION_WARN_FRACTION = 0.20  # warn when a stage slows by > 20%
+
+#: Stages too cheap for a ratio check to be signal rather than timer
+#: noise on a shared CI core.
+REGRESSION_MIN_NS = 100.0
+
+
+def run_regression_check() -> None:
+    """Compare fresh per-stage ns/element against the committed JSON.
+
+    Soft by design: prints ``WARN`` lines for stages that slowed by
+    more than :data:`REGRESSION_WARN_FRACTION` versus the committed
+    ``BENCH_pipeline_throughput.json`` and always returns normally —
+    CI stays green and the warning shows up in the job log.  A short
+    stream (one timing run) keeps this cheap enough for every push;
+    per-element stage costs amortise the same as the full bench.
+    """
+    if not OUTPUT_JSON.exists():
+        print(f"regression check skipped: {OUTPUT_JSON} not found")
+        return
+    committed = json.loads(OUTPUT_JSON.read_text())
+    baseline = {
+        stage["name"]: stage["ns_per_element"]
+        for stage in committed.get("end_to_end", {}).get("stages", [])
+    }
+    if not baseline:
+        print("regression check skipped: committed JSON has no stages")
+        return
+    fresh = run_end_to_end(n_elements=60_000, timing_runs=2)
+    warned = 0
+    for stage in fresh["stages"]:
+        name = stage["name"]
+        now_ns = stage["ns_per_element"]
+        then_ns = baseline.get(name)
+        if then_ns is None or then_ns < REGRESSION_MIN_NS:
+            continue
+        ratio = now_ns / then_ns
+        marker = "ok"
+        if ratio > 1.0 + REGRESSION_WARN_FRACTION:
+            marker = "WARN"
+            warned += 1
+        print(
+            f"{marker:>4}  {name:<12} {then_ns:>9.1f} -> {now_ns:>9.1f}"
+            f" ns/el  ({ratio - 1.0:+.0%})"
+        )
+    if warned:
+        print(
+            f"regression check: {warned} stage(s) slowed by more than"
+            f" {REGRESSION_WARN_FRACTION:.0%} vs committed bench"
+            " (soft check — not failing the job)"
+        )
+    else:
+        print("regression check: all stages within threshold")
+
+
+# ----------------------------------------------------------------------
 def test_pipeline_throughput():
     hot = run_hot_path()
     end_to_end = run_end_to_end()
@@ -1232,9 +1320,21 @@ def test_pipeline_throughput():
 if __name__ == "__main__":
     import sys
 
-    if "--identity" in sys.argv[1:]:
+    known = {"--identity", "--check-regression"}
+    flags = set(sys.argv[1:])
+    if flags - known:
+        print(
+            "usage: bench_pipeline_throughput.py"
+            " [--identity] [--check-regression]\n"
+            "  (no flags runs the full bench and rewrites"
+            f" {OUTPUT_JSON.name})"
+        )
+        sys.exit(2)
+    if "--identity" in flags:
         print(json.dumps(run_identity(), indent=2))
         print("identity smoke passed (no timings recorded)")
-    else:
+    if "--check-regression" in flags:
+        run_regression_check()
+    if not flags:
         test_pipeline_throughput()
         print(f"wrote {OUTPUT_JSON}")

@@ -33,13 +33,18 @@ class SessionState(enum.Enum):
     ACTIVE = "active"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BGPUpdate:
     """A single routing update element.
 
     ``peer_asn`` is the collector peer (vantage point) whose session
     produced the element.  For withdrawals ``as_path`` and
     ``communities`` are empty by definition.
+
+    Slotted: stream elements exist by the hundred thousand per run, so
+    the per-instance ``__dict__`` is the single largest memory cost of
+    a batch in flight.  Serde decoders fill instances through the slot
+    descriptors directly (see ``core/serde.py``).
     """
 
     time: float  # seconds since epoch (simulation clock)
@@ -71,7 +76,7 @@ class BGPUpdate:
         return (self.time, self.collector, self.peer_asn, self.prefix)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BGPStateMessage:
     """A collector-session state change (Section 4.2 gap handling)."""
 
@@ -103,7 +108,7 @@ class BGPStateMessage:
 StreamElement = BGPUpdate | BGPStateMessage
 
 
-@dataclass
+@dataclass(slots=True)
 class UpdateBatch:
     """A time-ordered batch of stream elements with validation helpers."""
 

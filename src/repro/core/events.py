@@ -17,7 +17,7 @@ class SignalType(enum.Enum):
     POP = "pop"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OutageSignal:
     """One per-AS outage signal raised by the monitoring module.
 
@@ -44,7 +44,7 @@ class OutageSignal:
         return self.diverted_paths / self.baseline_paths
 
 
-@dataclass
+@dataclass(slots=True)
 class OutageRecord:
     """A detected PoP-level outage, possibly refined by investigation.
 

@@ -117,29 +117,28 @@ class InputModule:
 
     def process(self, update: BGPUpdate) -> TaggedPath | None:
         """Parse one update; ``None`` when the path must be discarded."""
-        source = update.__dict__
-        elem_type = source["elem_type"]
+        elem_type = update.elem_type
         key: PathKey = (
-            source["collector"],
-            source["peer_asn"],
-            source["prefix"],
+            update.collector,
+            update.peer_asn,
+            update.prefix,
         )
         if elem_type is ElemType.WITHDRAWAL:
             self.parsed_count += 1
             tagged = _TAGGED_NEW(TaggedPath)
             fields = tagged.__dict__
             fields["key"] = key
-            fields["time"] = source["time"]
+            fields["time"] = update.time
             fields["elem_type"] = elem_type
             fields["as_path"] = ()
             fields["tags"] = ()
-            fields["afi"] = source["afi"]
+            fields["afi"] = update.afi
             return tagged
-        communities = source["communities"]
+        communities = update.communities
         if len(communities) == 1:
             community = communities[0]
             memo_key = (
-                source["as_path"],
+                update.as_path,
                 (community.asn, community.value),
             )
         else:
@@ -147,7 +146,7 @@ class InputModule:
             for community in communities:
                 flat.append(community.asn)
                 flat.append(community.value)
-            memo_key = (source["as_path"], tuple(flat))
+            memo_key = (update.as_path, tuple(flat))
         cached = self._memo.get(memo_key, _MEMO_MISS)
         if cached is not _MEMO_MISS:
             self.memo_hits += 1
@@ -161,11 +160,11 @@ class InputModule:
         tagged = _TAGGED_NEW(TaggedPath)
         fields = tagged.__dict__
         fields["key"] = key
-        fields["time"] = source["time"]
+        fields["time"] = update.time
         fields["elem_type"] = elem_type
         fields["as_path"] = clean_path
         fields["tags"] = tags
-        fields["afi"] = source["afi"]
+        fields["afi"] = update.afi
         return tagged
 
     def process_batch(self, elements, out: list, fallback=None) -> None:
@@ -201,30 +200,29 @@ class InputModule:
                 else:
                     extend(fallback(update))
                 continue
-            source = update.__dict__
-            elem_type = source["elem_type"]
+            elem_type = update.elem_type
             key = (
-                source["collector"],
-                source["peer_asn"],
-                source["prefix"],
+                update.collector,
+                update.peer_asn,
+                update.prefix,
             )
             if elem_type is withdrawal:
                 parsed += 1
                 tagged = new(cls)
                 fields = tagged.__dict__
                 fields["key"] = key
-                fields["time"] = source["time"]
+                fields["time"] = update.time
                 fields["elem_type"] = elem_type
                 fields["as_path"] = ()
                 fields["tags"] = ()
-                fields["afi"] = source["afi"]
+                fields["afi"] = update.afi
                 append(tagged)
                 continue
-            communities = source["communities"]
+            communities = update.communities
             if len(communities) == 1:
                 community = communities[0]
                 memo_key = (
-                    source["as_path"],
+                    update.as_path,
                     (community.asn, community.value),
                 )
             else:
@@ -232,7 +230,7 @@ class InputModule:
                 for community in communities:
                     flat.append(community.asn)
                     flat.append(community.value)
-                memo_key = (source["as_path"], tuple(flat))
+                memo_key = (update.as_path, tuple(flat))
             cached = memo_get(memo_key, miss)
             if cached is not miss:
                 hits += 1
@@ -245,11 +243,11 @@ class InputModule:
             tagged = new(cls)
             fields = tagged.__dict__
             fields["key"] = key
-            fields["time"] = source["time"]
+            fields["time"] = update.time
             fields["elem_type"] = elem_type
             fields["as_path"] = cached[0]
             fields["tags"] = cached[1]
-            fields["afi"] = source["afi"]
+            fields["afi"] = update.afi
             append(tagged)
         self.parsed_count += parsed
         self.memo_hits += hits

@@ -140,6 +140,27 @@ _POP_MASK = (1 << _POP_SHIFT) - 1
 _COLS_CACHE_MAX = 65536
 
 
+class TaggedRun:
+    """A deferred span of tagged rows inside a columnar batch view.
+
+    The batch-native deferral unit: instead of materialising one
+    ``TaggedPath`` per in-bin element, the monitoring stage appends one
+    ``TaggedRun`` over the ``[start, stop)`` tagged-family rows of a
+    :class:`~repro.core.serde.TaggedBatchView` to the coordinator's
+    event list.  The per-bin fold consumes it column to column —
+    interleaving freely with plain ``TaggedPath`` objects in arrival
+    order — so skippable steady-state rows never become objects at all.
+    The view pins the batch columns alive for the life of the run.
+    """
+
+    __slots__ = ("view", "start", "stop")
+
+    def __init__(self, view, start: int, stop: int) -> None:
+        self.view = view
+        self.start = start
+        self.stop = stop
+
+
 class MonitorPartition:
     """Per-partition detection core: one PoP subset's monitor state.
 
@@ -222,6 +243,10 @@ class MonitorPartition:
         self._tracking: dict[PoP, _TrackState] = {}
         #: diverted keys of the most recently closed bin, per own PoP.
         self.last_diverted: dict[PoP, set[PathKey]] = {}
+        #: elements the steady-state fast path discarded without
+        #: touching any object state (fold telemetry, never
+        #: checkpointed — surfaced as a metrics gauge).
+        self.skipped_steady_state = 0
 
     def owns(self, pop: PoP) -> bool:
         if self.n_partitions == 1:
@@ -426,8 +451,140 @@ class MonitorPartition:
         diverted = self._diverted
         tracking = self._tracking
         withdrawal = ElemType.WITHDRAWAL
+        run_cls = TaggedRun
         shift = _POP_SHIFT
+        skipped = 0
         for tagged in events:
+            if type(tagged) is run_cls:
+                # Batch-native fold: sweep the run's tagged columns in
+                # place.  Same transitions as the object body below —
+                # the skip decision needs only (key, tag identity,
+                # element kind) and the candidate add needs (path,
+                # time), all of which sit in the view's columns, so no
+                # row ever materialises a TaggedPath.  The view's path
+                # and tag-set tables are serde-interned: identical
+                # values share objects across batches, keeping the
+                # id()-keyed column caches hot.
+                view = tagged.view
+                start = tagged.start
+                stop = tagged.stop
+                paths = view.paths
+                tagsets = view.tagsets
+                # Per-batch withdrawal sentinel: ElemType member for
+                # in-process batches, wire value string for IPC ones.
+                wv = view.wv
+                # The per-view cols table replaces the per-row
+                # id()-keyed cache probe with a list index: tag-set
+                # table entries repeat across rows, so each distinct
+                # entry resolves its derived columns once per view.
+                # Keyed per partition — derived columns embed this
+                # partition's ownership filter, and an in-process
+                # PartitionedMonitor folds one view through every
+                # partition.
+                cols_cache = view.cols
+                if cols_cache is None:
+                    cols_cache = view.cols = {}
+                cols_tab = cols_cache.get(id(self))
+                if cols_tab is None:
+                    cols_tab = cols_cache[id(self)] = [None] * len(
+                        tagsets
+                    )
+                for key, when, elem, path_idx, tags_idx in zip(
+                    view.t_key[start:stop],
+                    view.t_time[start:stop],
+                    view.t_elem[start:stop],
+                    view.t_path[start:stop],
+                    view.t_tags[start:stop],
+                ):
+                    is_withdrawal = elem == wv
+                    cols = cols_tab[tags_idx]
+                    if cols is None:
+                        tags = tagsets[tags_idx]
+                        cols = tags_cols_get(id(tags))
+                        if cols is None:
+                            cols = tag_cols(tags)
+                        cols_tab[tags_idx] = cols
+                    update_mask = cols[1]
+                    key_idx = key_ids_get(key)
+                    if key_idx is None:
+                        key_idx = intern_key(key)
+                    kmask = base_mask[key_idx]
+                    tmask = track_mask[key_idx]
+                    pmask = pend_mask[key_idx]
+                    if not tmask:
+                        if is_withdrawal:
+                            if not kmask and not pmask:
+                                skipped += 1
+                                continue
+                        elif (
+                            kmask | pmask
+                        ) == update_mask and not (kmask & pmask):
+                            skipped += 1
+                            continue
+                    if kmask:
+                        div = kmask if is_withdrawal else kmask & ~update_mask
+                        while div:
+                            bit = div & -div
+                            div ^= bit
+                            pop = pops[bit.bit_length() - 1]
+                            keys = diverted.get(pop)
+                            if keys is None:
+                                keys = diverted[pop] = set()
+                            keys.add(key)
+                    if tmask:
+                        while tmask:
+                            bit = tmask & -tmask
+                            tmask ^= bit
+                            track = tracking[pops[bit.bit_length() - 1]]
+                            if not is_withdrawal and update_mask & bit:
+                                track.returned.add(key)
+                            else:
+                                track.returned.discard(key)
+                    if is_withdrawal:
+                        if pmask:
+                            packed_key = key_idx << shift
+                            while pmask:
+                                bit = pmask & -pmask
+                                pmask ^= bit
+                                del pending[
+                                    packed_key | (bit.bit_length() - 1)
+                                ]
+                            pend_mask[key_idx] = 0
+                        continue
+                    new_mask = pmask
+                    for pop_idx, bit, near_asn, far_asn in cols[2]:
+                        if kmask & bit:
+                            if new_mask & bit:
+                                del pending[key_idx << shift | pop_idx]
+                                new_mask &= ~bit
+                            continue
+                        if not (new_mask & bit):
+                            path = paths[path_idx]
+                            cached = path_cache.get(id(path))
+                            if cached is None:
+                                if len(path_cache) > _COLS_CACHE_MAX:
+                                    path_cache.clear()
+                                ases = frozenset(path[1:])
+                                path_cache[id(path)] = (path, ases)
+                            else:
+                                ases = cached[1]
+                            since = when
+                            packed = key_idx << shift | pop_idx
+                            pending[packed] = (near_asn, far_asn, since, ases)
+                            counter += 1
+                            heappush(heap, (since, counter, packed))
+                            new_mask |= bit
+                    stale = new_mask & ~update_mask
+                    if stale:
+                        packed_key = key_idx << shift
+                        new_mask &= ~stale
+                        while stale:
+                            bit = stale & -stale
+                            stale ^= bit
+                            del pending[packed_key | (bit.bit_length() - 1)]
+                    if new_mask != pmask:
+                        pend_mask[key_idx] = new_mask
+                continue
             source = tagged.__dict__
             key = source["key"]
             tags = source["tags"]
@@ -452,8 +609,10 @@ class MonitorPartition:
             if not tmask:
                 if is_withdrawal:
                     if not kmask and not pmask:
+                        skipped += 1
                         continue
                 elif (kmask | pmask) == update_mask and not (kmask & pmask):
+                    skipped += 1
                     continue
             if kmask:
                 # Divergence check against the baseline.
@@ -523,6 +682,7 @@ class MonitorPartition:
             if new_mask != pmask:
                 pend_mask[key_idx] = new_mask
         self._heap_counter = counter
+        self.skipped_steady_state += skipped
 
     # ------------------------------------------------------------------
     # Bin closing: partial signal computation
@@ -735,6 +895,7 @@ class MonitorPartition:
         self._diverted.clear()
         self._tracking.clear()
         self.last_diverted = {}
+        self.skipped_steady_state = 0
 
     def load_baseline_entry(
         self, pop: PoP, key: PathKey, entry_json: list
@@ -803,11 +964,13 @@ class PartitionedMonitor:
         }
         self._part_list = [self._parts[i] for i in indices]
         self._single = self._part_list[0] if len(self._part_list) == 1 else None
-        #: in-bin elements deferred for the grouped per-bin fold; the
-        #: feed-gap admission check already ran at arrival time.  The
-        #: list is cleared in place (never rebound): the monitoring
-        #: stage's batch feeder holds a bound ``append`` across calls.
-        self._events: list[TaggedPath] = []
+        #: in-bin elements deferred for the grouped per-bin fold —
+        #: ``TaggedPath`` objects and/or :class:`TaggedRun` column
+        #: spans, in arrival order; the feed-gap admission check
+        #: already ran at arrival time.  The list is cleared in place
+        #: (never rebound): the monitoring stage's batch feeder holds
+        #: a bound ``append`` across calls.
+        self._events: list = []
         self._bin_start: float | None = None
         #: merged diverted keys of the most recently closed bin.
         self.last_diverted: dict[PoP, set[PathKey]] = {}
@@ -1114,6 +1277,16 @@ class PartitionedMonitor:
     def total_baseline_entries(self) -> int:
         """Total (pop, key) baseline entries across all monitored PoPs."""
         return sum(part.total_baseline_entries for part in self._part_list)
+
+    @property
+    def skipped_steady_state(self) -> int:
+        """Elements the fold's steady-state fast path discarded.
+
+        Summed over partitions — with N partitions every partition
+        sees (and mostly skips) the full stream, so the sum scales
+        with N by construction.  Telemetry only, never checkpointed.
+        """
+        return sum(part.skipped_steady_state for part in self._part_list)
 
 
 #: The historical name: the monitor as one partition.

@@ -206,15 +206,21 @@ _SESSION_STATES = {s.value: s for s in SessionState}
 # goes through a descriptor (~10x a dict hit) and the encoders below
 # run per element on the multiprocess transport path.
 _ELEM_VALUE = {e: e.value for e in ElemType}
+_W_VALUE = ElemType.WITHDRAWAL.value
 _SESSION_VALUE = {s: s.value for s in SessionState}
 _POPKIND_VALUE = {k: k.value for k in PoPKind}
 
 # The stream decoders below are on the multiprocess runtime's per-
 # element hot path (every BGP element crosses two process hops), so
 # they rebuild the frozen dataclasses through ``object.__new__`` and a
-# direct ``__dict__`` fill — skipping the generated ``__init__``'s
+# direct field fill — skipping the generated ``__init__``'s
 # per-field ``object.__setattr__`` calls and the ``__post_init__``
 # validation, which already ran when the encoded object was built.
+# ``BGPUpdate``/``BGPStateMessage`` are slotted (no ``__dict__``), so
+# their fills go through the slot member descriptors, cached here once;
+# a descriptor ``__set__`` bypasses the frozen ``__setattr__`` just as
+# the old ``__dict__`` store did.  ``TaggedPath`` (dict-based) keeps
+# the ``__dict__`` fill.
 # Small immutable values (communities, PoPs) are interned: streams
 # repeat them constantly, and identical objects also make downstream
 # set/dict operations cheaper.
@@ -225,6 +231,44 @@ _POP_INTERN: dict[tuple[str, str], PoP] = {}
 #: cleared (cache telemetry, surfaced through ``intern_stats`` and the
 #: metrics gauges — never checkpointed, never part of pipeline state).
 _INTERN_EVICTIONS = {"community": 0, "pop": 0, "path": 0, "tagset": 0}
+
+
+def _slot_setters(cls, names: tuple[str, ...]) -> tuple:
+    return tuple(cls.__dict__[name].__set__ for name in names)
+
+
+(
+    _SET_U_TIME,
+    _SET_U_COLL,
+    _SET_U_PEER,
+    _SET_U_PFX,
+    _SET_U_ELEM,
+    _SET_U_PATH,
+    _SET_U_COMM,
+    _SET_U_AFI,
+) = _slot_setters(
+    BGPUpdate,
+    (
+        "time",
+        "collector",
+        "peer_asn",
+        "prefix",
+        "elem_type",
+        "as_path",
+        "communities",
+        "afi",
+    ),
+)
+(
+    _SET_S_TIME,
+    _SET_S_COLL,
+    _SET_S_PEER,
+    _SET_S_OLD,
+    _SET_S_NEW,
+) = _slot_setters(
+    BGPStateMessage,
+    ("time", "collector", "peer_asn", "old_state", "new_state"),
+)
 
 
 def intern_stats() -> dict[str, dict[str, int]]:
@@ -312,27 +356,25 @@ def update_to_json(update: BGPUpdate) -> list[Any]:
 
 def update_from_json(data: list[Any]) -> BGPUpdate:
     update = object.__new__(BGPUpdate)
-    fields = update.__dict__
-    (
-        fields["time"],
-        fields["collector"],
-        fields["peer_asn"],
-        fields["prefix"],
-        elem,
-        path,
-        flat,
-        fields["afi"],
-    ) = data
-    fields["elem_type"] = _ELEM_TYPES[elem]
+    time_, coll, peer, pfx, elem, path, flat, afi = data
+    _SET_U_TIME(update, time_)
+    _SET_U_COLL(update, coll)
+    _SET_U_PEER(update, peer)
+    _SET_U_PFX(update, pfx)
+    _SET_U_ELEM(update, _ELEM_TYPES[elem])
     # tuple(t) on an exact tuple returns it unchanged (free); decoding
     # from a JSON list still lands on a proper tuple.
-    fields["as_path"] = tuple(path)
+    _SET_U_PATH(update, tuple(path))
     interned = _COMMUNITY_INTERN.get
-    fields["communities"] = tuple(
-        interned((flat[i], flat[i + 1]))
-        or _intern_community(flat[i], flat[i + 1])
-        for i in range(0, len(flat), 2)
+    _SET_U_COMM(
+        update,
+        tuple(
+            interned((flat[i], flat[i + 1]))
+            or _intern_community(flat[i], flat[i + 1])
+            for i in range(0, len(flat), 2)
+        ),
     )
+    _SET_U_AFI(update, afi)
     return update
 
 
@@ -348,16 +390,12 @@ def state_message_to_json(message: BGPStateMessage) -> list[Any]:
 
 def state_message_from_json(data: list[Any]) -> BGPStateMessage:
     message = object.__new__(BGPStateMessage)
-    fields = message.__dict__
-    (
-        fields["time"],
-        fields["collector"],
-        fields["peer_asn"],
-        old,
-        new,
-    ) = data
-    fields["old_state"] = _SESSION_STATES[old]
-    fields["new_state"] = _SESSION_STATES[new]
+    time_, coll, peer, old, new = data
+    _SET_S_TIME(message, time_)
+    _SET_S_COLL(message, coll)
+    _SET_S_PEER(message, peer)
+    _SET_S_OLD(message, _SESSION_STATES[old])
+    _SET_S_NEW(message, _SESSION_STATES[new])
     return message
 
 
@@ -658,16 +696,15 @@ def encode_batch(elements: list) -> tuple:
         return index
 
     def add_update(update, kind: int) -> None:
-        source = update.__dict__
         append_kind(kind)
-        u_time.append(source["time"])
-        u_coll.append(source["collector"])
-        u_peer.append(source["peer_asn"])
-        u_pfx.append(source["prefix"])
-        u_elem.append(elem_value[source["elem_type"]])
-        u_path.append(path_index(source["as_path"]))
-        u_comm.append(comm_index(source["communities"]))
-        u_afi.append(source["afi"])
+        u_time.append(update.time)
+        u_coll.append(update.collector)
+        u_peer.append(update.peer_asn)
+        u_pfx.append(update.prefix)
+        u_elem.append(elem_value[update.elem_type])
+        u_path.append(path_index(update.as_path))
+        u_comm.append(comm_index(update.communities))
+        u_afi.append(update.afi)
 
     def add_tagged(tagged, kind: int) -> None:
         source = tagged.__dict__
@@ -680,13 +717,12 @@ def encode_batch(elements: list) -> tuple:
         t_afi.append(source["afi"])
 
     def add_state(message) -> None:
-        source = message.__dict__
         append_kind(_K_STATE)
-        s_time.append(source["time"])
-        s_coll.append(source["collector"])
-        s_peer.append(source["peer_asn"])
-        s_old.append(session_value[source["old_state"]])
-        s_new.append(session_value[source["new_state"]])
+        s_time.append(message.time)
+        s_coll.append(message.collector)
+        s_peer.append(message.peer_asn)
+        s_old.append(session_value[message.old_state])
+        s_new.append(session_value[message.new_state])
 
     for element in elements:
         cls = type(element)
@@ -731,8 +767,8 @@ def decode_batch(batch: tuple) -> list:
 
     Tables decode once up front — paths through the path intern,
     community flats through the community intern, tag flats through the
-    tag-set intern — then each row is a straight ``__dict__`` fill from
-    its family's zipped columns.
+    tag-set intern — then each row is a straight field fill from its
+    family's zipped columns.
     """
     priming_update, primed_path, _sb, _ba = _event_types()
     kinds, u_rows, t_rows, s_rows, path_tab, comm_tab, tag_tab, other = batch
@@ -749,21 +785,29 @@ def decode_batch(batch: tuple) -> list:
     update_cls = BGPUpdate
     tagged_cls = TaggedPath
     state_cls = BGPStateMessage
+    set_u_time, set_u_coll, set_u_peer, set_u_pfx = (
+        _SET_U_TIME, _SET_U_COLL, _SET_U_PEER, _SET_U_PFX,
+    )
+    set_u_elem, set_u_path, set_u_comm, set_u_afi = (
+        _SET_U_ELEM, _SET_U_PATH, _SET_U_COMM, _SET_U_AFI,
+    )
+    set_s_time, set_s_coll, set_s_peer, set_s_old, set_s_new = (
+        _SET_S_TIME, _SET_S_COLL, _SET_S_PEER, _SET_S_OLD, _SET_S_NEW,
+    )
     out: list = []
     append = out.append
     for kind in kinds:
         if kind <= _K_PRIMING:  # _K_UPDATE or _K_PRIMING
             time_, coll, peer, pfx, elem, pi, ci, afi = next(u_iter)
             update = new(update_cls)
-            fields = update.__dict__
-            fields["time"] = time_
-            fields["collector"] = coll
-            fields["peer_asn"] = peer
-            fields["prefix"] = pfx
-            fields["elem_type"] = elem_types[elem]
-            fields["as_path"] = paths[pi]
-            fields["communities"] = comms[ci]
-            fields["afi"] = afi
+            set_u_time(update, time_)
+            set_u_coll(update, coll)
+            set_u_peer(update, peer)
+            set_u_pfx(update, pfx)
+            set_u_elem(update, elem_types[elem])
+            set_u_path(update, paths[pi])
+            set_u_comm(update, comms[ci])
+            set_u_afi(update, afi)
             append(
                 update
                 if kind == _K_UPDATE
@@ -785,12 +829,11 @@ def decode_batch(batch: tuple) -> list:
         elif kind == _K_STATE:
             time_, coll, peer, old, new_state = next(s_iter)
             message = new(state_cls)
-            fields = message.__dict__
-            fields["time"] = time_
-            fields["collector"] = coll
-            fields["peer_asn"] = peer
-            fields["old_state"] = session_states[old]
-            fields["new_state"] = session_states[new_state]
+            set_s_time(message, time_)
+            set_s_coll(message, coll)
+            set_s_peer(message, peer)
+            set_s_old(message, session_states[old])
+            set_s_new(message, session_states[new_state])
             append(message)
         else:
             append(element_from_wire(next(o_iter)))
@@ -894,12 +937,11 @@ def tag_wire_batch(input_module, batch: tuple, fallback=None) -> tuple:
             _emit_tagged(element, _K_TAGGED)
         elif isinstance(element, BGPStateMessage):
             append_kind(_K_STATE)
-            source = element.__dict__
-            o_s_time.append(source["time"])
-            o_s_coll.append(source["collector"])
-            o_s_peer.append(source["peer_asn"])
-            o_s_old.append(_SESSION_VALUE[source["old_state"]])
-            o_s_new.append(_SESSION_VALUE[source["new_state"]])
+            o_s_time.append(element.time)
+            o_s_coll.append(element.collector)
+            o_s_peer.append(element.peer_asn)
+            o_s_old.append(_SESSION_VALUE[element.old_state])
+            o_s_new.append(_SESSION_VALUE[element.new_state])
         elif isinstance(element, primed_path):
             _emit_tagged(element.path, _K_PRIMED)
         else:
@@ -1006,3 +1048,455 @@ def tag_wire_batch(input_module, batch: tuple, fallback=None) -> tuple:
         out_tag_tab,
         out_other,
     )
+
+
+def tag_elements_to_wire(input_module, elements, fallback=None) -> tuple:
+    """Tag a chunk of stream *objects* straight into a columnar batch.
+
+    The fusion of :meth:`InputModule.process_batch` and
+    :func:`encode_batch`: one pass over the elements that probes the
+    tagging memo per ``(as_path, communities)`` pair and appends the
+    result directly to output tag columns — the intermediate
+    ``TaggedPath`` list the scalar path would build is never
+    materialised.  The memo hands back the *same* path/tag tuples for
+    repeated pairs, so the id-first output table dedup below hits on
+    one dict probe per repeat.  Counters fold exactly as
+    ``process_batch`` counts them; elements outside ``BGPUpdate`` go
+    through ``fallback`` (e.g. ``TaggingStage.feed``) and keep their
+    slot order.
+    """
+    out_kinds = bytearray()
+    append_kind = out_kinds.append
+    o_t_key: list = []
+    o_t_time: list = []
+    o_t_elem: list = []
+    o_t_path: list = []
+    o_t_tags: list = []
+    o_t_afi: list = []
+    o_s_time: list = []
+    o_s_coll: list = []
+    o_s_peer: list = []
+    o_s_old: list = []
+    o_s_new: list = []
+    out_path_tab: list = []
+    out_tag_tab: list = []
+    out_other: list = []
+    out_path_ids: dict = {}
+    out_path_vals: dict = {}
+    out_tag_ids: dict = {}
+    out_tag_vals: dict = {}
+    keepalive: list = []
+
+    def out_path_index(path) -> int:
+        index = out_path_ids.get(id(path))
+        if index is None:
+            index = out_path_vals.get(path)
+            if index is None:
+                index = len(out_path_tab)
+                out_path_tab.append(path)
+                out_path_vals[path] = index
+            out_path_ids[id(path)] = index
+            keepalive.append(path)
+        return index
+
+    def out_tags_index(tags) -> int:
+        # The tag table keeps the memo's tag-set tuples *as objects*:
+        # this batch is consumed in-process through a column view
+        # (never marshalled), so flattening to the wire encoding and
+        # re-materialising on the other side would be a round trip
+        # through the codec inside one interpreter.  The memo hands
+        # back the same tuple object for repeated pairs, keeping the
+        # monitor's id()-keyed caches hot across batches.
+        index = out_tag_ids.get(id(tags))
+        if index is None:
+            index = out_tag_vals.get(tags)
+            if index is None:
+                index = len(out_tag_tab)
+                out_tag_tab.append(tags)
+                out_tag_vals[tags] = index
+            out_tag_ids[id(tags)] = index
+            keepalive.append(tags)
+        return index
+
+    def _emit_tagged(tagged, kind: int) -> None:
+        source = tagged.__dict__
+        append_kind(kind)
+        o_t_key.append(source["key"])
+        o_t_time.append(source["time"])
+        o_t_elem.append(source["elem_type"])
+        o_t_path.append(out_path_index(source["as_path"]))
+        o_t_tags.append(out_tags_index(source["tags"]))
+        o_t_afi.append(source["afi"])
+
+    def add_out(element) -> None:
+        if isinstance(element, TaggedPath):
+            _emit_tagged(element, _K_TAGGED)
+        elif isinstance(element, BGPStateMessage):
+            append_kind(_K_STATE)
+            o_s_time.append(element.time)
+            o_s_coll.append(element.collector)
+            o_s_peer.append(element.peer_asn)
+            o_s_old.append(_SESSION_VALUE[element.old_state])
+            o_s_new.append(_SESSION_VALUE[element.new_state])
+        elif isinstance(element, primed_path):
+            _emit_tagged(element.path, _K_PRIMED)
+        else:
+            append_kind(_K_OTHER)
+            out_other.append(element_to_wire(element))
+
+    primed_path = _event_types()[1]
+    update_cls = BGPUpdate
+    withdrawal = ElemType.WITHDRAWAL
+    empty_path_index = out_path_index(())
+    empty_tags = ()
+    out_tag_tab.append(empty_tags)
+    out_tag_vals[empty_tags] = empty_tags_index = 0
+    memo_get = input_module._memo.get
+    lookup = input_module._lookup
+    miss = _PAIR_MISS
+    pair_ids: dict = {}
+    pair_ids_get = pair_ids.get
+    # Hoisted bound methods: the loop below runs per element of the
+    # hot path, so each append must not pay attribute resolution.
+    t_key_append = o_t_key.append
+    t_time_append = o_t_time.append
+    t_elem_append = o_t_elem.append
+    t_path_append = o_t_path.append
+    t_tags_append = o_t_tags.append
+    t_afi_append = o_t_afi.append
+    parsed = 0
+    hits = 0
+    discarded = 0
+    for element in elements:
+        if type(element) is not update_cls:
+            if fallback is None:
+                append_kind(_K_OTHER)
+                out_other.append(element_to_wire(element))
+            else:
+                for produced in fallback(element):
+                    add_out(produced)
+            continue
+        elem_type = element.elem_type
+        if elem_type is withdrawal:
+            parsed += 1
+            append_kind(_K_TAGGED)
+            t_key_append(
+                (element.collector, element.peer_asn, element.prefix)
+            )
+            t_time_append(element.time)
+            t_elem_append(elem_type)
+            t_path_append(empty_path_index)
+            t_tags_append(empty_tags_index)
+            t_afi_append(element.afi)
+            continue
+        communities = element.communities
+        if len(communities) == 1:
+            community = communities[0]
+            memo_key = (
+                element.as_path,
+                (community.asn, community.value),
+            )
+        else:
+            flat: list[int] = []
+            for community in communities:
+                flat.append(community.asn)
+                flat.append(community.value)
+            memo_key = (element.as_path, tuple(flat))
+        cached = memo_get(memo_key, miss)
+        if cached is not miss:
+            hits += 1
+        else:
+            cached = lookup(memo_key[0], memo_key[1], communities)
+        if cached is None:
+            discarded += 1
+            continue
+        parsed += 1
+        append_kind(_K_TAGGED)
+        t_key_append(
+            (element.collector, element.peer_asn, element.prefix)
+        )
+        t_time_append(element.time)
+        t_elem_append(elem_type)
+        # One probe resolves both output indices: the memo returns the
+        # same (path, tags) pair object for repeated lookups, so the
+        # id-keyed pair table hits on every repeat within the batch.
+        # New pairs append without value dedup — the batch never
+        # crosses a process boundary, so table compactness buys
+        # nothing and hashing tag-set tuples is pure overhead.
+        pair = pair_ids_get(id(cached))
+        if pair is None:
+            pair = (len(out_path_tab), len(out_tag_tab))
+            out_path_tab.append(cached[0])
+            out_tag_tab.append(cached[1])
+            pair_ids[id(cached)] = pair
+            keepalive.append(cached)
+        t_path_append(pair[0])
+        t_tags_append(pair[1])
+        t_afi_append(element.afi)
+    input_module.parsed_count += parsed
+    input_module.memo_hits += hits
+    input_module.discarded_count += discarded
+    return (
+        bytes(out_kinds),
+        ((), (), (), (), (), (), (), ()),
+        (o_t_key, o_t_time, o_t_elem, o_t_path, o_t_tags, o_t_afi),
+        (o_s_time, o_s_coll, o_s_peer, o_s_old, o_s_new),
+        out_path_tab,
+        (),
+        out_tag_tab,
+        out_other,
+    )
+
+
+def wires_to_batch(wires: list) -> tuple:
+    """Repack per-element wire envelopes as one columnar batch.
+
+    The ingest tier's release path holds envelopes (feed workers sort
+    by :func:`wire_sort_key` without decoding); this folds a released
+    chunk into the columnar shape :func:`tag_wire_batch` consumes —
+    straight column appends from the envelope payloads, no object
+    materialisation.  Payload tuples survive ``marshal`` as tuples, so
+    the table keys below are allocation-free on the hot path.
+    """
+    kinds = bytearray()
+    append_kind = kinds.append
+    u_time: list = []
+    u_coll: list = []
+    u_peer: list = []
+    u_pfx: list = []
+    u_elem: list = []
+    u_path: list = []
+    u_comm: list = []
+    u_afi: list = []
+    t_key: list = []
+    t_time: list = []
+    t_elem: list = []
+    t_path: list = []
+    t_tags: list = []
+    t_afi: list = []
+    s_time: list = []
+    s_coll: list = []
+    s_peer: list = []
+    s_old: list = []
+    s_new: list = []
+    path_tab: list = []
+    comm_tab: list = []
+    tag_tab: list = []
+    other: list = []
+    path_vals: dict = {}
+    comm_vals: dict = {}
+    tag_vals: dict = {}
+    for wire in wires:
+        tag = wire[0]
+        if tag == "u" or tag == "pu":
+            time_, coll, peer, pfx, elem, path, flat, afi = wire[1]
+            append_kind(_K_UPDATE if tag == "u" else _K_PRIMING)
+            u_time.append(time_)
+            u_coll.append(coll)
+            u_peer.append(peer)
+            u_pfx.append(pfx)
+            u_elem.append(elem)
+            path = tuple(path)
+            pi = path_vals.get(path)
+            if pi is None:
+                pi = path_vals[path] = len(path_tab)
+                path_tab.append(path)
+            u_path.append(pi)
+            flat = tuple(flat)
+            ci = comm_vals.get(flat)
+            if ci is None:
+                ci = comm_vals[flat] = len(comm_tab)
+                comm_tab.append(flat)
+            u_comm.append(ci)
+            u_afi.append(afi)
+        elif tag == "s":
+            time_, coll, peer, old, new_state = wire[1]
+            append_kind(_K_STATE)
+            s_time.append(time_)
+            s_coll.append(coll)
+            s_peer.append(peer)
+            s_old.append(old)
+            s_new.append(new_state)
+        elif tag == "t" or tag == "pp":
+            key, time_, elem, path, flat, afi = wire[1]
+            append_kind(_K_TAGGED if tag == "t" else _K_PRIMED)
+            t_key.append(tuple(key))
+            t_time.append(time_)
+            t_elem.append(elem)
+            path = tuple(path)
+            pi = path_vals.get(path)
+            if pi is None:
+                pi = path_vals[path] = len(path_tab)
+                path_tab.append(path)
+            t_path.append(pi)
+            flat = tuple(flat)
+            ti = tag_vals.get(flat)
+            if ti is None:
+                ti = tag_vals[flat] = len(tag_tab)
+                tag_tab.append(flat)
+            t_tags.append(ti)
+            t_afi.append(afi)
+        else:
+            append_kind(_K_OTHER)
+            other.append(wire)
+    return (
+        bytes(kinds),
+        (u_time, u_coll, u_peer, u_pfx, u_elem, u_path, u_comm, u_afi),
+        (t_key, t_time, t_elem, t_path, t_tags, t_afi),
+        (s_time, s_coll, s_peer, s_old, s_new),
+        path_tab,
+        comm_tab,
+        tag_tab,
+        other,
+    )
+
+
+# ----------------------------------------------------------------------
+# Column views: batch-native consumption without per-row objects
+# ----------------------------------------------------------------------
+class TaggedBatchView:
+    """A cheap column view over a tagged columnar batch.
+
+    Built by :func:`tagged_view` on the output of
+    :func:`tag_wire_batch` / :func:`tag_elements_to_wire`.  Holds the
+    resolved (interned) path/tag-set tables plus the raw family
+    columns, pre-grouped into maximal same-kind *runs* so a consumer
+    can sweep whole column spans — the monitor's batch-native fold
+    processes a run of tagged rows as one column sweep and only
+    materialises the rare rows that need the object protocol (bin
+    closers, pass-throughs).  ``*_at`` methods materialise one row
+    lazily, byte-identical to :func:`decode_batch` output.
+    """
+
+    __slots__ = (
+        "n",
+        "kinds",
+        "runs",
+        "_run_pos",
+        "t_key",
+        "t_time",
+        "t_elem",
+        "t_path",
+        "t_tags",
+        "t_afi",
+        "s_rows",
+        "other",
+        "paths",
+        "tagsets",
+        "wv",
+        "elem_decode",
+        "cols",
+    )
+
+    def run_at(self, slot: int) -> tuple:
+        """The ``(kind, slot_start, slot_stop, fam_start)`` run of a slot.
+
+        Consumers resume monotonically (the barrier protocol hands the
+        next slot back), so a forward cursor makes this amortised O(1);
+        a backward seek rewinds to a full scan.
+        """
+        runs = self.runs
+        pos = self._run_pos
+        if runs[pos][1] > slot:
+            pos = 0
+        while runs[pos][2] <= slot:
+            pos += 1
+        self._run_pos = pos
+        return runs[pos]
+
+    def tagged_at(self, fam: int) -> TaggedPath:
+        tagged = object.__new__(TaggedPath)
+        fields = tagged.__dict__
+        fields["key"] = self.t_key[fam]
+        fields["time"] = self.t_time[fam]
+        elem = self.t_elem[fam]
+        decode = self.elem_decode
+        fields["elem_type"] = elem if decode is None else decode[elem]
+        fields["as_path"] = self.paths[self.t_path[fam]]
+        fields["tags"] = self.tagsets[self.t_tags[fam]]
+        fields["afi"] = self.t_afi[fam]
+        return tagged
+
+    def primed_at(self, fam: int):
+        return _event_types()[1](path=self.tagged_at(fam))
+
+    def state_at(self, fam: int) -> BGPStateMessage:
+        message = object.__new__(BGPStateMessage)
+        rows = self.s_rows
+        _SET_S_TIME(message, rows[0][fam])
+        _SET_S_COLL(message, rows[1][fam])
+        _SET_S_PEER(message, rows[2][fam])
+        _SET_S_OLD(message, _SESSION_STATES[rows[3][fam]])
+        _SET_S_NEW(message, _SESSION_STATES[rows[4][fam]])
+        return message
+
+    def other_at(self, fam: int):
+        return element_from_wire(self.other[fam])
+
+
+def tagged_view(batch: tuple) -> TaggedBatchView | None:
+    """Build a :class:`TaggedBatchView`; ``None`` if the batch has
+    update-family rows (the caller must decode and take the object
+    path — raw updates only appear upstream of tagging)."""
+    kinds, u_rows, t_rows, s_rows, path_tab, comm_tab, tag_tab, other = batch
+    if u_rows[0]:
+        return None
+    view = TaggedBatchView()
+    n = view.n = len(kinds)
+    view.kinds = kinds
+    view.cols = None  # consumer-owned per-tag-set cache (see monitor)
+    t_key, t_time, t_elem, t_path, t_tags, t_afi = t_rows
+    if t_key and type(t_key[0]) is not tuple:
+        t_key = [(k[0], k[1], k[2]) for k in t_key]
+    # The elem column distinguishes the two batch families: it carries
+    # ``ElemType`` members in in-process batches (tag_elements_to_wire
+    # — no per-row codec hop) and wire value strings in IPC batches.
+    # In-process tables already hold the memo's path/tag-set tuples as
+    # objects, so they pass through untouched; wire tables carry the
+    # flat encoding and materialise via the intern tables.  The view
+    # pins the matching withdrawal sentinel and decode map.
+    if t_elem and type(t_elem[0]) is not str:
+        view.wv = ElemType.WITHDRAWAL
+        view.elem_decode = None
+        view.paths = path_tab
+        view.tagsets = tag_tab
+    else:
+        view.wv = _W_VALUE
+        view.elem_decode = _ELEM_TYPES
+        view.paths = [_intern_path(tuple(p)) for p in path_tab]
+        view.tagsets = [
+            f
+            if f and type(f[0]) is PoPTag
+            else _tagset_from_flat(tuple(f))
+            for f in tag_tab
+        ]
+    view.t_key = t_key
+    view.t_time = t_time
+    view.t_elem = t_elem
+    view.t_path = t_path
+    view.t_tags = t_tags
+    view.t_afi = t_afi
+    view.s_rows = s_rows
+    view.other = other
+    runs: list = []
+    t_at = s_at = o_at = 0
+    i = 0
+    while i < n:
+        kind = kinds[i]
+        j = i + 1
+        while j < n and kinds[j] == kind:
+            j += 1
+        if kind == _K_TAGGED or kind == _K_PRIMED:
+            fam = t_at
+            t_at += j - i
+        elif kind == _K_STATE:
+            fam = s_at
+            s_at += j - i
+        else:
+            fam = o_at
+            o_at += j - i
+        runs.append((kind, i, j, fam))
+        i = j
+    view.runs = runs
+    view._run_pos = 0
+    return view

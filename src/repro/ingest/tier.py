@@ -62,7 +62,7 @@ import threading
 import time
 from typing import Any, Iterable
 
-from repro.core.serde import element_from_wire, wire_sort_key
+from repro.core.serde import wire_sort_key, wires_to_batch
 from repro.ingest.feed import (
     chunk_feed_worker,
     feed_of,
@@ -111,7 +111,12 @@ class ChainSink:
 
     def feed_released(self, payloads: list, wired: bool) -> list:
         if wired:
-            payloads = [element_from_wire(wire) for wire in payloads]
+            # Envelopes from forked feed workers fold straight into a
+            # columnar batch and ride the chain's wire lane — tagging
+            # and the monitor fold run column to column, and no object
+            # materialises unless a row diverges (the chain decodes
+            # itself when its wire lane does not apply).
+            return self.pipeline.feed_wire_from(wires_to_batch(payloads))
         return self.pipeline.feed_from(1, payloads)
 
     def feed_prime(self, element: Any) -> list:

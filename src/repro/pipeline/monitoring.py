@@ -20,7 +20,14 @@ from typing import Any
 
 from repro.bgp.messages import BGPStateMessage
 from repro.core.input import TaggedPath
-from repro.core.monitor import OutageMonitor
+from repro.core.monitor import OutageMonitor, TaggedRun
+from repro.core.serde import (
+    _K_PRIMED,
+    _K_STATE,
+    _K_TAGGED,
+    TaggedBatchView,
+    tagged_view,
+)
 from repro.pipeline.events import BinAdvanced, PrimedPath, SignalBatch
 from repro.pipeline.metrics import PipelineMetrics
 from repro.pipeline.stage import PassthroughStage
@@ -45,6 +52,11 @@ class BinningMonitorStage(PassthroughStage):
         self.metrics = metrics
         #: RIB paths installed into the baseline via the priming path.
         self.primed = 0
+        if metrics is not None:
+            metrics.gauge_source(
+                "monitor_skipped_steady_state",
+                lambda: monitor.skipped_steady_state,
+            )
 
     def feed(self, element: Any) -> list[Any]:
         if isinstance(element, PrimedPath):
@@ -136,6 +148,89 @@ class BinningMonitorStage(PassthroughStage):
                 i += 1
                 continue
             return [element], i + 1
+        return [], n
+
+    def prepare_wire(self, batch: tuple) -> TaggedBatchView | None:
+        """Column view over a tagged wire batch; ``None`` → decode path."""
+        return tagged_view(batch)
+
+    def feed_wire_run(
+        self, view: TaggedBatchView, start: int
+    ) -> tuple[list[Any], int]:
+        """Batch-native :meth:`feed_run` over a column view.
+
+        Consumes slots of ``view`` from ``start``; stops at the first
+        slot that produces output (a bin-closing row, a passthrough
+        element) so emitted batches still clear the chain before the
+        monitor advances.  In-bin tagged rows defer as
+        :class:`~repro.core.monitor.TaggedRun` column spans — the
+        common whole-run case is one ``max()`` over the time column
+        plus one append, and no row materialises an object.  Returns
+        ``(outputs, next_slot)``.
+        """
+        monitor = self.monitor
+        defer = monitor._events.append
+        gapped = monitor._gapped
+        bin_start = monitor._bin_start
+        width = monitor.params.bin_interval_s
+        limit = None if bin_start is None else bin_start + width
+        run_cls = TaggedRun
+        n = view.n
+        slot = start
+        while slot < n:
+            kind, run_start, run_stop, fam = view.run_at(slot)
+            f0 = fam + (slot - run_start)
+            f1 = fam + (run_stop - run_start)
+            if kind == _K_TAGGED:
+                t_time = view.t_time
+                if limit is None:
+                    bin_start = monitor._bin_floor(t_time[f0])
+                    monitor._bin_start = bin_start
+                    limit = bin_start + width
+                if not gapped and max(t_time[f0:f1]) < limit:
+                    # Whole remaining run is in-bin and admitted: one
+                    # deferral covers it (order inside the run is the
+                    # arrival order; no row can close the bin).
+                    defer(run_cls(view, f0, f1))
+                    slot = run_stop
+                    continue
+                t_key = view.t_key
+                seg = f0
+                for f in range(f0, f1):
+                    if t_time[f] >= limit:
+                        # Bin close: the per-element path does the
+                        # metrics bookkeeping; stop so outputs cascade.
+                        if seg < f:
+                            defer(run_cls(view, seg, f))
+                        return (
+                            self.feed(view.tagged_at(f)),
+                            slot + (f - f0) + 1,
+                        )
+                    if gapped:
+                        key = t_key[f]
+                        if (key[0], key[1]) in gapped:
+                            if seg < f:
+                                defer(run_cls(view, seg, f))
+                            seg = f + 1
+                if seg < f1:
+                    defer(run_cls(view, seg, f1))
+                slot = run_stop
+                continue
+            if kind == _K_PRIMED:
+                tagged_at = view.tagged_at
+                for f in range(f0, f1):
+                    monitor.prime(tagged_at(f))
+                self.primed += run_stop - slot
+                slot = run_stop
+                continue
+            if kind == _K_STATE:
+                state_at = view.state_at
+                for f in range(f0, f1):
+                    monitor.observe_state(state_at(f))
+                slot = run_stop
+                continue
+            # _K_OTHER: passthrough, one element at a time.
+            return [view.other_at(f0)], slot + 1
         return [], n
 
     def flush(self) -> list[Any]:

@@ -72,9 +72,9 @@ from typing import Any, Iterable
 
 from repro.core.serde import (
     decode_batch,
-    element_from_wire,
     encode_batch,
     tag_wire_batch,
+    wires_to_batch,
 )
 from repro.pipeline.checkpoint import CheckpointableChain
 from repro.pipeline.metrics import PipelineMetrics
@@ -124,6 +124,31 @@ pack_wires = _pack
 unpack_wires = _unpack
 
 
+def _metrics_with_batches(registry: PipelineMetrics) -> dict:
+    """``state_dict`` plus the per-stage fold-invocation counters.
+
+    ``batches`` is run telemetry the checkpoint shape intentionally
+    drops, but the live metrics views must compose it across processes
+    so ``mean_batch`` reports fold invocations consistently on every
+    runtime; it rides the worker sync payload as a sidecar key that
+    :meth:`PipelineMetrics.load_state` ignores.
+    """
+    doc = registry.state_dict()
+    doc["batches"] = {
+        m.name: m.batches for m in registry.stages.values()
+    }
+    doc["gauge_values"] = registry.gauges()
+    return doc
+
+
+def _load_with_batches(registry: PipelineMetrics, doc: dict) -> None:
+    """Restore a worker metrics payload including the batch sidecar."""
+    registry.load_state(doc)
+    counts = doc.get("batches", {})
+    for name, metrics in registry.stages.items():
+        metrics.batches = counts.get(name, 0)
+
+
 # ----------------------------------------------------------------------
 # Worker loop (top-level so the forked children stay importable)
 # ----------------------------------------------------------------------
@@ -161,7 +186,7 @@ def _tag_worker_loop(
                         worker_id,
                         {
                             "state": tagging.state_dict(),
-                            "metrics": registry.state_dict(),
+                            "metrics": _metrics_with_batches(registry),
                         },
                     )
                 )
@@ -317,16 +342,27 @@ class ProcessStagePipeline:
             self._ship()
         return self._take_outputs()
 
+    def feed_admitted_batch(self, batch: tuple) -> list[Any]:
+        """Queue one pre-built columnar wire batch for the tag workers.
+
+        The batch-native entry point of the sharded ingest tier: the
+        driver folds released envelopes straight into a columnar batch
+        (no object materialisation) and posts it behind whatever the
+        shipping buffer currently holds, preserving arrival order.
+        """
+        self._ship()
+        self._post_batch(batch)
+        return self._take_outputs()
+
     def feed_admitted_wires(self, wires: list[list]) -> list[Any]:
         """Envelope-encoded variant of :meth:`feed_admitted`.
 
         Forked ingest feed workers ship per-element envelopes (they
-        sort batches by wire key without decoding); the driver decodes
-        once here and the elements ride the columnar batch path.
+        sort batches by wire key without decoding); the driver folds
+        them into one columnar batch and the rows ride the wire lane
+        end to end.
         """
-        return self.feed_admitted(
-            [element_from_wire(wire) for wire in wires]
-        )
+        return self.feed_admitted_batch(wires_to_batch(wires))
 
     def flush(self) -> list[Any]:
         self.sync()
@@ -339,13 +375,13 @@ class ProcessStagePipeline:
     def _ship(self) -> None:
         if not self._buffer:
             return
-        message = (
-            "batch",
-            self._ship_seq,
-            *_pack(encode_batch(self._buffer)),
-        )
-        self._ship_seq += 1
+        batch = encode_batch(self._buffer)
         self._buffer = []
+        self._post_batch(batch)
+
+    def _post_batch(self, batch: tuple) -> None:
+        message = ("batch", self._ship_seq, *_pack(batch))
+        self._ship_seq += 1
         target = self._least_loaded_queue()
         while True:
             try:
@@ -417,44 +453,70 @@ class ProcessStagePipeline:
         return acks
 
     def _feed_tagged(self, batch: tuple) -> None:
-        # The tagged batch decodes in one columnar pass (shared table
-        # objects across batches, via the serde interns), then feeds
-        # the monitor one element at a time: the monitor is the
-        # chain's depth_first barrier — each element's signal batches
-        # and bin markers must clear the downstream stages before the
-        # monitor consumes the next element.  The monitor feed itself
-        # is inlined (hoisted stage handle, batch-level metering); the
-        # downstream cascade only runs when a bin actually closed.
+        # The tagged batch arrives columnar from the tag workers; the
+        # monitor consumes it directly as a column view — only the
+        # divergent minority of rows ever becomes objects (see
+        # BinningMonitorStage.feed_wire_run).  The monitor is the
+        # chain's depth_first barrier: each fold emission's signal
+        # batches and bin markers clear the downstream stages before
+        # the next slot advances the monitor, and the cascade is
+        # excluded from the monitor's time.
         pipeline = self.inner.pipeline
         index = self._monitor_index
         outputs = self._outputs
         monitor = self.inner.monitoring
         handle = self._registry.stage(monitor.name)
-        feed = monitor.feed
         sharded = self._sharded
         upstream = pipeline.upstream if sharded else pipeline
-        fed = 0
-        emitted = 0
-        began = time.perf_counter()
-        for element in decode_batch(batch):
-            fed += 1
-            outs = feed(element)
+        view = None
+        if upstream.use_wire_lane:
+            began = time.perf_counter()
+            view = monitor.prepare_wire(batch)
+            handle.seconds += time.perf_counter() - began
+        if view is None:
+            # Object oracle / update-family fallback: decode in one
+            # columnar pass and feed the monitor element by element.
+            feed = monitor.feed
+            fed = 0
+            emitted = 0
+            began = time.perf_counter()
+            for element in decode_batch(batch):
+                fed += 1
+                outs = feed(element)
+                if not outs:
+                    continue
+                emitted += len(outs)
+                handle.seconds += time.perf_counter() - began
+                if sharded:
+                    outputs.extend(
+                        pipeline._dispatch(upstream._run(index + 1, outs))
+                    )
+                else:
+                    outputs.extend(pipeline._run(index + 1, outs))
+                began = time.perf_counter()
+            handle.seconds += time.perf_counter() - began
+            handle.fed += fed
+            handle.batches += 1
+            handle.emitted += emitted
+            return
+        feed_wire_run = monitor.feed_wire_run
+        slot, n = 0, view.n
+        while slot < n:
+            began = time.perf_counter()
+            outs, advanced = feed_wire_run(view, slot)
+            handle.seconds += time.perf_counter() - began
+            handle.fed += advanced - slot
+            handle.batches += 1
+            handle.emitted += len(outs)
+            slot = advanced
             if not outs:
                 continue
-            emitted += len(outs)
-            # Exclude the downstream cascade from the monitor's time.
-            handle.seconds += time.perf_counter() - began
             if sharded:
                 outputs.extend(
                     pipeline._dispatch(upstream._run(index + 1, outs))
                 )
             else:
                 outputs.extend(pipeline._run(index + 1, outs))
-            began = time.perf_counter()
-        handle.seconds += time.perf_counter() - began
-        handle.fed += fed
-        handle.batches += 1
-        handle.emitted += emitted
 
     def _take_outputs(self) -> list[Any]:
         if not self._outputs:
@@ -537,7 +599,7 @@ class ProcessStagePipeline:
         composed.adopt_gauges(inner_view)
         scratch = PipelineMetrics()
         for info in infos:
-            scratch.load_state(info["metrics"])
+            _load_with_batches(scratch, info["metrics"])
             composed.absorb(scratch)
         return composed
 
@@ -974,15 +1036,7 @@ def _shard_worker_loop(chain: _ShardWorkerChain, in_q, sync_q, ret_q) -> None:
             feed_record(BinAdvanced(now=advanced))
         ret_q.put(("rdone", wid, round_id))
 
-    def feed_tagged(out) -> None:
-        began = time.perf_counter()
-        mouts = chain.monitoring.feed(out)
-        mon_handle.seconds += time.perf_counter() - began
-        mon_handle.fed += 1
-        mon_handle.batches += 1
-        mon_handle.emitted += len(mouts)
-        if not mouts:
-            return
+    def emit_rounds(mouts) -> None:
         signals: list = []
         advanced: float | None = None
         for mout in mouts:
@@ -991,6 +1045,41 @@ def _shard_worker_loop(chain: _ShardWorkerChain, in_q, sync_q, ret_q) -> None:
             elif isinstance(mout, BinAdvanced):
                 advanced = mout.now
         sync_round(signals, advanced)
+
+    def feed_tagged(out) -> None:
+        began = time.perf_counter()
+        mouts = chain.monitoring.feed(out)
+        mon_handle.seconds += time.perf_counter() - began
+        mon_handle.fed += 1
+        mon_handle.batches += 1
+        mon_handle.emitted += len(mouts)
+        if mouts:
+            emit_rounds(mouts)
+
+    def feed_tagged_view(view) -> None:
+        # Batch-native monitor sweep: one fold invocation per metered
+        # batch (the same accounting the driver-side runtimes use);
+        # the per-bin sync round runs per emission, before the next
+        # slot advances the monitor.
+        feed_wire_run = chain.monitoring.feed_wire_run
+        slot, n = 0, view.n
+        while slot < n:
+            began = time.perf_counter()
+            mouts, nxt = feed_wire_run(view, slot)
+            mon_handle.seconds += time.perf_counter() - began
+            mon_handle.fed += nxt - slot
+            mon_handle.batches += 1
+            mon_handle.emitted += len(mouts)
+            slot = nxt
+            if mouts:
+                emit_rounds(mouts)
+
+    # Captured at fork time: flipping StagePipeline.use_wire_lane
+    # before building the runtime forces the object oracle in the
+    # workers too (the property tests' escape hatch).
+    from repro.pipeline.runtime import StagePipeline as _runtime_cls
+
+    wire_lane = _runtime_cls.use_wire_lane
 
     try:
         while True:
@@ -1002,13 +1091,20 @@ def _shard_worker_loop(chain: _ShardWorkerChain, in_q, sync_q, ret_q) -> None:
                 tagged = tag_wire_batch(
                     chain.tagging.input, batch, chain.tagging.feed
                 )
-                elements = decode_batch(tagged)
                 tag_handle.seconds += time.perf_counter() - began
                 tag_handle.fed += len(batch[0])
                 tag_handle.batches += 1
-                tag_handle.emitted += len(elements)
-                for element in elements:
-                    feed_tagged(element)
+                tag_handle.emitted += len(tagged[0])
+                view = None
+                if wire_lane:
+                    began = time.perf_counter()
+                    view = chain.monitoring.prepare_wire(tagged)
+                    mon_handle.seconds += time.perf_counter() - began
+                if view is None:
+                    for element in decode_batch(tagged):
+                        feed_tagged(element)
+                else:
+                    feed_tagged_view(view)
             elif kind == "flush":
                 began = time.perf_counter()
                 flushed = chain.monitoring.flush()
@@ -1038,7 +1134,9 @@ def _shard_worker_loop(chain: _ShardWorkerChain, in_q, sync_q, ret_q) -> None:
                         elif section == "record":
                             info[section] = chain.record.state_dict()
                         elif section == "metrics":
-                            info[section] = chain.registry.state_dict()
+                            info[section] = _metrics_with_batches(
+                                chain.registry
+                            )
                         elif section == "primed":
                             info[section] = chain.monitoring.primed
                 ret_q.put(("ack", msg[1], wid, info))
@@ -1216,11 +1314,24 @@ class ShardProcessPipeline:
             self._pump()
         return []
 
+    def feed_admitted_batch(self, batch: tuple) -> list[Any]:
+        """Broadcast one pre-built columnar wire batch to the workers.
+
+        The batch-native entry point of the sharded ingest tier: the
+        buffer ships first so arrival order is preserved, then the
+        batch goes out as-is — no object ever materialises in the
+        driver.
+        """
+        self._ship()
+        message = ("batch", *_pack(batch))
+        for in_q in self._in_qs:
+            self._put_checked(in_q, message)
+        self._pump()
+        return []
+
     def feed_admitted_wires(self, wires: list[list]) -> list[Any]:
         """Envelope-encoded variant of :meth:`feed_admitted`."""
-        return self.feed_admitted(
-            [element_from_wire(wire) for wire in wires]
-        )
+        return self.feed_admitted_batch(wires_to_batch(wires))
 
     def flush(self) -> list[Any]:
         """Drain the stream, then run the end-of-stream trailing-bin round."""
@@ -1530,7 +1641,7 @@ class ShardProcessPipeline:
         registries = []
         for info in infos:
             registry = PipelineMetrics()
-            registry.load_state(info["metrics"])
+            _load_with_batches(registry, info["metrics"])
             registries.append(registry)
         for name in ("tagging", "monitor", "record"):
             entry = registries[0].stages.get(name)
@@ -1539,6 +1650,7 @@ class ShardProcessPipeline:
                 handle.fed = entry.fed
                 handle.emitted = entry.emitted
                 handle.seconds = entry.seconds
+                handle.batches = entry.batches
         bins = composed.bins
         bins.count = registries[0].bins.count
         for registry in registries:
@@ -1548,6 +1660,20 @@ class ShardProcessPipeline:
             )
             bins.last_baseline_entries += registry.bins.last_baseline_entries
             bins.last_pending_entries += registry.bins.last_pending_entries
+        # Worker-resident gauges (e.g. the monitor's steady-state skip
+        # counter) are per-partition and sum to the global value; the
+        # composed view serves the snapshot sampled at sync time.
+        seen = set(composed.gauges())
+        totals: dict[str, float] = {}
+        for info in infos:
+            for name, value in info["metrics"].get(
+                "gauge_values", {}
+            ).items():
+                if name in seen:
+                    continue
+                totals[name] = totals.get(name, 0) + value
+        for name, value in totals.items():
+            composed.gauge_source(name, lambda value=value: value)
         return composed
 
     #: Stage metrics entries the driver registry owns (the rest are

@@ -23,13 +23,21 @@ from repro.pipeline.stage import Stage
 
 
 #: Elements threaded through the stage chain per ``feed_many`` chunk.
-#: Large enough to amortise per-stage metering over hundreds of
+#: Large enough to amortise per-stage metering over thousands of
 #: elements, small enough that inter-stage buffers stay cache-sized.
-FEED_CHUNK = 1024
+#: The batch-native lane also dedups its output tables per chunk, so
+#: bigger chunks raise the within-batch repeat rate of (path, tags)
+#: pairs and keys.
+FEED_CHUNK = 4096
 
 
 class StagePipeline:
     """Composition of stages with metering."""
+
+    #: Class-level escape hatch: flip to ``False`` to force the
+    #: object-materialising path everywhere the wire lane would apply
+    #: (the correctness oracle the property tests compare against).
+    use_wire_lane = True
 
     def __init__(
         self,
@@ -62,6 +70,23 @@ class StagePipeline:
             if getattr(stage, "depth_first", False):
                 self.barrier_index = index
                 break
+        # Wire lane: when the stage just before the barrier tags into
+        # columnar batches (``feed_wire``) and the barrier stage
+        # consumes them as column views (``prepare_wire`` +
+        # ``feed_wire_run``), chunks take the batch-native path — no
+        # per-element objects between the two hottest stages.
+        self._wire_at = None
+        barrier = self.barrier_index
+        if 0 < barrier < len(self.stages):
+            before = self.stages[barrier - 1]
+            at = self.stages[barrier]
+            if (
+                hasattr(before, "feed_wire")
+                and hasattr(before, "feed_wire_batch")
+                and hasattr(at, "prepare_wire")
+                and hasattr(at, "feed_wire_run")
+            ):
+                self._wire_at = barrier - 1
 
     # ------------------------------------------------------------------
     def feed(self, element: Any) -> list[Any]:
@@ -113,6 +138,15 @@ class StagePipeline:
         output-identical on the same element sequence.
         """
         barrier = max(self.barrier_index, start)
+        wire_at = self._wire_at
+        if (
+            wire_at is not None
+            and self.use_wire_lane
+            and start <= wire_at
+            and barrier == self.barrier_index
+        ):
+            staged = self._run_span(start, wire_at, elements)
+            return self._drive_wire(staged)
         staged = self._run_span(start, barrier, elements)
         if barrier >= len(self.stages):
             return staged
@@ -139,6 +173,87 @@ class StagePipeline:
         for element in staged:
             out.extend(self._run(barrier, [element]))
         return out
+
+    # ------------------------------------------------------------------
+    # Wire lane: batch-native tagging + monitor fold
+    # ------------------------------------------------------------------
+    def feed_wire_from(self, batch: tuple) -> list[Any]:
+        """Thread one columnar wire batch through ``stages[1:]``.
+
+        The batch-native sibling of ``feed_from(1, elements)`` used by
+        the ingest tier's release path: the released envelopes arrive
+        already folded into a columnar batch, tagging runs column to
+        column and the monitor consumes the result as a view.  Falls
+        back to decode + the object path when the wire lane does not
+        apply to this chain.
+        """
+        wire_at = self._wire_at
+        if wire_at != 1 or not self.use_wire_lane:
+            from repro.core.serde import decode_batch
+
+            return self.feed_from(1, decode_batch(batch))
+        stage, metrics = self._metered[wire_at]
+        began = time.perf_counter()
+        tagged = stage.feed_wire_batch(batch)
+        metrics.seconds += time.perf_counter() - began
+        metrics.fed += len(batch[0])
+        metrics.batches += 1
+        metrics.emitted += len(tagged[0])
+        return self._drive_wire_batch(tagged)
+
+    def _drive_wire(self, staged: list[Any]) -> list[Any]:
+        """Tag a staged chunk into a batch and drive the barrier on it."""
+        stage, metrics = self._metered[self._wire_at]
+        began = time.perf_counter()
+        batch = stage.feed_wire(staged)
+        metrics.seconds += time.perf_counter() - began
+        metrics.fed += len(staged)
+        metrics.batches += 1
+        metrics.emitted += len(batch[0])
+        return self._drive_wire_batch(batch)
+
+    def _drive_wire_batch(self, batch: tuple) -> list[Any]:
+        """Run the barrier stage over a tagged batch's column view."""
+        barrier = self.barrier_index
+        stage, metrics = self._metered[barrier]
+        began = time.perf_counter()
+        view = stage.prepare_wire(batch)
+        metrics.seconds += time.perf_counter() - began
+        if view is None:
+            # Defensive: a batch the barrier cannot view (update-family
+            # rows) decodes onto the object path.
+            from repro.core.serde import decode_batch
+
+            return self.feed_from(barrier, decode_batch(batch))
+        out: list[Any] = []
+        self._drive_wire_view(
+            view, lambda outs: out.extend(self._run(barrier + 1, outs))
+        )
+        return out
+
+    def _drive_wire_view(self, view, sink) -> None:
+        """Meter the barrier's view sweep; ``sink(outs)`` per emission.
+
+        Emitted batches reach ``sink`` before the next slot advances
+        the barrier stage, preserving the depth-first contract.  One
+        ``feed_wire_run`` call counts as one metered batch — the same
+        fold-invocation accounting the object path's ``feed_run`` loop
+        uses, on every runtime.
+        """
+        barrier = self.barrier_index
+        stage, metrics = self._metered[barrier]
+        feed_wire_run = stage.feed_wire_run
+        slot, n = 0, view.n
+        while slot < n:
+            began = time.perf_counter()
+            outs, advanced = feed_wire_run(view, slot)
+            metrics.seconds += time.perf_counter() - began
+            metrics.fed += advanced - slot
+            metrics.batches += 1
+            metrics.emitted += len(outs)
+            slot = advanced
+            if outs:
+                sink(outs)
 
     def flush(self) -> list[Any]:
         """Flush stages front to back, cascading trailing elements.

@@ -219,10 +219,76 @@ class ShardedStagePipeline:
         (the sharded twin of :meth:`StagePipeline.feed_from`)."""
         upstream = self.upstream
         barrier = max(upstream.barrier_index, start)
+        wire_at = upstream._wire_at
+        if (
+            wire_at is not None
+            and upstream.use_wire_lane
+            and start <= wire_at
+            and barrier == upstream.barrier_index
+        ):
+            staged = upstream._run_span(start, wire_at, elements)
+            stage, metrics = upstream._metered[wire_at]
+            began = time.perf_counter()
+            batch = stage.feed_wire(staged)
+            metrics.seconds += time.perf_counter() - began
+            metrics.fed += len(staged)
+            metrics.batches += 1
+            metrics.emitted += len(batch[0])
+            return self._drive_wire_batch(batch)
         out: list[Any] = []
         for staged in upstream._run_span(start, barrier, elements):
             out.extend(self._dispatch(upstream._run(barrier, [staged])))
         return out
+
+    def _drive_wire_batch(self, batch: tuple) -> list[Any]:
+        """Drive the monitor over a tagged batch's column view.
+
+        Each fold emission is dispatched to the shard chains before
+        the next slot advances the monitor — the shard stages query
+        the live monitor, so the depth-first contract holds exactly as
+        in the per-element loop above.
+        """
+        upstream = self.upstream
+        barrier = upstream.barrier_index
+        stage, metrics = upstream._metered[barrier]
+        began = time.perf_counter()
+        view = stage.prepare_wire(batch)
+        metrics.seconds += time.perf_counter() - began
+        out: list[Any] = []
+        if view is None:
+            from repro.core.serde import decode_batch
+
+            for staged in decode_batch(batch):
+                out.extend(self._dispatch(upstream._run(barrier, [staged])))
+            return out
+        upstream._drive_wire_view(
+            view,
+            lambda outs: out.extend(
+                self._dispatch(upstream._run(barrier + 1, outs))
+            ),
+        )
+        return out
+
+    def feed_wire_from(self, batch: tuple) -> list[Any]:
+        """Thread one columnar wire batch through ``stages[1:]``.
+
+        The sharded twin of :meth:`StagePipeline.feed_wire_from`, used
+        by the ingest tier's release path.  Falls back to decode + the
+        object path when the wire lane does not apply.
+        """
+        upstream = self.upstream
+        if upstream._wire_at != 1 or not upstream.use_wire_lane:
+            from repro.core.serde import decode_batch
+
+            return self.feed_from(1, decode_batch(batch))
+        stage, metrics = upstream._metered[1]
+        began = time.perf_counter()
+        tagged = stage.feed_wire_batch(batch)
+        metrics.seconds += time.perf_counter() - began
+        metrics.fed += len(batch[0])
+        metrics.batches += 1
+        metrics.emitted += len(tagged[0])
+        return self._drive_wire_batch(tagged)
 
     def flush(self) -> list[Any]:
         tail = self._dispatch(self.upstream.flush())

@@ -14,6 +14,7 @@ from typing import Any
 
 from repro.bgp.messages import BGPStateMessage, BGPUpdate
 from repro.core.input import InputModule
+from repro.core.serde import tag_elements_to_wire, tag_wire_batch
 from repro.pipeline.events import PrimedPath, PrimingUpdate
 from repro.pipeline.stage import PassthroughStage
 
@@ -53,6 +54,21 @@ class TaggingStage(PassthroughStage):
         out: list[Any] = []
         self.input.process_batch(elements, out, self.feed)
         return out
+
+    def feed_wire(self, elements: list[Any]) -> tuple:
+        """Tag a chunk of stream objects into a columnar wire batch.
+
+        The batch-native sibling of :meth:`feed_batch`: same counting,
+        but the output is tag-id columns instead of a ``TaggedPath``
+        list — the monitoring stage consumes the batch through a
+        column view and only the divergent minority ever becomes
+        objects.
+        """
+        return tag_elements_to_wire(self.input, elements, self.feed)
+
+    def feed_wire_batch(self, batch: tuple) -> tuple:
+        """Tag a columnar wire batch column to column (no objects)."""
+        return tag_wire_batch(self.input, batch, self.feed)
 
     def state_dict(self) -> dict:
         return {
