@@ -1128,6 +1128,103 @@ IDENTITY_ELEMENTS = 30_000
 IDENTITY_SEEDS = (1, 3)
 
 
+# ----------------------------------------------------------------------
+# Recovery bench: supervised runtime under injected worker kills
+# ----------------------------------------------------------------------
+REC_ELEMENTS = 30_000
+REC_WORKERS = 2
+REC_BATCH = 1024
+REC_KILLS = 3  # injected worker deaths per faulted run
+REC_CHECKPOINT_INTERVAL = 4096
+
+
+def run_recovery() -> dict:
+    """Mean time-to-recover and replay overhead under injected kills.
+
+    Three runs over the same churn stream: unsupervised (the floor),
+    supervised with no faults (checkpoint + journal overhead), and
+    supervised with ``REC_KILLS`` worker deaths spread across the
+    stream (recovery cost).  Informational — no gates: recovery time
+    is dominated by fork + restore + replay, all of which scale with
+    the workload, so absolute numbers only mean something relative to
+    the same machine's unfaulted run.
+    """
+    from repro.core.kepler import RecoveryPolicy
+    from repro.pipeline import FaultPlan, FaultSpec, faults, fork_available
+
+    if not fork_available():
+        return {"skipped": "fork start method unavailable"}
+    world = build_world(seed=1)
+    elements = synthesize_rich_stream(world, REC_ELEMENTS)
+    priming = world.rib_snapshot(0.0)
+    elements.extend(_baseline_churn(priming, REC_ELEMENTS))
+    elements.sort(key=lambda e: e.sort_key())
+    policy = RecoveryPolicy(
+        checkpoint_interval=REC_CHECKPOINT_INTERVAL,
+        backoff_base_s=0.0,
+        backoff_cap_s=0.0,
+        stall_timeout_s=10.0,
+    )
+
+    def timed(supervised: bool, plan: FaultPlan | None):
+        kepler = world.make_kepler(
+            params=KeplerParams(
+                process_workers=REC_WORKERS,
+                process_batch=REC_BATCH,
+                supervised=supervised,
+                recovery=policy,
+            ),
+            validator=PureValidator(),
+        )
+        kepler.prime(priming)
+        began = time.perf_counter()
+        kepler.process(elements)
+        kepler.finalize(end_time=elements[-1].time + 3600.0)
+        elapsed = time.perf_counter() - began
+        observed = _process_observed(kepler)
+        recovery = (
+            kepler.metrics.snapshot()["recovery"] if supervised else None
+        )
+        kepler.close()
+        return elapsed, observed, recovery
+
+    plain_s, plain_out, _ = timed(False, None)
+    clean_s, clean_out, _ = timed(True, None)
+    step = len(elements) // (REC_KILLS + 1)
+    plan = FaultPlan(
+        [
+            FaultSpec(scope="tag", kind="kill", at_element=step * (i + 1))
+            for i in range(REC_KILLS)
+        ]
+    )
+    with faults.injected(plan):
+        faulted_s, faulted_out, recovery = timed(True, plan)
+    assert clean_out == plain_out, (
+        "supervised runtime diverged from the unsupervised chain"
+    )
+    assert faulted_out == plain_out, (
+        "faulted supervised run diverged from the unfaulted chain"
+    )
+    assert recovery["restarts"] >= REC_KILLS, recovery
+    return {
+        "elements": len(elements),
+        "process_workers": REC_WORKERS,
+        "checkpoint_interval": REC_CHECKPOINT_INTERVAL,
+        "kills_injected": REC_KILLS,
+        "restarts": recovery["restarts"],
+        "replayed_elements": recovery["replayed_elements"],
+        "output_identical": True,
+        "unsupervised_seconds": round(plain_s, 3),
+        "supervised_seconds": round(clean_s, 3),
+        "faulted_seconds": round(faulted_s, 3),
+        "supervision_overhead": round(clean_s / plain_s - 1.0, 3),
+        "recovery_ms_total": round(recovery["recovery_ms"], 1),
+        "mean_time_to_recover_ms": round(
+            recovery["recovery_ms"] / max(1, recovery["restarts"]), 1
+        ),
+    }
+
+
 def _identity_runtimes() -> list[tuple[str, dict]]:
     from repro.pipeline import fork_available
 
@@ -1277,6 +1374,7 @@ def test_pipeline_throughput():
     process = run_process_runtime()
     partitioned = run_partitioned_monitor()
     ingest_tier = run_ingest_tier()
+    recovery = run_recovery()
     report = {
         "hot_path": hot,
         "end_to_end": end_to_end,
@@ -1284,6 +1382,7 @@ def test_pipeline_throughput():
         "process_runtime": process,
         "partitioned_monitor": partitioned,
         "ingest_tier": ingest_tier,
+        "recovery": recovery,
     }
     emit(report)
     print(json.dumps(report, indent=2))
@@ -1315,17 +1414,21 @@ def test_pipeline_throughput():
     assert ingest_tier["output_identical"], ingest_tier
     if ingest_tier["gate_enforced"]:
         assert ingest_tier["speedup"] >= IT_SPEEDUP_GATE, ingest_tier
+    # Recovery: identity under injected kills always; timings are
+    # informational (fork + restore + replay cost is machine-bound).
+    if "skipped" not in recovery:
+        assert recovery["output_identical"], recovery
 
 
 if __name__ == "__main__":
     import sys
 
-    known = {"--identity", "--check-regression"}
+    known = {"--identity", "--check-regression", "--recovery"}
     flags = set(sys.argv[1:])
     if flags - known:
         print(
             "usage: bench_pipeline_throughput.py"
-            " [--identity] [--check-regression]\n"
+            " [--identity] [--check-regression] [--recovery]\n"
             "  (no flags runs the full bench and rewrites"
             f" {OUTPUT_JSON.name})"
         )
@@ -1335,6 +1438,9 @@ if __name__ == "__main__":
         print("identity smoke passed (no timings recorded)")
     if "--check-regression" in flags:
         run_regression_check()
+    if "--recovery" in flags:
+        print(json.dumps(run_recovery(), indent=2))
+        print("recovery bench passed (informational — no gates)")
     if not flags:
         test_pipeline_throughput()
         print(f"wrote {OUTPUT_JSON}")

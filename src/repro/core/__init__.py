@@ -27,7 +27,7 @@ from repro.core.monitor import (
 from repro.core.signals import classify_signals, SignalClassification
 from repro.core.investigation import Investigator, InvestigationResult
 from repro.core.dataplane import DataPlaneValidator, NullValidator, ValidationOutcome
-from repro.core.kepler import Kepler, KeplerParams
+from repro.core.kepler import Kepler, KeplerParams, RecoveryPolicy
 
 __all__ = [
     "ColocationMap",
@@ -58,4 +58,5 @@ __all__ = [
     "ValidationOutcome",
     "Kepler",
     "KeplerParams",
+    "RecoveryPolicy",
 ]

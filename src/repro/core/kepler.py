@@ -70,6 +70,31 @@ _STREAM_GC_GEN0 = 2_000_000
 
 
 @dataclass
+class RecoveryPolicy:
+    """Knobs of the supervision layer (``KeplerParams.supervised``).
+
+    See :class:`repro.pipeline.supervisor.SupervisedKeplerPipeline`.
+    ``max_restarts`` is a cumulative worker-generation budget; once it
+    is exhausted the supervisor degrades to the in-process fallback
+    runtime (``degrade=True``, the default) or re-raises the failure.
+    ``checkpoint_interval`` / ``journal_limit`` bound the replay
+    buffer in elements; ``stall_timeout_s`` arms the hung-queue
+    detector on every wrapped runtime (``None`` disables it);
+    ``teardown_deadline_s`` caps how long each recovery waits for dead
+    workers to join before terminating them.
+    """
+
+    max_restarts: int = 3
+    checkpoint_interval: int = 8192
+    journal_limit: int | None = None
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    stall_timeout_s: float | None = 30.0
+    teardown_deadline_s: float = 0.5
+    degrade: bool = True
+
+
+@dataclass
 class KeplerParams:
     """All tunables of the pipeline with the paper's defaults."""
 
@@ -142,6 +167,15 @@ class KeplerParams:
     #: per-collector sources consumed concurrently (forked feed
     #: workers where the platform allows).
     ingest_feeds: int = 0
+    #: Wrap the built runtime in the supervision layer
+    #: (:mod:`repro.pipeline.supervisor`): worker death, hung queues
+    #: and poisoned batches become metered checkpoint-replay
+    #: recoveries instead of exceptions, and restart exhaustion
+    #: degrades to the in-process chain.  Output stays byte-identical
+    #: to an unfaulted run.
+    supervised: bool = False
+    #: Supervision knobs (ignored unless ``supervised``).
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
 
 
 class Kepler:
@@ -170,7 +204,37 @@ class Kepler:
         self.dictionary = dictionary
         self.colo = colo
         self.as2org = dict(as2org)
-        self.input = InputModule(dictionary, colo)
+        self.validator: DataPlaneValidator = validator or NullValidator()
+        if self.params.supervised:
+            # The supervision layer owns the runtime's lifecycle: it
+            # calls ``_build_stages`` now and again after every crash
+            # (fresh stage state each time — a restart must not
+            # inherit the dead incarnation's mutated cores), and
+            # ``_build_fallback_stages`` once restarts are exhausted.
+            from repro.pipeline.supervisor import SupervisedKeplerPipeline
+
+            self.stages = SupervisedKeplerPipeline(
+                self._build_stages,
+                self._build_fallback_stages,
+                self.params.recovery,
+            )
+        else:
+            self.stages = self._build_stages()
+        self.pipeline = self.stages.pipeline
+        #: primed baseline paths (installed outside the streaming path).
+        self.primed_paths = 0
+
+    # ------------------------------------------------------------------
+    # Runtime factories (called repeatedly under supervision)
+    # ------------------------------------------------------------------
+    def _wiring(self) -> dict:
+        """Fresh stage cores plus the canonical builder kwargs.
+
+        Rebuilds ``input`` / ``monitor`` / ``investigator`` on every
+        call and repoints the facade attributes at the new incarnation;
+        the validator is the operator's object and is reused.
+        """
+        self.input = InputModule(self.dictionary, self.colo)
         # Under shard_processes the live monitor state is distributed
         # across the worker processes (one partition each, built by the
         # runtime); this driver-side object then only carries the
@@ -180,19 +244,10 @@ class Kepler:
             self.params.monitor,
             partitions=max(1, self.params.monitor_partitions),
         )
-        self.investigator = Investigator(colo, margin=self.params.colocation_margin)
-        self.validator: DataPlaneValidator = validator or NullValidator()
-        # Imported here, not at module scope: repro.pipeline imports the
-        # sibling core modules through the package __init__, which ends
-        # by importing this module — a cycle at import time, not at use.
-        from repro.pipeline import (
-            build_kepler_pipeline,
-            build_process_kepler_pipeline,
-            build_shard_process_kepler_pipeline,
-            build_sharded_kepler_pipeline,
+        self.investigator = Investigator(
+            self.colo, margin=self.params.colocation_margin
         )
-
-        wiring = dict(
+        return dict(
             input_module=self.input,
             monitor=self.monitor,
             investigator=self.investigator,
@@ -206,8 +261,22 @@ class Kepler:
             drop_rejected=self.params.drop_rejected,
             enable_investigation=self.params.enable_investigation,
         )
+
+    def _build_stages(self) -> "KeplerPipeline | ShardedKeplerPipeline":
+        """Build the runtime the params describe (the primary)."""
+        # Imported here, not at module scope: repro.pipeline imports the
+        # sibling core modules through the package __init__, which ends
+        # by importing this module — a cycle at import time, not at use.
+        from repro.pipeline import (
+            build_kepler_pipeline,
+            build_process_kepler_pipeline,
+            build_shard_process_kepler_pipeline,
+            build_sharded_kepler_pipeline,
+        )
+
+        wiring = self._wiring()
         if self.params.shard_processes >= 2:
-            self.stages: KeplerPipeline | ShardedKeplerPipeline = (
+            stages: KeplerPipeline | ShardedKeplerPipeline = (
                 build_shard_process_kepler_pipeline(
                     workers=self.params.shard_processes,
                     batch_size=self.params.process_batch,
@@ -215,21 +284,21 @@ class Kepler:
                 )
             )
         elif self.params.shards >= 2:
-            self.stages = build_sharded_kepler_pipeline(
+            stages = build_sharded_kepler_pipeline(
                 shards=self.params.shards,
                 workers=self.params.shard_workers,
                 **wiring,
             )
         else:
-            self.stages = build_kepler_pipeline(**wiring)
+            stages = build_kepler_pipeline(**wiring)
         if self.params.process_workers >= 1:
             # Wrap the in-process chain in the multiprocess runtime:
             # the workers fork *now*, inheriting the freshly-built
             # stages, and own them from here on.  The facade keeps
             # reading one API — the wrapper materialises views from
             # worker barriers.
-            self.stages = build_process_kepler_pipeline(
-                self.stages,
+            stages = build_process_kepler_pipeline(
+                stages,
                 workers=self.params.process_workers,
                 batch_size=self.params.process_batch,
             )
@@ -241,12 +310,34 @@ class Kepler:
             # alive at the runtimes' construction-time forks).
             from repro.ingest import build_ingest_kepler_pipeline
 
-            self.stages = build_ingest_kepler_pipeline(
-                self.stages, feeds=self.params.ingest_feeds
+            stages = build_ingest_kepler_pipeline(
+                stages, feeds=self.params.ingest_feeds
             )
-        self.pipeline = self.stages.pipeline
-        #: primed baseline paths (installed outside the streaming path).
-        self.primed_paths = 0
+        return stages
+
+    def _build_fallback_stages(self) -> "KeplerPipeline | ShardedKeplerPipeline":
+        """The graceful-degradation target: the in-process chain.
+
+        No forked workers, no queues, no ingest tier — nothing left to
+        kill or stall.  The shard layout is preserved (``shards >= 2``
+        builds the thread-sharded chain) so the supervisor's
+        checkpoints restore without layout conversion; the
+        shard-process runtime composes linear-layout documents, which
+        is exactly what the linear chain restores.
+        """
+        from repro.pipeline import (
+            build_kepler_pipeline,
+            build_sharded_kepler_pipeline,
+        )
+
+        wiring = self._wiring()
+        if self.params.shards >= 2:
+            return build_sharded_kepler_pipeline(
+                shards=self.params.shards,
+                workers=self.params.shard_workers,
+                **wiring,
+            )
+        return build_kepler_pipeline(**wiring)
 
     # ------------------------------------------------------------------
     @classmethod

@@ -40,6 +40,7 @@ from collections.abc import Iterable
 
 from repro.bgp.messages import StreamElement
 from repro.core.serde import element_to_wire
+from repro.pipeline import faults
 from repro.pipeline.ingest import IngestStage, merge_streams
 from repro.pipeline.metrics import StageMetrics
 from repro.pipeline.parallel import pack_wires
@@ -94,6 +95,7 @@ def chunk_feed_worker(
     stay blocked).
     """
     feed = admission.feed
+    armed = faults.arm("feed", fid, forked=False)
     try:
         while True:
             msg = in_q.get()
@@ -102,6 +104,8 @@ def chunk_feed_worker(
             kind = msg[0]
             if kind == "elems":
                 elements, punct = msg[1], msg[2]
+                if armed is not None:
+                    armed.on_elements(len(elements))
                 entries: list[tuple[tuple, StreamElement]] = []
                 began = time.perf_counter()
                 for element in elements:
@@ -152,6 +156,7 @@ def source_feed_worker(
     before touching the shared admission counters again.
     """
     feed = admission.feed
+    armed = faults.arm("feed", fid, forked=False)
     entries: list[tuple[tuple, StreamElement]] = []
     try:
         began = time.perf_counter()
@@ -161,6 +166,8 @@ def source_feed_worker(
         for element in _feed_stream(sources):
             if cancelled():
                 return
+            if armed is not None:
+                armed.on_element()
             fed += 1
             for out in feed(element):
                 emitted += 1
@@ -207,13 +214,23 @@ def source_feed_process(
     :func:`repro.core.serde.wire_sort_key` instead of decoding.
     """
     feed = admission.feed
+    armed = faults.arm("feed", fid, forked=True)
     wires: list[list] = []
     last_key: tuple | None = None
+
+    def packed(batch: list[list]) -> tuple:
+        codec, payload = pack_wires(batch)
+        if armed is not None:
+            codec, payload = armed.corrupt_payload(codec, payload)
+        return (codec, payload)
+
     try:
         began = time.perf_counter()
         fed = 0
         emitted = 0
         for element in _feed_stream(sources):
+            if armed is not None:
+                armed.on_element()
             fed += 1
             for out in feed(element):
                 emitted += 1
@@ -221,14 +238,14 @@ def source_feed_process(
                 last_key = out.sort_key()
             if len(wires) >= batch_size:
                 meter.seconds += time.perf_counter() - began
-                out_q.put(("pbatch", fid, *pack_wires(wires), last_key))
+                out_q.put(("pbatch", fid, *packed(wires), last_key))
                 wires = []
                 began = time.perf_counter()
         meter.seconds += time.perf_counter() - began
         meter.fed += fed
         meter.emitted += emitted
         if wires:
-            out_q.put(("pbatch", fid, *pack_wires(wires), last_key))
+            out_q.put(("pbatch", fid, *packed(wires), last_key))
         out_q.put(
             (
                 "eor",

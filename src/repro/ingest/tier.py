@@ -77,7 +77,18 @@ from repro.pipeline.checkpoint import (
 )
 from repro.pipeline.events import PrimingUpdate
 from repro.pipeline.ingest import IngestStage
-from repro.pipeline.metrics import PipelineMetrics, StageMetrics
+from repro.pipeline.liveness import (
+    WorkerCrashError,
+    WorkerDeathError,
+    WorkerStallError,
+    queue_depths,
+    reap_workers,
+)
+from repro.pipeline.metrics import (
+    PipelineMetrics,
+    RecoveryStats,
+    StageMetrics,
+)
 from repro.pipeline.parallel import (
     ProcessStagePipeline,
     ShardProcessPipeline,
@@ -195,6 +206,11 @@ class IngestTier:
     facade reads exact without a tier-level drain protocol.
     """
 
+    #: When set, a blocked pump that sees no feed progress for this
+    #: long raises :class:`WorkerStallError` (see the parallel
+    #: runtimes' attribute of the same name).
+    stall_timeout_s: float | None = None
+
     def __init__(
         self,
         sink,
@@ -235,6 +251,9 @@ class IngestTier:
         #: stream has a hole at an unknown position, so the tier
         #: refuses further elements instead of silently resuming.
         self._failed = False
+        #: monotonic instant the pump last made progress while blocked
+        #: (``None`` = not currently blocked).
+        self._idle_since: float | None = None
 
     # ------------------------------------------------------------------
     # StagePipeline-compatible surface
@@ -530,11 +549,26 @@ class IngestTier:
                     if kind == "batch":
                         merge.push(fid, msg[2], msg[3])
                     elif kind == "pbatch":
-                        wires = unpack_wires(msg[2], msg[3])
+                        try:
+                            wires = unpack_wires(msg[2], msg[3])
+                            keyed = [
+                                (wire_sort_key(wire), wire)
+                                for wire in wires
+                            ]
+                        except Exception as exc:
+                            # A corrupt wire payload is a worker-side
+                            # data fault: recoverable (the run aborts
+                            # and a supervisor can roll back), never a
+                            # silent skip — the feed's watermark
+                            # promise would break.
+                            raise WorkerCrashError(
+                                f"ingest feed {fid} published an"
+                                f" undecodable wire batch: {exc!r}"
+                            ) from exc
                         watermark = msg[4]
                         merge.push(
                             fid,
-                            [(wire_sort_key(wire), wire) for wire in wires],
+                            keyed,
                             tuple(watermark)
                             if watermark is not None
                             else None,
@@ -554,18 +588,21 @@ class IngestTier:
                         run.eor_seen.add(fid)
                         break
                     elif kind == "err":
-                        raise RuntimeError(
+                        raise WorkerCrashError(
                             f"ingest feed worker failed:\n{msg[2]}"
                         )
             released = merge.release()
             if released:
                 progress = True
                 outputs.extend(self._deliver(run, released))
+            if progress:
+                self._idle_since = None
             if not block:
                 return outputs
             if progress:
                 return outputs
             self._check_alive(run)
+            self._stall_tick(run)
             time.sleep(WAIT_POLL_S)
 
     def _deliver(self, run: _Run, payloads: list) -> list[Any]:
@@ -634,9 +671,14 @@ class IngestTier:
                 worker.join(timeout=0.05)
             if not alive:
                 break
-        for worker in run.workers:
-            if worker is not None and hasattr(worker, "terminate"):
-                worker.join(timeout=2.0)
+        reap_workers(
+            [
+                worker
+                for worker in run.workers
+                if worker is not None and hasattr(worker, "terminate")
+            ],
+            [q for q in run.out_qs if q is not None] if run.wired else (),
+        )
         self.merge.discard_buffered()
 
     def _check_alive(self, run: _Run) -> None:
@@ -645,7 +687,7 @@ class IngestTier:
         # through the pump — only raise once its queue is quiet, its
         # buffer is drainable and the worker is truly gone.
         dead = [
-            worker.name
+            (worker.name, getattr(worker, "exitcode", None))
             for fid, worker in enumerate(run.workers)
             if worker is not None
             and not worker.is_alive()
@@ -654,9 +696,39 @@ class IngestTier:
             and self.merge.feed_buffered(fid) <= self.reorder_limit
         ]
         if dead:
-            raise RuntimeError(
-                f"ingest feed worker(s) died without a result: {dead}"
+            raise WorkerDeathError(
+                dead,
+                self._queue_depth_sample(run),
+                pending_ctl=0,
+                noun="ingest feed worker(s)",
             )
+
+    def _stall_tick(self, run: _Run) -> None:
+        """No progress this sweep: arm/advance the stall deadline."""
+        timeout = self.stall_timeout_s
+        if timeout is None:
+            return
+        now = time.monotonic()
+        if self._idle_since is None:
+            self._idle_since = now
+            return
+        stalled = now - self._idle_since
+        if stalled >= timeout:
+            raise WorkerStallError(
+                stalled,
+                timeout,
+                self._queue_depth_sample(run),
+                noun="ingest feed worker(s)",
+            )
+
+    @staticmethod
+    def _queue_depth_sample(run: _Run) -> dict[str, int]:
+        named = {
+            f"out[{i}]": q for i, q in enumerate(run.out_qs) if q is not None
+        }
+        for i, q in enumerate(run.in_qs):
+            named[f"in[{i}]"] = q
+        return queue_depths(named)
 
     def _feed_prime(self, element: PrimingUpdate) -> list[Any]:
         self.priming_updates += 1
@@ -694,6 +766,7 @@ class IngestTier:
         so the hole an aborted run left no longer exists.
         """
         self._failed = False
+        self._idle_since = None
         per_feed, priming = split_ingest_state(state, self.feeds)
         for admission, feed_state in zip(self.admissions, per_feed):
             admission.load_state(feed_state)
@@ -791,6 +864,7 @@ class IngestKeplerPipeline:
                 composed.stage(name)
             composed.absorb(view)
             composed.absorb_bins(view)
+            composed.recovery = RecoveryStats(**vars(view.recovery))
             view = composed
         handle = view.stage("ingest")
         fed, emitted, seconds = self.tier.composed_ingest_meter()

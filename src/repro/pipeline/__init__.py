@@ -34,6 +34,7 @@ from repro.pipeline.checkpoint import (
     convert_pipeline_state,
     linearize_pipeline_state,
     shard_pipeline_state,
+    strip_checkpoint_telemetry,
 )
 from repro.pipeline.classification import ClassificationStage
 from repro.pipeline.events import (
@@ -60,6 +61,15 @@ from repro.pipeline.parallel import (
     build_shard_process_kepler_pipeline,
     fork_available,
 )
+from repro.pipeline.faults import FaultInjected, FaultPlan, FaultSpec
+from repro.pipeline.liveness import (
+    PoisonedBatchError,
+    RecoverableWorkerError,
+    WorkerCrashError,
+    WorkerDeathError,
+    WorkerStallError,
+    reap_workers,
+)
 from repro.pipeline.record import RecordStage, merge_oscillations
 from repro.pipeline.runtime import StagePipeline
 from repro.pipeline.sharding import (
@@ -71,6 +81,10 @@ from repro.pipeline.sharding import (
     shard_of,
 )
 from repro.pipeline.stage import PassthroughStage, Stage, StatefulStage
+from repro.pipeline.supervisor import (
+    SupervisedKeplerPipeline,
+    SupervisedPipeline,
+)
 from repro.pipeline.tagging import TaggingStage
 from repro.pipeline.validation import ValidationCache, ValidationStage
 
@@ -189,6 +203,9 @@ __all__ = [
     "CheckpointableChain",
     "ClassificationStage",
     "ClassifiedBatch",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
     "IngestStage",
     "KeplerPipeline",
     "LocalisationStage",
@@ -197,11 +214,13 @@ __all__ = [
     "OutageCandidate",
     "PassthroughStage",
     "PipelineMetrics",
+    "PoisonedBatchError",
     "PrimedPath",
     "PrimingUpdate",
     "ProcessKeplerPipeline",
     "ProcessStagePipeline",
     "RecordStage",
+    "RecoverableWorkerError",
     "ShardBatch",
     "ShardChain",
     "ShardProcessKeplerPipeline",
@@ -214,9 +233,14 @@ __all__ = [
     "StageMetrics",
     "StagePipeline",
     "StatefulStage",
+    "SupervisedKeplerPipeline",
+    "SupervisedPipeline",
     "TaggingStage",
     "ValidationCache",
     "ValidationStage",
+    "WorkerCrashError",
+    "WorkerDeathError",
+    "WorkerStallError",
     "build_kepler_pipeline",
     "build_process_kepler_pipeline",
     "build_shard_process_kepler_pipeline",
@@ -227,6 +251,8 @@ __all__ = [
     "linearize_pipeline_state",
     "merge_oscillations",
     "merge_streams",
+    "reap_workers",
     "shard_of",
     "shard_pipeline_state",
+    "strip_checkpoint_telemetry",
 ]

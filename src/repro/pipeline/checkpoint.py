@@ -318,3 +318,43 @@ def shard_pipeline_state(state: dict, shards: int) -> dict:
         "chains": chains,
         "signal_log": list(stages["classify"]["signal_log"]),
     }
+
+
+# ----------------------------------------------------------------------
+# Telemetry stripping: the byte-identity comparison surface
+# ----------------------------------------------------------------------
+def strip_checkpoint_telemetry(doc: dict) -> dict:
+    """A deep copy of a snapshot with wall-clock telemetry removed.
+
+    Checkpoint documents are byte-identical across runtimes — and, with
+    the supervision layer, across faulted and unfaulted runs — *except*
+    for the wall-clock fields: per-stage ``seconds`` and the bin-close
+    latency gauges, which measure the run rather than the stream (a
+    recovery replay legitimately pays the stage time twice).  This
+    helper removes exactly those fields so the chaos suite (and any
+    cross-runtime comparison) can assert equality on everything else.
+
+    Accepts a full :meth:`repro.core.kepler.Kepler.snapshot` document
+    or a bare ``checkpoint_parts`` dict, in either pipeline layout
+    (linear / sharded).
+    """
+    import copy
+
+    doc = copy.deepcopy(doc)
+    pipeline = doc["pipeline"] if "pipeline" in doc else doc
+    metrics_docs = []
+    if "metrics" in pipeline:  # linear layout
+        metrics_docs.append(pipeline["metrics"])
+    if "upstream" in pipeline:  # sharded layout
+        metrics_docs.append(pipeline["upstream"]["metrics"])
+        for chain in pipeline.get("chains", ()):
+            metrics_docs.append(chain["metrics"])
+    for metrics in metrics_docs:
+        metrics["stages"] = [
+            [name, fed, emitted]
+            for name, fed, emitted, _ in metrics["stages"]
+        ]
+        bins = metrics["bins"]
+        bins.pop("total_latency_s", None)
+        bins.pop("max_latency_s", None)
+    return doc

@@ -61,6 +61,34 @@ class StageMetrics:
 
 
 @dataclass
+class RecoveryStats:
+    """Supervision-layer telemetry (run observability, never state).
+
+    Populated by :class:`~repro.pipeline.supervisor.SupervisedKeplerPipeline`
+    and by the quarantine path of the parallel runtimes.  Deliberately
+    absent from :meth:`PipelineMetrics.state_dict`: recovery history is
+    a property of *this* run, not of the stream, and folding it into
+    checkpoints would break the byte-identity contract between faulted
+    and unfaulted runs.
+    """
+
+    restarts: int = 0
+    replayed_elements: int = 0
+    recovery_ms: float = 0.0
+    degraded: bool = False
+    quarantined_batches: int = 0
+
+    def as_dict(self) -> dict[str, float | int | bool]:
+        return {
+            "restarts": self.restarts,
+            "replayed_elements": self.replayed_elements,
+            "recovery_ms": round(self.recovery_ms, 3),
+            "degraded": self.degraded,
+            "quarantined_batches": self.quarantined_batches,
+        }
+
+
+@dataclass
 class BinStats:
     """Running statistics over closed bins (bounded memory)."""
 
@@ -101,6 +129,7 @@ class PipelineMetrics:
     def __init__(self) -> None:
         self.stages: dict[str, StageMetrics] = {}
         self.bins = BinStats()
+        self.recovery = RecoveryStats()
         #: pull-based gauge sources: name -> zero-arg callable, sampled
         #: at :meth:`gauges` / :meth:`snapshot` time so the reported
         #: value is never stale.  Gauges expose derived-cache telemetry
@@ -139,6 +168,7 @@ class PipelineMetrics:
                 self.stages[name].as_dict() for name in self.stages
             ],
             "bins": self.bins.as_dict(),
+            "recovery": self.recovery.as_dict(),
             "gauges": self.gauges(),
         }
 

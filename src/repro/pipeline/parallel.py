@@ -63,11 +63,14 @@ of the tagging stage from then on.
 
 from __future__ import annotations
 
+import logging
 import marshal
 import multiprocessing
 import queue as queue_mod
 import time
 import traceback
+import zlib
+from collections import deque
 from typing import Any, Iterable
 
 from repro.core.serde import (
@@ -76,9 +79,20 @@ from repro.core.serde import (
     tag_wire_batch,
     wires_to_batch,
 )
+from repro.pipeline import faults
 from repro.pipeline.checkpoint import CheckpointableChain
+from repro.pipeline.liveness import (
+    WorkerCrashError,
+    WorkerDeathError,
+    WorkerStallError,
+    queue_depths,
+    reap_workers,
+    worker_exits,
+)
 from repro.pipeline.metrics import PipelineMetrics
 from repro.pipeline.sharding import ShardedStagePipeline
+
+_LOG = logging.getLogger(__name__)
 
 #: Elements per IPC batch: large enough that marshalling and queue
 #: wakeups amortise, small enough to keep the reorder buffer shallow.
@@ -87,6 +101,9 @@ DEFAULT_BATCH = 1024
 TAG_QUEUE_DEPTH = 8
 #: How long a blocked barrier waits between worker liveness checks.
 WAIT_POLL_S = 5.0
+#: Quarantined batches kept for inspection (the count is unbounded,
+#: the payload buffer is not).
+DEAD_LETTER_CAP = 16
 
 _ZERO_TAGGING_STATE = {"parsed_count": 0, "discarded_count": 0}
 
@@ -149,6 +166,48 @@ def _load_with_batches(registry: PipelineMetrics, doc: dict) -> None:
         metrics.batches = counts.get(name, 0)
 
 
+def _batch_signature(payload: Any) -> int:
+    """Stable id of one wire payload (log-once / dedupe key)."""
+    data = payload if isinstance(payload, bytes) else repr(payload).encode()
+    return zlib.crc32(data)
+
+
+def _poll_interval(stall_timeout_s: float | None) -> float:
+    """Blocked-wait granularity: finer when a stall deadline is armed."""
+    if stall_timeout_s is None:
+        return WAIT_POLL_S
+    return min(WAIT_POLL_S, max(0.01, stall_timeout_s / 4.0))
+
+
+def _note_quarantine(
+    runtime, signature: int, codec: str, payload: Any, detail: str
+) -> None:
+    """Driver-side dead-lettering shared by both process runtimes.
+
+    The count is the graceful-degradation metric
+    (``PipelineMetrics.recovery.quarantined_batches`` on the composed
+    views); the payload buffer is capped; the log fires once per batch
+    signature so a replayed or rebroadcast poison batch cannot spam.
+    """
+    runtime.quarantined += 1
+    runtime.dead_letters.append(
+        {
+            "signature": signature,
+            "codec": codec,
+            "payload": payload,
+            "detail": detail,
+        }
+    )
+    if signature not in runtime._quar_seen:
+        runtime._quar_seen.add(signature)
+        last = detail.strip().splitlines()[-1] if detail.strip() else detail
+        _LOG.warning(
+            "quarantined wire batch %08x (dropped from the stream): %s",
+            signature & 0xFFFFFFFF,
+            last,
+        )
+
+
 # ----------------------------------------------------------------------
 # Worker loop (top-level so the forked children stay importable)
 # ----------------------------------------------------------------------
@@ -165,31 +224,54 @@ def _tag_worker_loop(
     the stage remotely.
     """
     handle = registry.stage(tagging.name)
+    armed = faults.arm("tag", worker_id)
     try:
         while True:
             msg = in_q.get()
             kind = msg[0]
             if kind == "batch":
                 seq, batch = msg[1], _unpack(msg[2], msg[3])
+                n = len(batch[0])
+                if armed is not None:
+                    batch = armed.corrupt_batch(batch, n)
+                    armed.on_elements(n)
                 began = time.perf_counter()
-                out = tag_wire_batch(tagging.input, batch, tagging.feed)
+                try:
+                    out = tag_wire_batch(tagging.input, batch, tagging.feed)
+                except Exception:
+                    # Poison batch: dead-letter it driver-side and keep
+                    # the stream alive — the driver skips this seq.
+                    ret_q.put(
+                        (
+                            "quar",
+                            seq,
+                            _batch_signature(msg[3]),
+                            msg[2],
+                            msg[3],
+                            traceback.format_exc(),
+                        )
+                    )
+                    continue
                 handle.seconds += time.perf_counter() - began
-                handle.fed += len(batch[0])
+                handle.fed += n
                 handle.batches += 1
                 handle.emitted += len(out[0])
                 ret_q.put(("batch", seq, *_pack(out)))
             elif kind == "ctl":
-                ret_q.put(
-                    (
-                        "ack",
-                        msg[1],
-                        worker_id,
-                        {
-                            "state": tagging.state_dict(),
-                            "metrics": _metrics_with_batches(registry),
-                        },
-                    )
+                action = armed.on_control() if armed is not None else None
+                ack = (
+                    "ack",
+                    msg[1],
+                    worker_id,
+                    {
+                        "state": tagging.state_dict(),
+                        "metrics": _metrics_with_batches(registry),
+                    },
                 )
+                if action != "drop":
+                    ret_q.put(ack)
+                    if action == "dup":
+                        ret_q.put(ack)
             elif kind == "load":
                 registry.reset()
                 tagging.load_state(msg[1]["state"])
@@ -221,6 +303,15 @@ class ProcessStagePipeline:
     so facade reads and control operations (``flush``, ``state_dict``,
     ``sync``) first run a drain barrier that quiesces the queues.
     """
+
+    #: When set, a blocked barrier that sees no worker progress for
+    #: this long raises :class:`WorkerStallError` (the supervision
+    #: layer's hung-queue detector).  ``None`` = wait forever, the
+    #: pre-supervision behaviour.
+    stall_timeout_s: float | None = None
+    #: Per-worker join deadline used by :func:`reap_workers` in
+    #: :meth:`close`.
+    teardown_deadline_s: float = 2.0
 
     def __init__(
         self,
@@ -286,6 +377,14 @@ class ProcessStagePipeline:
         self._bid = 0
         self._outputs: list[Any] = []
         self._closed = False
+        #: quarantine surface: total count, capped payload buffer,
+        #: log-once signature set (see :func:`_note_quarantine`).
+        self.quarantined = 0
+        self.dead_letters: deque = deque(maxlen=DEAD_LETTER_CAP)
+        self._quar_seen: set[int] = set()
+        #: monotonic instant the driver last saw worker progress while
+        #: blocked (``None`` = not currently blocked).
+        self._idle_since: float | None = None
 
     # ------------------------------------------------------------------
     # StagePipeline-compatible surface
@@ -425,32 +524,72 @@ class ProcessStagePipeline:
         while True:
             try:
                 msg = (
-                    self._ret_q.get(timeout=WAIT_POLL_S)
+                    self._ret_q.get(
+                        timeout=_poll_interval(self.stall_timeout_s)
+                    )
                     if block
                     else self._ret_q.get_nowait()
                 )
             except queue_mod.Empty:
                 if block:
-                    self._check_alive()
+                    self._blocked_tick()
                     continue
                 return acks
+            self._idle_since = None
             kind = msg[0]
             if kind == "batch":
                 self._stash[msg[1]] = (msg[2], msg[3])
-                while self._next_seq in self._stash:
-                    self._feed_tagged(
-                        _unpack(*self._stash.pop(self._next_seq))
-                    )
-                    self._next_seq += 1
+                self._drain_stash()
                 block = False  # made progress; drain the rest lazily
+            elif kind == "quar":
+                # The worker dead-lettered this seq: record it and mark
+                # the slot done so the reorder buffer moves past it.
+                _, seq, signature, codec, payload, detail = msg
+                _note_quarantine(self, signature, codec, payload, detail)
+                self._stash[seq] = None
+                self._drain_stash()
+                block = False
             elif kind == "ack":
                 acks.append(msg)
                 block = False
             elif kind == "err":
                 detail = msg[1]
                 self.close()
-                raise RuntimeError(f"pipeline worker failed:\n{detail}")
+                raise WorkerCrashError(
+                    f"pipeline worker failed:\n{detail}"
+                )
         return acks
+
+    def _drain_stash(self) -> None:
+        """Feed reorder-buffer entries that are next in stream order."""
+        while self._next_seq in self._stash:
+            entry = self._stash.pop(self._next_seq)
+            if entry is not None:  # None = quarantined slot
+                self._feed_tagged(_unpack(*entry))
+            self._next_seq += 1
+
+    def _blocked_tick(self) -> None:
+        """One bounded wait elapsed without progress: liveness + stall."""
+        self._check_alive()
+        timeout = self.stall_timeout_s
+        if timeout is None:
+            return
+        now = time.monotonic()
+        if self._idle_since is None:
+            self._idle_since = now
+            return
+        stalled = now - self._idle_since
+        if stalled >= timeout:
+            depths = self._queue_depth_sample()
+            self.close()
+            raise WorkerStallError(
+                stalled, timeout, depths, noun="tag worker(s)"
+            )
+
+    def _queue_depth_sample(self) -> dict[str, int]:
+        named = {f"tag[{i}]": q for i, q in enumerate(self._tag_qs)}
+        named["ret"] = self._ret_q
+        return queue_depths(named)
 
     def _feed_tagged(self, batch: tuple) -> None:
         # The tagged batch arrives columnar from the tag workers; the
@@ -541,35 +680,42 @@ class ProcessStagePipeline:
         bid = self._bid
         for tag_q in self._tag_qs:
             self._put_checked(tag_q, ("ctl", bid))
-        acks: list = []
+        # Keyed by wid: a duplicated control ack (see the fault module)
+        # must not satisfy the barrier in place of a missing worker.
+        acks: dict[int, Any] = {}
         while len(acks) < self.workers or self._next_seq < self._ship_seq:
-            acks.extend(
-                ack for ack in self._pump(block=True) if ack[1] == bid
-            )
-        return [
-            info for _, _, wid, info in sorted(acks, key=lambda a: a[2])
-        ]
+            for ack in self._pump(block=True):
+                if ack[1] == bid:
+                    acks[ack[2]] = ack
+        return [acks[wid][3] for wid in sorted(acks)]
 
     def _put_checked(self, tag_q, message) -> None:
-        """Blocking put that still notices a dead worker.
+        """Blocking put that still notices a dead or hung worker.
 
         A control token must not block forever on the full queue of a
         worker that died — poll with a timeout and check liveness, as
-        the pump path does.
+        the pump path does.  A put that keeps failing for the stall
+        deadline means the worker stopped consuming: that is the same
+        no-progress signal a blocked pump sees.
         """
         while True:
             try:
-                tag_q.put(message, timeout=WAIT_POLL_S)
+                tag_q.put(
+                    message, timeout=_poll_interval(self.stall_timeout_s)
+                )
+                self._idle_since = None
                 return
             except queue_mod.Full:
-                self._check_alive()
+                self._blocked_tick()
 
     def _check_alive(self) -> None:
-        dead = [p.name for p in self._procs if not p.is_alive()]
+        dead = worker_exits(self._procs)
         if dead:
+            depths = self._queue_depth_sample()
+            pending = len(self._stash)
             self.close()
-            raise RuntimeError(
-                f"pipeline worker(s) died without a result: {dead}"
+            raise WorkerDeathError(
+                dead, depths, pending_ctl=pending, noun="tag worker(s)"
             )
 
     # ------------------------------------------------------------------
@@ -601,6 +747,7 @@ class ProcessStagePipeline:
         for info in infos:
             _load_with_batches(scratch, info["metrics"])
             composed.absorb(scratch)
+        composed.recovery.quarantined_batches = self.quarantined
         return composed
 
     @staticmethod
@@ -701,15 +848,11 @@ class ProcessStagePipeline:
                 tag_q.put_nowait(("stop",))
             except queue_mod.Full:
                 pass
-        for proc in self._procs:
-            proc.join(timeout=2.0)
-        for proc in self._procs:
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=2.0)
-        for q in (*self._tag_qs, self._ret_q):
-            q.cancel_join_thread()
-            q.close()
+        reap_workers(
+            self._procs,
+            (*self._tag_qs, self._ret_q),
+            deadline_s=self.teardown_deadline_s,
+        )
 
     def __repr__(self) -> str:
         return (
@@ -1080,6 +1223,7 @@ def _shard_worker_loop(chain: _ShardWorkerChain, in_q, sync_q, ret_q) -> None:
     from repro.pipeline.runtime import StagePipeline as _runtime_cls
 
     wire_lane = _runtime_cls.use_wire_lane
+    armed = faults.arm("shard", wid)
 
     try:
         while True:
@@ -1087,12 +1231,33 @@ def _shard_worker_loop(chain: _ShardWorkerChain, in_q, sync_q, ret_q) -> None:
             kind = msg[0]
             if kind == "batch":
                 batch = _unpack(msg[1], msg[2])
+                n = len(batch[0])
+                if armed is not None:
+                    batch = armed.corrupt_batch(batch, n)
+                    armed.on_elements(n)
                 began = time.perf_counter()
-                tagged = tag_wire_batch(
-                    chain.tagging.input, batch, chain.tagging.feed
-                )
+                try:
+                    tagged = tag_wire_batch(
+                        chain.tagging.input, batch, chain.tagging.feed
+                    )
+                except Exception:
+                    # Poison batch: every replica skips the same
+                    # broadcast batch (the driver dedupes the count by
+                    # signature), so the record replicas stay
+                    # consistent.
+                    ret_q.put(
+                        (
+                            "quar",
+                            wid,
+                            _batch_signature(msg[2]),
+                            msg[1],
+                            msg[2],
+                            traceback.format_exc(),
+                        )
+                    )
+                    continue
                 tag_handle.seconds += time.perf_counter() - began
-                tag_handle.fed += len(batch[0])
+                tag_handle.fed += n
                 tag_handle.batches += 1
                 tag_handle.emitted += len(tagged[0])
                 view = None
@@ -1139,7 +1304,12 @@ def _shard_worker_loop(chain: _ShardWorkerChain, in_q, sync_q, ret_q) -> None:
                             )
                         elif section == "primed":
                             info[section] = chain.monitoring.primed
-                ret_q.put(("ack", msg[1], wid, info))
+                action = armed.on_control() if armed is not None else None
+                ack = ("ack", msg[1], wid, info)
+                if action != "drop":
+                    ret_q.put(ack)
+                    if action == "dup":
+                        ret_q.put(ack)
             elif kind == "load":
                 from repro.core.serde import signal_from_json
 
@@ -1176,6 +1346,12 @@ class ShardProcessPipeline:
     the module commentary above).  ``state_dict`` composes the linear
     canonical pipeline document from the worker states.
     """
+
+    #: Stall deadline for blocked barriers (see
+    #: :attr:`ProcessStagePipeline.stall_timeout_s`).
+    stall_timeout_s: float | None = None
+    #: Per-worker join deadline used by :func:`reap_workers`.
+    teardown_deadline_s: float = 2.0
 
     def __init__(
         self,
@@ -1254,6 +1430,12 @@ class ShardProcessPipeline:
         self.sync_rounds = 0
         self.sync_broadcasts = 0
         self._closed = False
+        #: quarantine surface (count deduped by batch signature: every
+        #: replica quarantines the same broadcast batch).
+        self.quarantined = 0
+        self.dead_letters: deque = deque(maxlen=DEAD_LETTER_CAP)
+        self._quar_seen: set[int] = set()
+        self._idle_since: float | None = None
 
     @property
     def signal_log(self) -> list:
@@ -1340,12 +1522,14 @@ class ShardProcessPipeline:
         fid = self._fid
         for in_q in self._in_qs:
             self._put_checked(in_q, ("flush", fid))
-        done = 0
+        # A wid set, not a counter: duplicated round-trip messages must
+        # not satisfy the barrier in place of a missing worker.
+        done: set[int] = set()
         while True:
-            done += sum(
-                1 for msg in self._pop_ctl("fdone") if msg[2] == fid
+            done.update(
+                msg[1] for msg in self._pop_ctl("fdone") if msg[2] == fid
             )
-            if done >= self.workers:
+            if len(done) >= self.workers:
                 break
             self._pump(block=True)
         return []
@@ -1374,18 +1558,46 @@ class ShardProcessPipeline:
         while True:
             try:
                 in_q.put_nowait(message)
+                self._idle_since = None
                 return
             except queue_mod.Full:
                 self._pump(block=True, timeout=0.05)
-                self._check_alive()
+                self._blocked_tick()
 
     def _check_alive(self) -> None:
-        dead = [p.name for p in self._procs if not p.is_alive()]
+        dead = worker_exits(self._procs)
         if dead:
+            depths = self._queue_depth_sample()
+            pending = len(self._ctl)
             self.close()
-            raise RuntimeError(
-                f"shard worker(s) died without a result: {dead}"
+            raise WorkerDeathError(
+                dead, depths, pending_ctl=pending, noun="shard worker(s)"
             )
+
+    def _blocked_tick(self) -> None:
+        """One bounded wait elapsed without progress: liveness + stall."""
+        self._check_alive()
+        timeout = self.stall_timeout_s
+        if timeout is None:
+            return
+        now = time.monotonic()
+        if self._idle_since is None:
+            self._idle_since = now
+            return
+        stalled = now - self._idle_since
+        if stalled >= timeout:
+            depths = self._queue_depth_sample()
+            self.close()
+            raise WorkerStallError(
+                stalled, timeout, depths, noun="shard worker(s)"
+            )
+
+    def _queue_depth_sample(self) -> dict[str, int]:
+        named = {f"in[{i}]": q for i, q in enumerate(self._in_qs)}
+        for i, q in enumerate(self._sync_qs):
+            named[f"sync[{i}]"] = q
+        named["ret"] = self._ret_q
+        return queue_depths(named)
 
     def _round(self, rid: int) -> dict:
         state = self._rounds.get(rid)
@@ -1411,7 +1623,9 @@ class ShardProcessPipeline:
             self._ctl = [msg for msg in self._ctl if msg[0] != kind]
         return matched
 
-    def _pump(self, block: bool = False, timeout: float = WAIT_POLL_S) -> None:
+    def _pump(
+        self, block: bool = False, timeout: float | None = None
+    ) -> None:
         """Drain the return queue, driving round phases and serving reads.
 
         Control messages ("ack", "fdone", "final") are stashed on
@@ -1421,6 +1635,8 @@ class ShardProcessPipeline:
         """
         from repro.pipeline.validation import PRUNE_HORIZON_S
 
+        if timeout is None:
+            timeout = _poll_interval(self.stall_timeout_s)
         while True:
             try:
                 msg = (
@@ -1433,8 +1649,9 @@ class ShardProcessPipeline:
                     # One bounded wait per call: callers that need more
                     # messages loop, callers retrying a put must not
                     # hang on a quiet return queue.
-                    self._check_alive()
+                    self._blocked_tick()
                 return
+            self._idle_since = None
             block = False  # made progress: drain the rest lazily
             kind = msg[0]
             if kind == "bin":
@@ -1464,10 +1681,18 @@ class ShardProcessPipeline:
                         pop, time_
                     )
                 self._sync_qs[wid].put(("rf", self._rf_memo[memo_key]))
+            elif kind == "quar":
+                # Every replica dead-letters the same broadcast batch:
+                # count it once per signature.
+                _, wid, signature, codec, payload, detail = msg
+                if signature not in self._quar_seen:
+                    _note_quarantine(self, signature, codec, payload, detail)
             elif kind == "err":
                 detail = msg[1]
                 self.close()
-                raise RuntimeError(f"pipeline worker failed:\n{detail}")
+                raise WorkerCrashError(
+                    f"pipeline worker failed:\n{detail}"
+                )
             else:
                 self._ctl.append(msg)
 
@@ -1550,17 +1775,19 @@ class ShardProcessPipeline:
         bid = self._bid
         for in_q in self._in_qs:
             self._put_checked(in_q, ("ctl", bid, sections))
-        acks: list = []
+        # Keyed by wid: a duplicated ack must not stand in for a
+        # missing worker's.
+        acks: dict[int, Any] = {}
         while True:
-            acks.extend(
-                msg for msg in self._pop_ctl("ack") if msg[1] == bid
-            )
+            for msg in self._pop_ctl("ack"):
+                if msg[1] == bid:
+                    acks[msg[2]] = msg
             if len(acks) >= self.workers:
                 break
             self._pump(block=True)
         if sections is None:
             return None
-        return [info for _, _, wid, info in sorted(acks, key=lambda a: a[2])]
+        return [acks[wid][3] for wid in sorted(acks)]
 
     def finalize(self, end_time: float | None) -> list:
         """Run the record-stage finalize on every (replica) worker.
@@ -1674,6 +1901,7 @@ class ShardProcessPipeline:
                 totals[name] = totals.get(name, 0) + value
         for name, value in totals.items():
             composed.gauge_source(name, lambda value=value: value)
+        composed.recovery.quarantined_batches = self.quarantined
         return composed
 
     #: Stage metrics entries the driver registry owns (the rest are
@@ -1750,15 +1978,11 @@ class ShardProcessPipeline:
                 in_q.put_nowait(("stop",))
             except queue_mod.Full:
                 pass
-        for proc in self._procs:
-            proc.join(timeout=2.0)
-        for proc in self._procs:
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=2.0)
-        for q in (*self._in_qs, *self._sync_qs, self._ret_q):
-            q.cancel_join_thread()
-            q.close()
+        reap_workers(
+            self._procs,
+            (*self._in_qs, *self._sync_qs, self._ret_q),
+            deadline_s=self.teardown_deadline_s,
+        )
 
     def __repr__(self) -> str:
         return (
