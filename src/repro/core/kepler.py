@@ -176,6 +176,18 @@ class KeplerParams:
     supervised: bool = False
     #: Supervision knobs (ignored unless ``supervised``).
     recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    #: Data-plane transport of the multiprocess runtimes
+    #: (``process_workers`` / ``shard_processes`` / forked
+    #: ``ingest_feeds``): ``"queue"`` ships batches over
+    #: ``multiprocessing.Queue``; ``"shm"`` writes them into
+    #: shared-memory SPSC rings (:mod:`repro.pipeline.shm`) — same
+    #: bytes out, fewer copies per hop.  Control messages stay on
+    #: queues either way; in-process runtimes ignore the knob.
+    transport: str = "queue"
+    #: Elements per chunk on the in-process chain's ``feed_many`` fast
+    #: path (the linear and thread-sharded runtimes' batch size; the
+    #: multiprocess runtimes batch by ``process_batch`` instead).
+    feed_chunk: int = 4096
 
 
 class Kepler:
@@ -201,6 +213,12 @@ class Kepler:
                 " be combined with shards, process_workers or"
                 " monitor_partitions"
             )
+        if self.params.transport not in ("queue", "shm"):
+            raise ValueError("transport must be 'queue' or 'shm'")
+        if self.params.feed_chunk < 1:
+            raise ValueError("feed_chunk must be positive")
+        if self.params.process_batch < 1:
+            raise ValueError("process_batch must be positive")
         self.dictionary = dictionary
         self.colo = colo
         self.as2org = dict(as2org)
@@ -280,6 +298,7 @@ class Kepler:
                 build_shard_process_kepler_pipeline(
                     workers=self.params.shard_processes,
                     batch_size=self.params.process_batch,
+                    transport=self.params.transport,
                     **wiring,
                 )
             )
@@ -287,10 +306,13 @@ class Kepler:
             stages = build_sharded_kepler_pipeline(
                 shards=self.params.shards,
                 workers=self.params.shard_workers,
+                chunk_size=self.params.feed_chunk,
                 **wiring,
             )
         else:
-            stages = build_kepler_pipeline(**wiring)
+            stages = build_kepler_pipeline(
+                chunk_size=self.params.feed_chunk, **wiring
+            )
         if self.params.process_workers >= 1:
             # Wrap the in-process chain in the multiprocess runtime:
             # the workers fork *now*, inheriting the freshly-built
@@ -301,6 +323,7 @@ class Kepler:
                 stages,
                 workers=self.params.process_workers,
                 batch_size=self.params.process_batch,
+                transport=self.params.transport,
             )
         if self.params.ingest_feeds >= 1:
             # Outermost wrapper: the sharded ingest tier replaces the
@@ -311,7 +334,9 @@ class Kepler:
             from repro.ingest import build_ingest_kepler_pipeline
 
             stages = build_ingest_kepler_pipeline(
-                stages, feeds=self.params.ingest_feeds
+                stages,
+                feeds=self.params.ingest_feeds,
+                transport=self.params.transport,
             )
         return stages
 
@@ -335,9 +360,12 @@ class Kepler:
             return build_sharded_kepler_pipeline(
                 shards=self.params.shards,
                 workers=self.params.shard_workers,
+                chunk_size=self.params.feed_chunk,
                 **wiring,
             )
-        return build_kepler_pipeline(**wiring)
+        return build_kepler_pipeline(
+            chunk_size=self.params.feed_chunk, **wiring
+        )
 
     # ------------------------------------------------------------------
     @classmethod

@@ -203,6 +203,7 @@ def source_feed_process(
     meter: StageMetrics,
     out_q,
     batch_size: int,
+    ring=None,
 ) -> None:
     """Forked worker: admit **and serde-encode** sources locally.
 
@@ -212,17 +213,37 @@ def source_feed_process(
     copies, so totals compose exactly.  Batches are marshal-packed
     wire lists; the driver derives merge keys with
     :func:`repro.core.serde.wire_sort_key` instead of decoding.
+
+    With a ``ring`` (shm transport) the wire batches go out as
+    header-only ring frames ``(watermark, wires)`` instead, and only
+    control messages (end-of-run, errors) ride ``out_q``.  The
+    end-of-run message then carries the published-frame count so the
+    driver never applies it before draining the ring — control
+    messages can overtake ring data.  Published frames are counted
+    even when a fault spec suppressed the cursor publish (``stale``):
+    the driver's drain-to-mark wait then stalls deterministically,
+    which is the point of the drill.
     """
     feed = admission.feed
     armed = faults.arm("feed", fid, forked=True)
     wires: list[list] = []
     last_key: tuple | None = None
+    published = 0
 
     def packed(batch: list[list]) -> tuple:
         codec, payload = pack_wires(batch)
         if armed is not None:
             codec, payload = armed.corrupt_payload(codec, payload)
         return (codec, payload)
+
+    def publish(batch: list[list], watermark: tuple | None) -> None:
+        nonlocal published
+        if ring is not None:
+            fault = armed.ring_fault() if armed is not None else None
+            ring.put((watermark, batch), fault=fault)
+            published += 1
+            return
+        out_q.put(("pbatch", fid, *packed(batch), watermark))
 
     try:
         began = time.perf_counter()
@@ -238,23 +259,21 @@ def source_feed_process(
                 last_key = out.sort_key()
             if len(wires) >= batch_size:
                 meter.seconds += time.perf_counter() - began
-                out_q.put(("pbatch", fid, *packed(wires), last_key))
+                publish(wires, last_key)
                 wires = []
                 began = time.perf_counter()
         meter.seconds += time.perf_counter() - began
         meter.fed += fed
         meter.emitted += emitted
         if wires:
-            out_q.put(("pbatch", fid, *packed(wires), last_key))
-        out_q.put(
-            (
-                "eor",
-                fid,
-                {
-                    "ingest": admission.state_dict(),
-                    "meter": [meter.fed, meter.emitted, meter.seconds],
-                },
-            )
-        )
+            publish(wires, last_key)
+        info = {
+            "ingest": admission.state_dict(),
+            "meter": [meter.fed, meter.emitted, meter.seconds],
+        }
+        if ring is not None:
+            out_q.put(("eor", fid, info, published))
+        else:
+            out_q.put(("eor", fid, info))
     except Exception:
         out_q.put(("err", fid, traceback.format_exc()))

@@ -71,7 +71,8 @@ from repro.pipeline.liveness import (
     reap_workers,
 )
 from repro.pipeline.record import RecordStage, merge_oscillations
-from repro.pipeline.runtime import StagePipeline
+from repro.pipeline.runtime import FEED_CHUNK, StagePipeline
+from repro.pipeline.shm import ShmRing
 from repro.pipeline.sharding import (
     ShardChain,
     ShardedKeplerPipeline,
@@ -138,6 +139,7 @@ def build_kepler_pipeline(
     drop_rejected: bool = True,
     enable_investigation: bool = True,
     metrics: PipelineMetrics | None = None,
+    chunk_size: int = FEED_CHUNK,
 ) -> KeplerPipeline:
     """Wire the canonical Kepler stage chain."""
     metrics = metrics or PipelineMetrics()
@@ -180,6 +182,7 @@ def build_kepler_pipeline(
             record,
         ],
         metrics=metrics,
+        chunk_size=chunk_size,
     )
     return KeplerPipeline(
         pipeline=pipeline,
@@ -228,6 +231,7 @@ __all__ = [
     "ShardRouter",
     "ShardedKeplerPipeline",
     "ShardedStagePipeline",
+    "ShmRing",
     "SignalBatch",
     "Stage",
     "StageMetrics",
@@ -241,6 +245,7 @@ __all__ = [
     "WorkerCrashError",
     "WorkerDeathError",
     "WorkerStallError",
+    "FEED_CHUNK",
     "build_kepler_pipeline",
     "build_process_kepler_pipeline",
     "build_shard_process_kepler_pipeline",

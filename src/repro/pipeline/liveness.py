@@ -21,12 +21,20 @@ shared vocabulary:
   an operator asks first.
 * :func:`reap_workers` is the single teardown helper: join with a
   configurable deadline, terminate the survivors, join again, close
-  the queues.  Idempotent and safe on part-dead worker sets.
+  the queues, unlink any shared-memory rings.  Idempotent and safe on
+  part-dead worker sets.
+* :func:`drain_put` and :class:`ControlStash` are the shared
+  bounded-queue send / control-message stash pattern both parallel
+  runtimes used to reimplement privately: a driver must keep *pumping
+  its return path* while a worker-bound queue is full (anything else
+  deadlocks against its own backpressure), and any control message the
+  pump drains while looking for data must be stashed, not dropped.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+import queue as queue_mod
+from typing import Any, Callable, Iterable, Sequence
 
 
 class RecoverableWorkerError(RuntimeError):
@@ -118,6 +126,55 @@ class PoisonedBatchError(RecoverableWorkerError):
 
 
 # ----------------------------------------------------------------------
+class ControlStash:
+    """Driver-side stash for control messages drained mid-pump.
+
+    The driver pumps return queues looking for data; any control-plane
+    message (acks, flush/finalize completions) it sees along the way is
+    stashed here and later collected by kind.  Messages are tuples with
+    the kind tag in slot 0 — the convention every runtime already uses.
+    """
+
+    def __init__(self) -> None:
+        self._messages: list[tuple] = []
+
+    def stash(self, message: tuple) -> None:
+        self._messages.append(message)
+
+    def pop(self, kind: str) -> list[tuple]:
+        """Remove and return every stashed message of ``kind``, in order."""
+        matched = [m for m in self._messages if m[0] == kind]
+        if matched:
+            self._messages = [m for m in self._messages if m[0] != kind]
+        return matched
+
+    def clear(self) -> None:
+        self._messages.clear()
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __iter__(self):
+        return iter(self._messages)
+
+
+def drain_put(q: Any, message: tuple, on_full: Callable[[], None]) -> None:
+    """Put on a bounded queue without ever blocking the driver blind.
+
+    Retries ``put_nowait`` and calls ``on_full()`` between attempts —
+    the callback is the runtime's pump-and-tick step, so a full
+    worker-bound queue drains the return path (freeing the workers)
+    and feeds the stall detector instead of deadlocking on a blocking
+    ``put``.
+    """
+    while True:
+        try:
+            q.put_nowait(message)
+            return
+        except queue_mod.Full:
+            on_full()
+
+
 def queue_depth(q: Any) -> int:
     """Best-effort depth of a multiprocessing/thread queue (-1 unknown)."""
     try:
@@ -148,6 +205,7 @@ def reap_workers(
     procs: Iterable[Any],
     queues: Iterable[Any] = (),
     deadline_s: float = 2.0,
+    rings: Iterable[Any] = (),
 ) -> None:
     """Tear a worker set down: join, terminate survivors, close queues.
 
@@ -157,7 +215,11 @@ def reap_workers(
     joined once more, and the queues' feeder threads are cancelled so
     interpreter shutdown never blocks on a queue a dead worker will
     never drain.  Threads (no ``terminate``) are joined and left to
-    die with the process if they ignore it.  Idempotent.
+    die with the process if they ignore it.  ``rings`` are
+    shared-memory transports (see :mod:`repro.pipeline.shm`) to
+    ``destroy()`` — the driver is the segments' owner, so unlinking
+    here is what keeps ``/dev/shm`` clean across kill/restart/degrade
+    cycles even when workers died without cleanup.  Idempotent.
     """
     procs = list(procs)
     for proc in procs:
@@ -175,3 +237,11 @@ def reap_workers(
         close = getattr(q, "close", None)
         if close is not None:
             close()
+    for ring in rings:
+        destroy = getattr(ring, "destroy", None)
+        if destroy is None:
+            continue
+        try:
+            destroy()
+        except Exception:  # pragma: no cover - teardown must not raise
+            pass

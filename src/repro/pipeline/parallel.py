@@ -82,15 +82,19 @@ from repro.core.serde import (
 from repro.pipeline import faults
 from repro.pipeline.checkpoint import CheckpointableChain
 from repro.pipeline.liveness import (
+    ControlStash,
+    PoisonedBatchError,
     WorkerCrashError,
     WorkerDeathError,
     WorkerStallError,
+    drain_put,
     queue_depths,
     reap_workers,
     worker_exits,
 )
 from repro.pipeline.metrics import PipelineMetrics
 from repro.pipeline.sharding import ShardedStagePipeline
+from repro.pipeline.shm import RING_POLL_S, ShmRing
 
 _LOG = logging.getLogger(__name__)
 
@@ -131,7 +135,25 @@ def _pack(wires: list[list]) -> tuple[str, Any]:
 
 
 def _unpack(codec: str, payload: Any) -> list[list]:
-    return marshal.loads(payload) if codec == "m" else payload
+    """Decode a wire payload; corrupt input surfaces as a quarantine.
+
+    A torn or tampered payload must never crash the consumer with a
+    bare unmarshal error — it raises :class:`PoisonedBatchError`, the
+    vocabulary every quarantine/dead-letter/rollback path already
+    speaks.
+    """
+    if codec == "m":
+        try:
+            return marshal.loads(payload)
+        except (ValueError, EOFError, TypeError) as exc:
+            raise PoisonedBatchError(
+                1, noun=f"wire codec ({exc!r}; payload unreadable)"
+            ) from exc
+    if codec == "p":
+        return payload
+    raise PoisonedBatchError(
+        1, noun=f"wire codec (unknown codec tag {codec!r})"
+    )
 
 
 #: Public names for the wire-batch codec, shared with the ingest tier
@@ -170,6 +192,31 @@ def _batch_signature(payload: Any) -> int:
     """Stable id of one wire payload (log-once / dedupe key)."""
     data = payload if isinstance(payload, bytes) else repr(payload).encode()
     return zlib.crc32(data)
+
+
+def _register_ring_gauges(
+    registry: PipelineMetrics, send_rings, recv_rings
+) -> None:
+    """Publish driver-side ring telemetry as pull-gauges.
+
+    Occupancy and wraps come from the shared segment headers (exact
+    across processes); the stall counters are the driver's own
+    endpoint-local counts.  Gauges never enter ``state_dict``, so the
+    checkpoint byte-identity contract is untouched.
+    """
+    rings = (*send_rings, *recv_rings)
+    registry.gauge_source(
+        "ring_occupancy_bytes", lambda: sum(r.occupancy() for r in rings)
+    )
+    registry.gauge_source(
+        "ring_wraps", lambda: sum(r.wraps() for r in rings)
+    )
+    registry.gauge_source(
+        "ring_send_stalls", lambda: sum(r.put_stalls for r in send_rings)
+    )
+    registry.gauge_source(
+        "ring_recv_stalls", lambda: sum(r.get_stalls for r in recv_rings)
+    )
 
 
 def _poll_interval(stall_timeout_s: float | None) -> float:
@@ -212,7 +259,13 @@ def _note_quarantine(
 # Worker loop (top-level so the forked children stay importable)
 # ----------------------------------------------------------------------
 def _tag_worker_loop(
-    worker_id: int, tagging, registry: PipelineMetrics, in_q, ret_q
+    worker_id: int,
+    tagging,
+    registry: PipelineMetrics,
+    in_q,
+    ret_q,
+    in_ring=None,
+    ret_ring=None,
 ) -> None:
     """One tagging worker: a columnar batch in, a columnar batch out.
 
@@ -222,65 +275,159 @@ def _tag_worker_loop(
     with no intermediate element objects.  The transform cost is
     metered into the stage handle — it is the true cost of running
     the stage remotely.
+
+    With the shm transport, data frames arrive on ``in_ring`` and go
+    back on ``ret_ring`` while control stays on the queues.  Control
+    can overtake data across the two channels, so every control
+    message carries the driver's sent-frame mark as its last element
+    and is honoured only after this worker has consumed that many
+    frames — the cross-channel ordering barrier.  The input frame is
+    released only after the tagging outcome is known: its ``kinds``
+    column is a borrowed view into the ring, and the quarantine path
+    needs the raw frame bytes.
     """
     handle = registry.stage(tagging.name)
     armed = faults.arm("tag", worker_id)
+
+    def run_batch(seq, batch, quarantine) -> None:
+        n = len(batch[0])
+        if armed is not None:
+            batch = armed.corrupt_batch(batch, n)
+            armed.on_elements(n)
+        began = time.perf_counter()
+        try:
+            out = tag_wire_batch(tagging.input, batch, tagging.feed)
+        except Exception:
+            # Poison batch: dead-letter it driver-side and keep the
+            # stream alive — the driver skips this seq.
+            quarantine(seq, traceback.format_exc())
+            return
+        handle.seconds += time.perf_counter() - began
+        handle.fed += n
+        handle.batches += 1
+        handle.emitted += len(out[0])
+        if ret_ring is not None:
+            ret_ring.put(("batch", seq), out)
+        else:
+            ret_q.put(("batch", seq, *_pack(out)))
+
+    def handle_control(msg) -> None:
+        if msg[0] == "ctl":
+            action = armed.on_control() if armed is not None else None
+            ack = (
+                "ack",
+                msg[1],
+                worker_id,
+                {
+                    "state": tagging.state_dict(),
+                    "metrics": _metrics_with_batches(registry),
+                },
+            )
+            if action != "drop":
+                ret_q.put(ack)
+                if action == "dup":
+                    ret_q.put(ack)
+        elif msg[0] == "load":
+            registry.reset()
+            tagging.load_state(msg[1]["state"])
+            fed, emitted, seconds = msg[1]["stage_metrics"]
+            handle.fed = fed
+            handle.emitted = emitted
+            handle.seconds = seconds
+
     try:
+        if in_ring is None:
+            while True:
+                msg = in_q.get()
+                kind = msg[0]
+                if kind == "batch":
+                    seq = msg[1]
+                    try:
+                        batch = _unpack(msg[2], msg[3])
+                    except Exception:
+                        ret_q.put(
+                            (
+                                "quar",
+                                seq,
+                                _batch_signature(msg[3]),
+                                msg[2],
+                                msg[3],
+                                traceback.format_exc(),
+                            )
+                        )
+                        continue
+                    run_batch(
+                        seq,
+                        batch,
+                        lambda s, tb, m=msg: ret_q.put(
+                            ("quar", s, _batch_signature(m[3]), m[2], m[3], tb)
+                        ),
+                    )
+                elif kind == "stop":
+                    return
+                else:
+                    handle_control(msg)
+        ring_done = 0  # frames consumed (quarantined frames included)
+        pending: deque = deque()  # (control message, sent-frame mark)
         while True:
-            msg = in_q.get()
-            kind = msg[0]
-            if kind == "batch":
-                seq, batch = msg[1], _unpack(msg[2], msg[3])
-                n = len(batch[0])
-                if armed is not None:
-                    batch = armed.corrupt_batch(batch, n)
-                    armed.on_elements(n)
-                began = time.perf_counter()
+            if pending and ring_done >= pending[0][1]:
+                handle_control(pending.popleft()[0])
+                continue
+            frame = in_ring.get()
+            if frame is not None:
+                ring_done += 1
+                seq = None
                 try:
-                    out = tag_wire_batch(tagging.input, batch, tagging.feed)
+                    seq = frame.header()[1]
+                    batch = frame.batch()
                 except Exception:
-                    # Poison batch: dead-letter it driver-side and keep
-                    # the stream alive — the driver skips this seq.
+                    if seq is None:
+                        # Header unreadable: the reorder buffer cannot
+                        # skip an unknown seq — surface as a crash.
+                        frame.release()
+                        raise
+                    raw = frame.raw()
+                    frame.release()
                     ret_q.put(
                         (
                             "quar",
                             seq,
-                            _batch_signature(msg[3]),
-                            msg[2],
-                            msg[3],
+                            _batch_signature(raw),
+                            "shm",
+                            raw,
                             traceback.format_exc(),
                         )
                     )
                     continue
-                handle.seconds += time.perf_counter() - began
-                handle.fed += n
-                handle.batches += 1
-                handle.emitted += len(out[0])
-                ret_q.put(("batch", seq, *_pack(out)))
-            elif kind == "ctl":
-                action = armed.on_control() if armed is not None else None
-                ack = (
-                    "ack",
-                    msg[1],
-                    worker_id,
-                    {
-                        "state": tagging.state_dict(),
-                        "metrics": _metrics_with_batches(registry),
-                    },
-                )
-                if action != "drop":
-                    ret_q.put(ack)
-                    if action == "dup":
-                        ret_q.put(ack)
-            elif kind == "load":
-                registry.reset()
-                tagging.load_state(msg[1]["state"])
-                fed, emitted, seconds = msg[1]["stage_metrics"]
-                handle.fed = fed
-                handle.emitted = emitted
-                handle.seconds = seconds
-            elif kind == "stop":
+
+                def quarantine(s, tb, frame=frame):
+                    raw = frame.raw()
+                    ret_q.put(
+                        ("quar", s, _batch_signature(raw), "shm", raw, tb)
+                    )
+
+                try:
+                    run_batch(seq, batch, quarantine)
+                finally:
+                    frame.release()
+                continue
+            if pending:
+                # Owed frames before the queued control applies: poll
+                # only the ring.
+                time.sleep(RING_POLL_S)
+                continue
+            try:
+                msg = in_q.get_nowait()
+            except queue_mod.Empty:
+                time.sleep(RING_POLL_S)
+                continue
+            if msg[0] == "stop":
                 return
+            mark = msg[-1]
+            if ring_done >= mark:
+                handle_control(msg[:-1])
+            else:
+                pending.append((msg[:-1], mark))
     except Exception:
         ret_q.put(
             ("err", f"tag worker {worker_id} failed:\n{traceback.format_exc()}")
@@ -318,11 +465,14 @@ class ProcessStagePipeline:
         inner,
         workers: int = 2,
         batch_size: int = DEFAULT_BATCH,
+        transport: str = "queue",
     ) -> None:
         if workers < 1:
             raise ValueError("the process runtime needs >= 1 tag worker")
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
+        if transport not in ("queue", "shm"):
+            raise ValueError("transport must be 'queue' or 'shm'")
         if not fork_available():
             raise RuntimeError(
                 "ProcessStagePipeline requires the 'fork' start method"
@@ -332,6 +482,7 @@ class ProcessStagePipeline:
         self.inner = inner
         self.workers = workers
         self.batch_size = batch_size
+        self.transport = transport
         self._ingest = inner.ingest
         # The registry the driver meters ingest into: the linear
         # wrapper exposes the shared registry as `.metrics`, the
@@ -350,6 +501,22 @@ class ProcessStagePipeline:
         ctx = multiprocessing.get_context("fork")
         self._tag_qs = [ctx.Queue(TAG_QUEUE_DEPTH) for _ in range(workers)]
         self._ret_q = ctx.Queue()
+        # Rings exist BEFORE the fork: the children inherit the mapped
+        # segments (nothing is pickled) and the driver owns — and on
+        # close unlinks — every one of them.
+        shm_mode = transport == "shm"
+        self._in_rings = [ShmRing() for _ in range(workers)] if shm_mode else []
+        self._ret_rings = (
+            [ShmRing() for _ in range(workers)] if shm_mode else []
+        )
+        #: frames shipped per worker — the mark each control message
+        #: carries so queue control cannot overtake ring data.
+        self._sent = [0] * workers
+        #: driver-side fault seam for the ring publishes (kill/stall
+        #: specs never fire here — only note_elements + ring_fault).
+        self._send_faults = (
+            faults.arm("tag", -1, forked=False) if shm_mode else None
+        )
         self._procs = [
             ctx.Process(
                 target=_tag_worker_loop,
@@ -359,6 +526,8 @@ class ProcessStagePipeline:
                     self._registry,
                     self._tag_qs[wid],
                     self._ret_q,
+                    self._in_rings[wid] if shm_mode else None,
+                    self._ret_rings[wid] if shm_mode else None,
                 ),
                 daemon=True,
                 name=f"kepler-tag-{wid}",
@@ -367,13 +536,22 @@ class ProcessStagePipeline:
         ]
         for proc in self._procs:
             proc.start()
+        # Registered post-fork so the worker registries stay free of
+        # driver-side ring gauges.
+        if shm_mode:
+            _register_ring_gauges(
+                self._registry, self._in_rings, self._ret_rings
+            )
         # Post-fork: the workers own the tagging stage; the driver's
         # copy (and its tagging metrics entry) stay zero and are
         # replaced by the worker sum at every barrier.
         self._buffer: list[list] = []
         self._ship_seq = 0
         self._next_seq = 0
-        self._stash: dict[int, tuple[str, Any]] = {}
+        self._stash: dict[int, tuple[str, Any] | None] = {}
+        #: control acks drained mid-pump, collected by sync() — a pump
+        #: inside a full-queue retry must stash them, never drop them.
+        self._ctl = ControlStash()
         self._bid = 0
         self._outputs: list[Any] = []
         self._closed = False
@@ -479,6 +657,24 @@ class ProcessStagePipeline:
         self._post_batch(batch)
 
     def _post_batch(self, batch: tuple) -> None:
+        if self._in_rings:
+            seq = self._ship_seq
+            self._ship_seq += 1
+            fault = None
+            if self._send_faults is not None:
+                self._send_faults.note_elements(len(batch[0]))
+                fault = self._send_faults.ring_fault()
+            wid = self._least_loaded_worker()
+            ring = self._in_rings[wid]
+            while not ring.try_put(("batch", seq), batch, fault=fault):
+                # Backpressure by cursor distance: make room by
+                # consuming the return path (the workers free input
+                # bytes as they release processed frames).
+                ring.put_stalls += 1
+                self._pump(block=True)
+            self._sent[wid] += 1
+            self._pump()
+            return
         message = ("batch", self._ship_seq, *_pack(batch))
         self._ship_seq += 1
         target = self._least_loaded_queue()
@@ -498,6 +694,15 @@ class ProcessStagePipeline:
         # the next barrier.
         self._pump()
 
+    def _least_loaded_worker(self) -> int:
+        """Ring flavour of :meth:`_least_loaded_queue`: deal by bytes."""
+        if self.workers == 1:
+            return 0
+        return min(
+            range(self.workers),
+            key=lambda wid: self._in_rings[wid].occupancy(),
+        )
+
     def _least_loaded_queue(self):
         """Deal the next batch to the emptiest worker queue.
 
@@ -515,12 +720,16 @@ class ProcessStagePipeline:
         except NotImplementedError:
             return self._tag_qs[(self._ship_seq - 1) % self.workers]
 
-    def _pump(self, block: bool = False) -> list:
-        """Drain the return queue; feed ready batches in seq order.
+    def _pump(self, block: bool = False) -> None:
+        """Drain the return path; feed ready batches in seq order.
 
-        Returns any barrier acks picked up along the way.
+        Barrier acks are stashed on ``self._ctl`` (a pump may run
+        inside a full-queue send retry, where dropping them would hang
+        the barrier) and collected by :meth:`sync`.
         """
-        acks = []
+        if self._ret_rings:
+            self._pump_shm(block)
+            return
         while True:
             try:
                 msg = (
@@ -534,7 +743,7 @@ class ProcessStagePipeline:
                 if block:
                     self._blocked_tick()
                     continue
-                return acks
+                return
             self._idle_since = None
             kind = msg[0]
             if kind == "batch":
@@ -550,7 +759,7 @@ class ProcessStagePipeline:
                 self._drain_stash()
                 block = False
             elif kind == "ack":
-                acks.append(msg)
+                self._ctl.stash(msg)
                 block = False
             elif kind == "err":
                 detail = msg[1]
@@ -558,14 +767,71 @@ class ProcessStagePipeline:
                 raise WorkerCrashError(
                     f"pipeline worker failed:\n{detail}"
                 )
-        return acks
+
+    def _pump_shm(self, block: bool) -> None:
+        """Ring flavour of the pump: return rings carry the batches.
+
+        The driver decodes eagerly and *copies* the kinds column
+        (``copy_kinds=True``): the reorder stash may hold the batch
+        across many frames, while the ring slot must be released now.
+        Control traffic (quar/ack/err) still arrives on the return
+        queue.
+        """
+        idle_spins = 0
+        while True:
+            progress = False
+            for ring in self._ret_rings:
+                frame = ring.get()
+                while frame is not None:
+                    progress = True
+                    seq = frame.header()[1]
+                    batch = frame.batch(copy_kinds=True)
+                    frame.release()
+                    self._stash[seq] = ("=", batch)
+                    self._drain_stash()
+                    frame = ring.get()
+            while True:
+                try:
+                    msg = self._ret_q.get_nowait()
+                except queue_mod.Empty:
+                    break
+                progress = True
+                kind = msg[0]
+                if kind == "quar":
+                    _, seq, signature, codec, payload, detail = msg
+                    _note_quarantine(self, signature, codec, payload, detail)
+                    self._stash[seq] = None
+                    self._drain_stash()
+                elif kind == "ack":
+                    self._ctl.stash(msg)
+                elif kind == "err":
+                    detail = msg[1]
+                    self.close()
+                    raise WorkerCrashError(
+                        f"pipeline worker failed:\n{detail}"
+                    )
+            if progress:
+                self._idle_since = None
+                return
+            if not block:
+                return
+            idle_spins += 1
+            if idle_spins % 25 == 0:
+                for ring in self._ret_rings:
+                    ring.get_stalls += 1
+                self._blocked_tick()
+            time.sleep(RING_POLL_S)
 
     def _drain_stash(self) -> None:
         """Feed reorder-buffer entries that are next in stream order."""
         while self._next_seq in self._stash:
             entry = self._stash.pop(self._next_seq)
             if entry is not None:  # None = quarantined slot
-                self._feed_tagged(_unpack(*entry))
+                codec, payload = entry
+                # "=" marks an already-decoded ring batch.
+                self._feed_tagged(
+                    payload if codec == "=" else _unpack(codec, payload)
+                )
             self._next_seq += 1
 
     def _blocked_tick(self) -> None:
@@ -589,7 +855,12 @@ class ProcessStagePipeline:
     def _queue_depth_sample(self) -> dict[str, int]:
         named = {f"tag[{i}]": q for i, q in enumerate(self._tag_qs)}
         named["ret"] = self._ret_q
-        return queue_depths(named)
+        sample = queue_depths(named)
+        for i, ring in enumerate(self._in_rings):
+            sample[f"ring_in[{i}]"] = ring.occupancy()
+        for i, ring in enumerate(self._ret_rings):
+            sample[f"ring_ret[{i}]"] = ring.occupancy()
+        return sample
 
     def _feed_tagged(self, batch: tuple) -> None:
         # The tagged batch arrives columnar from the tag workers; the
@@ -678,35 +949,38 @@ class ProcessStagePipeline:
         self._ship()
         self._bid += 1
         bid = self._bid
-        for tag_q in self._tag_qs:
-            self._put_checked(tag_q, ("ctl", bid))
+        for wid, tag_q in enumerate(self._tag_qs):
+            message = (
+                ("ctl", bid, self._sent[wid])
+                if self._in_rings
+                else ("ctl", bid)
+            )
+            self._put_checked(tag_q, message)
         # Keyed by wid: a duplicated control ack (see the fault module)
         # must not satisfy the barrier in place of a missing worker.
         acks: dict[int, Any] = {}
-        while len(acks) < self.workers or self._next_seq < self._ship_seq:
-            for ack in self._pump(block=True):
+        while True:
+            for ack in self._ctl.pop("ack"):
                 if ack[1] == bid:
                     acks[ack[2]] = ack
+            if len(acks) >= self.workers and self._next_seq >= self._ship_seq:
+                break
+            self._pump(block=True)
         return [acks[wid][3] for wid in sorted(acks)]
 
     def _put_checked(self, tag_q, message) -> None:
-        """Blocking put that still notices a dead or hung worker.
+        """Bounded control put that keeps pumping the return path.
 
         A control token must not block forever on the full queue of a
-        worker that died — poll with a timeout and check liveness, as
-        the pump path does.  A put that keeps failing for the stall
-        deadline means the worker stopped consuming: that is the same
-        no-progress signal a blocked pump sees.
+        worker that died or hung — :func:`drain_put` retries the put
+        while the pump drains returned batches (freeing the worker)
+        and its blocked waits feed the liveness/stall detector.
         """
-        while True:
-            try:
-                tag_q.put(
-                    message, timeout=_poll_interval(self.stall_timeout_s)
-                )
-                self._idle_since = None
-                return
-            except queue_mod.Full:
-                self._blocked_tick()
+        drain_put(tag_q, message, self._pump_blocked)
+        self._idle_since = None
+
+    def _pump_blocked(self) -> None:
+        self._pump(block=True)
 
     def _check_alive(self) -> None:
         dead = worker_exits(self._procs)
@@ -818,20 +1092,18 @@ class ProcessStagePipeline:
         handle.emitted = 0
         handle.seconds = 0.0
         for wid, tag_q in enumerate(self._tag_qs):
-            self._put_checked(
-                tag_q,
-                (
-                    "load",
-                    {
-                        "state": tagging_state
-                        if wid == 0
-                        else dict(_ZERO_TAGGING_STATE),
-                        "stage_metrics": stage_metrics
-                        if wid == 0
-                        else (0, 0, 0.0),
-                    },
-                ),
+            payload = {
+                "state": tagging_state
+                if wid == 0
+                else dict(_ZERO_TAGGING_STATE),
+                "stage_metrics": stage_metrics if wid == 0 else (0, 0, 0.0),
+            }
+            message = (
+                ("load", payload, self._sent[wid])
+                if self._in_rings
+                else ("load", payload)
             )
+            self._put_checked(tag_q, message)
         # A barrier both orders the loads before any later batch and
         # confirms the workers applied them.
         self.sync()
@@ -852,12 +1124,14 @@ class ProcessStagePipeline:
             self._procs,
             (*self._tag_qs, self._ret_q),
             deadline_s=self.teardown_deadline_s,
+            rings=(*self._in_rings, *self._ret_rings),
         )
 
     def __repr__(self) -> str:
         return (
             f"ProcessStagePipeline({self.inner.pipeline!r},"
-            f" tag_workers={self.workers}, batch={self.batch_size})"
+            f" tag_workers={self.workers}, batch={self.batch_size},"
+            f" transport={self.transport!r})"
         )
 
 
@@ -931,10 +1205,16 @@ def build_process_kepler_pipeline(
     inner,
     workers: int = 2,
     batch_size: int = DEFAULT_BATCH,
+    transport: str = "queue",
 ) -> ProcessKeplerPipeline:
     """Fork the multiprocess runtime around an in-process chain wrapper."""
     return ProcessKeplerPipeline(
-        ProcessStagePipeline(inner, workers=workers, batch_size=batch_size)
+        ProcessStagePipeline(
+            inner,
+            workers=workers,
+            batch_size=batch_size,
+            transport=transport,
+        )
     )
 
 
@@ -1106,8 +1386,18 @@ class _ShardWorkerChain:
         self.correlation_window_s = correlation_window_s
 
 
-def _shard_worker_loop(chain: _ShardWorkerChain, in_q, sync_q, ret_q) -> None:
-    """One shard worker: stream stages over the broadcast element stream."""
+def _shard_worker_loop(
+    chain: _ShardWorkerChain, in_q, sync_q, ret_q, in_ring=None
+) -> None:
+    """One shard worker: stream stages over the broadcast element stream.
+
+    With the shm transport the broadcast batches arrive on this
+    worker's ``in_ring`` replica; every return hop (bin rounds, acks,
+    quarantines) stays on the queues.  Control messages then carry the
+    driver's sent-frame mark as their last element and are honoured
+    only once this worker has consumed that many frames (see
+    :func:`_tag_worker_loop`).
+    """
     from repro.pipeline.events import BinAdvanced, SignalBatch
 
     wid = chain.wid
@@ -1225,107 +1515,191 @@ def _shard_worker_loop(chain: _ShardWorkerChain, in_q, sync_q, ret_q) -> None:
     wire_lane = _runtime_cls.use_wire_lane
     armed = faults.arm("shard", wid)
 
+    def tag_batch(batch, quarantine):
+        """Corrupt/meter/tag one broadcast batch; None on quarantine."""
+        n = len(batch[0])
+        if armed is not None:
+            batch = armed.corrupt_batch(batch, n)
+            armed.on_elements(n)
+        began = time.perf_counter()
+        try:
+            tagged = tag_wire_batch(
+                chain.tagging.input, batch, chain.tagging.feed
+            )
+        except Exception:
+            # Poison batch: every replica skips the same broadcast
+            # batch (the driver dedupes the count by signature), so
+            # the record replicas stay consistent.
+            quarantine(traceback.format_exc())
+            return None
+        tag_handle.seconds += time.perf_counter() - began
+        tag_handle.fed += n
+        tag_handle.batches += 1
+        tag_handle.emitted += len(tagged[0])
+        return tagged
+
+    def consume_tagged(tagged) -> None:
+        view = None
+        if wire_lane:
+            began = time.perf_counter()
+            view = chain.monitoring.prepare_wire(tagged)
+            mon_handle.seconds += time.perf_counter() - began
+        if view is None:
+            for element in decode_batch(tagged):
+                feed_tagged(element)
+        else:
+            feed_tagged_view(view)
+
+    def handle_control(msg) -> None:
+        nonlocal round_id
+        kind = msg[0]
+        if kind == "flush":
+            began = time.perf_counter()
+            flushed = chain.monitoring.flush()
+            mon_handle.seconds += time.perf_counter() - began
+            mon_handle.emitted += len(flushed)
+            signals = flushed[0].signals if flushed else []
+            sync_round(signals, None)
+            ret_q.put(("fdone", wid, msg[1]))
+        elif kind == "finalize":
+            records = chain.record.finalize(msg[2])
+            ret_q.put(("final", wid, msg[1], records))
+        elif kind == "ctl":
+            # A bare barrier ack (sections=None) proves quiescence;
+            # state ships only section by section as the driver
+            # asked — serialising every worker's monitor baseline
+            # on every drain would make routine reads (a primed
+            # counter, the signal log) scale with detector state.
+            sections = msg[2]
+            info = None
+            if sections is not None:
+                info = {}
+                for section in sections:
+                    if section == "tagging":
+                        info[section] = chain.tagging.state_dict()
+                    elif section == "monitoring":
+                        info[section] = chain.monitoring.state_dict()
+                    elif section == "record":
+                        info[section] = chain.record.state_dict()
+                    elif section == "metrics":
+                        info[section] = _metrics_with_batches(
+                            chain.registry
+                        )
+                    elif section == "primed":
+                        info[section] = chain.monitoring.primed
+            action = armed.on_control() if armed is not None else None
+            ack = ("ack", msg[1], wid, info)
+            if action != "drop":
+                ret_q.put(ack)
+                if action == "dup":
+                    ret_q.put(ack)
+        elif kind == "load":
+            from repro.core.serde import signal_from_json
+
+            doc = msg[1]
+            round_id = 0
+            chain.registry.reset()
+            if doc["metrics"] is not None:
+                chain.registry.load_state(doc["metrics"])
+            chain.tagging.load_state(doc["tagging"])
+            chain.monitoring.load_state(doc["monitoring"])
+            own_window[:] = [
+                signal_from_json(s) for s in doc["window"]
+            ]
+            chain.record.load_state(doc["record"])
+
     try:
-        while True:
-            msg = in_q.get()
-            kind = msg[0]
-            if kind == "batch":
-                batch = _unpack(msg[1], msg[2])
-                n = len(batch[0])
-                if armed is not None:
-                    batch = armed.corrupt_batch(batch, n)
-                    armed.on_elements(n)
-                began = time.perf_counter()
-                try:
-                    tagged = tag_wire_batch(
-                        chain.tagging.input, batch, chain.tagging.feed
+        if in_ring is None:
+            while True:
+                msg = in_q.get()
+                kind = msg[0]
+                if kind == "batch":
+                    try:
+                        batch = _unpack(msg[1], msg[2])
+                    except Exception:
+                        ret_q.put(
+                            (
+                                "quar",
+                                wid,
+                                _batch_signature(msg[2]),
+                                msg[1],
+                                msg[2],
+                                traceback.format_exc(),
+                            )
+                        )
+                        continue
+                    tagged = tag_batch(
+                        batch,
+                        lambda tb, m=msg: ret_q.put(
+                            ("quar", wid, _batch_signature(m[2]), m[1], m[2], tb)
+                        ),
                     )
+                    if tagged is not None:
+                        consume_tagged(tagged)
+                elif kind == "stop":
+                    return
+                else:
+                    handle_control(msg)
+        ring_done = 0  # frames consumed (quarantined frames included)
+        pending: deque = deque()  # (control message, sent-frame mark)
+        while True:
+            if pending and ring_done >= pending[0][1]:
+                handle_control(pending.popleft()[0])
+                continue
+            frame = in_ring.get()
+            if frame is not None:
+                ring_done += 1
+                try:
+                    batch = frame.batch()
                 except Exception:
-                    # Poison batch: every replica skips the same
-                    # broadcast batch (the driver dedupes the count by
-                    # signature), so the record replicas stay
-                    # consistent.
+                    raw = frame.raw()
+                    frame.release()
                     ret_q.put(
                         (
                             "quar",
                             wid,
-                            _batch_signature(msg[2]),
-                            msg[1],
-                            msg[2],
+                            _batch_signature(raw),
+                            "shm",
+                            raw,
                             traceback.format_exc(),
                         )
                     )
                     continue
-                tag_handle.seconds += time.perf_counter() - began
-                tag_handle.fed += n
-                tag_handle.batches += 1
-                tag_handle.emitted += len(tagged[0])
-                view = None
-                if wire_lane:
-                    began = time.perf_counter()
-                    view = chain.monitoring.prepare_wire(tagged)
-                    mon_handle.seconds += time.perf_counter() - began
-                if view is None:
-                    for element in decode_batch(tagged):
-                        feed_tagged(element)
-                else:
-                    feed_tagged_view(view)
-            elif kind == "flush":
-                began = time.perf_counter()
-                flushed = chain.monitoring.flush()
-                mon_handle.seconds += time.perf_counter() - began
-                mon_handle.emitted += len(flushed)
-                signals = flushed[0].signals if flushed else []
-                sync_round(signals, None)
-                ret_q.put(("fdone", wid, msg[1]))
-            elif kind == "finalize":
-                records = chain.record.finalize(msg[2])
-                ret_q.put(("final", wid, msg[1], records))
-            elif kind == "ctl":
-                # A bare barrier ack (sections=None) proves quiescence;
-                # state ships only section by section as the driver
-                # asked — serialising every worker's monitor baseline
-                # on every drain would make routine reads (a primed
-                # counter, the signal log) scale with detector state.
-                sections = msg[2]
-                info = None
-                if sections is not None:
-                    info = {}
-                    for section in sections:
-                        if section == "tagging":
-                            info[section] = chain.tagging.state_dict()
-                        elif section == "monitoring":
-                            info[section] = chain.monitoring.state_dict()
-                        elif section == "record":
-                            info[section] = chain.record.state_dict()
-                        elif section == "metrics":
-                            info[section] = _metrics_with_batches(
-                                chain.registry
-                            )
-                        elif section == "primed":
-                            info[section] = chain.monitoring.primed
-                action = armed.on_control() if armed is not None else None
-                ack = ("ack", msg[1], wid, info)
-                if action != "drop":
-                    ret_q.put(ack)
-                    if action == "dup":
-                        ret_q.put(ack)
-            elif kind == "load":
-                from repro.core.serde import signal_from_json
 
-                doc = msg[1]
-                round_id = 0
-                chain.registry.reset()
-                if doc["metrics"] is not None:
-                    chain.registry.load_state(doc["metrics"])
-                chain.tagging.load_state(doc["tagging"])
-                chain.monitoring.load_state(doc["monitoring"])
-                own_window[:] = [
-                    signal_from_json(s) for s in doc["window"]
-                ]
-                chain.record.load_state(doc["record"])
-            elif kind == "stop":
+                def quarantine(tb, frame=frame):
+                    raw = frame.raw()
+                    ret_q.put(
+                        ("quar", wid, _batch_signature(raw), "shm", raw, tb)
+                    )
+
+                try:
+                    # The frame is held through tagging only: the
+                    # borrowed kinds view feeds tag_wire_batch, and the
+                    # quarantine path needs the raw frame bytes.  The
+                    # sync rounds below run on fresh tagged columns.
+                    tagged = tag_batch(batch, quarantine)
+                finally:
+                    frame.release()
+                if tagged is not None:
+                    consume_tagged(tagged)
+                continue
+            if pending:
+                # Owed frames before the queued control applies: poll
+                # only the ring.
+                time.sleep(RING_POLL_S)
+                continue
+            try:
+                msg = in_q.get_nowait()
+            except queue_mod.Empty:
+                time.sleep(RING_POLL_S)
+                continue
+            if msg[0] == "stop":
                 return
+            mark = msg[-1]
+            if ring_done >= mark:
+                handle_control(msg[:-1])
+            else:
+                pending.append((msg[:-1], mark))
     except Exception:
         ret_q.put(
             (
@@ -1366,11 +1740,14 @@ class ShardProcessPipeline:
         baselines: _ShippedBaselines,
         rejected: list,
         batch_size: int = DEFAULT_BATCH,
+        transport: str = "queue",
     ) -> None:
         if len(chains) < 2:
             raise ValueError("the shard-process runtime needs >= 2 workers")
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
+        if transport not in ("queue", "shm"):
+            raise ValueError("transport must be 'queue' or 'shm'")
         if not fork_available():
             raise RuntimeError(
                 "ShardProcessPipeline requires the 'fork' start method"
@@ -1380,6 +1757,7 @@ class ShardProcessPipeline:
         self.chains = chains
         self.workers = len(chains)
         self.batch_size = batch_size
+        self.transport = transport
         self._ingest = ingest
         self._registry = registry
         self._ingest_handle = registry.stage(ingest.name)
@@ -1397,10 +1775,28 @@ class ShardProcessPipeline:
         self._in_qs = [ctx.Queue(TAG_QUEUE_DEPTH) for _ in chains]
         self._sync_qs = [ctx.Queue() for _ in chains]
         self._ret_q = ctx.Queue()
+        # Broadcast input rings, one replica per worker, created
+        # pre-fork (inherited mappings, driver-owned segments).  All
+        # return traffic stays on the queues — the bin rounds are
+        # control plane.
+        shm_mode = transport == "shm"
+        self._in_rings = [ShmRing() for _ in chains] if shm_mode else []
+        #: broadcast frames shipped — the shared mark control messages
+        #: carry so they cannot overtake ring data.
+        self._sent = 0
+        self._send_faults = (
+            faults.arm("shard", -1, forked=False) if shm_mode else None
+        )
         self._procs = [
             ctx.Process(
                 target=_shard_worker_loop,
-                args=(chain, self._in_qs[w], self._sync_qs[w], self._ret_q),
+                args=(
+                    chain,
+                    self._in_qs[w],
+                    self._sync_qs[w],
+                    self._ret_q,
+                    self._in_rings[w] if shm_mode else None,
+                ),
                 daemon=True,
                 name=f"kepler-shard-{w}",
             )
@@ -1408,6 +1804,8 @@ class ShardProcessPipeline:
         ]
         for proc in self._procs:
             proc.start()
+        if shm_mode:
+            _register_ring_gauges(registry, self._in_rings, ())
         self._buffer: list[list] = []
         self._bid = 0
         self._fid = 0
@@ -1415,7 +1813,7 @@ class ShardProcessPipeline:
         #: A stash, not a return value: _put_checked pumps while
         #: retrying a full queue, and a control message consumed there
         #: must still reach the barrier loop that is waiting for it.
-        self._ctl: list = []
+        self._ctl = ControlStash()
         #: per-round phase state, keyed by round id (lockstep workers
         #: mean at most one round is mid-phase; trailing "rdone"
         #: collection may briefly keep a second entry alive).
@@ -1505,9 +1903,7 @@ class ShardProcessPipeline:
         driver.
         """
         self._ship()
-        message = ("batch", *_pack(batch))
-        for in_q in self._in_qs:
-            self._put_checked(in_q, message)
+        self._broadcast_batch(batch)
         self._pump()
         return []
 
@@ -1520,8 +1916,9 @@ class ShardProcessPipeline:
         self._ship()
         self._fid += 1
         fid = self._fid
+        message = self._control_message("flush", fid)
         for in_q in self._in_qs:
-            self._put_checked(in_q, ("flush", fid))
+            self._put_checked(in_q, message)
         # A wid set, not a counter: duplicated round-trip messages must
         # not satisfy the barrier in place of a missing worker.
         done: set[int] = set()
@@ -1540,29 +1937,54 @@ class ShardProcessPipeline:
     def _ship(self) -> None:
         if not self._buffer:
             return
-        message = ("batch", *_pack(encode_batch(self._buffer)))
+        batch = encode_batch(self._buffer)
         self._buffer = []
+        self._broadcast_batch(batch)
+        self._pump()
+
+    def _broadcast_batch(self, batch: tuple) -> None:
+        """Replicate one columnar batch to every worker (ring or queue).
+
+        One ring-fault decision covers the whole broadcast round, so a
+        torn or stale frame hits every replica identically and the
+        record replicas stay consistent (the quarantine count dedupes
+        by signature; a stale round stalls every worker's mark).
+        """
+        if self._in_rings:
+            fault = None
+            if self._send_faults is not None:
+                self._send_faults.note_elements(len(batch[0]))
+                fault = self._send_faults.ring_fault()
+            for ring in self._in_rings:
+                while not ring.try_put(("batch",), batch, fault=fault):
+                    ring.put_stalls += 1
+                    self._pump(block=True, timeout=0.05)
+                    self._blocked_tick()
+            self._sent += 1
+            return
+        message = ("batch", *_pack(batch))
         for in_q in self._in_qs:
             self._put_checked(in_q, message)
-        self._pump()
+
+    def _control_message(self, *parts) -> tuple:
+        """Append the sent-frame mark in shm mode (ordering barrier)."""
+        return (*parts, self._sent) if self._in_rings else parts
 
     def _put_checked(self, in_q, message) -> None:
         """Put that keeps serving round traffic while a queue is full.
 
         A worker with a full queue may be parked inside a sync-round
         phase or a probe read, waiting on the *driver* — so the wait
-        here blocks on the return queue (where service requests
-        arrive, waking immediately), never on the input queue, and
-        retries the put after each service pass.
+        here (:func:`drain_put`) blocks on the return queue (where
+        service requests arrive, waking immediately), never on the
+        input queue, and retries the put after each service pass.
         """
-        while True:
-            try:
-                in_q.put_nowait(message)
-                self._idle_since = None
-                return
-            except queue_mod.Full:
-                self._pump(block=True, timeout=0.05)
-                self._blocked_tick()
+        drain_put(in_q, message, self._pump_blocked)
+        self._idle_since = None
+
+    def _pump_blocked(self) -> None:
+        self._pump(block=True, timeout=0.05)
+        self._blocked_tick()
 
     def _check_alive(self) -> None:
         dead = worker_exits(self._procs)
@@ -1597,7 +2019,10 @@ class ShardProcessPipeline:
         for i, q in enumerate(self._sync_qs):
             named[f"sync[{i}]"] = q
         named["ret"] = self._ret_q
-        return queue_depths(named)
+        sample = queue_depths(named)
+        for i, ring in enumerate(self._in_rings):
+            sample[f"ring_in[{i}]"] = ring.occupancy()
+        return sample
 
     def _round(self, rid: int) -> dict:
         state = self._rounds.get(rid)
@@ -1618,10 +2043,7 @@ class ShardProcessPipeline:
 
     def _pop_ctl(self, kind: str) -> list:
         """Remove and return stashed control messages of one kind."""
-        matched = [msg for msg in self._ctl if msg[0] == kind]
-        if matched:
-            self._ctl = [msg for msg in self._ctl if msg[0] != kind]
-        return matched
+        return self._ctl.pop(kind)
 
     def _pump(
         self, block: bool = False, timeout: float | None = None
@@ -1694,7 +2116,7 @@ class ShardProcessPipeline:
                     f"pipeline worker failed:\n{detail}"
                 )
             else:
-                self._ctl.append(msg)
+                self._ctl.stash(msg)
 
     def _finish_round(self, state: dict) -> None:
         """All partials in: run the driver analysis, broadcast once.
@@ -1773,8 +2195,9 @@ class ShardProcessPipeline:
         self._ship()
         self._bid += 1
         bid = self._bid
+        message = self._control_message("ctl", bid, sections)
         for in_q in self._in_qs:
-            self._put_checked(in_q, ("ctl", bid, sections))
+            self._put_checked(in_q, message)
         # Keyed by wid: a duplicated ack must not stand in for a
         # missing worker's.
         acks: dict[int, Any] = {}
@@ -1799,8 +2222,9 @@ class ShardProcessPipeline:
         self._ship()
         self._fid += 1
         fid = self._fid
+        message = self._control_message("finalize", fid, end_time)
         for in_q in self._in_qs:
-            self._put_checked(in_q, ("finalize", fid, end_time))
+            self._put_checked(in_q, message)
         finals: dict[int, list] = {}
         while True:
             for msg in self._pop_ctl("final"):
@@ -1952,7 +2376,7 @@ class ShardProcessPipeline:
             ]
             self._put_checked(
                 in_q,
-                (
+                self._control_message(
                     "load",
                     {
                         "tagging": stages["tagging"],
@@ -1982,12 +2406,13 @@ class ShardProcessPipeline:
             self._procs,
             (*self._in_qs, *self._sync_qs, self._ret_q),
             deadline_s=self.teardown_deadline_s,
+            rings=self._in_rings,
         )
 
     def __repr__(self) -> str:
         return (
             f"ShardProcessPipeline(workers={self.workers},"
-            f" batch={self.batch_size})"
+            f" batch={self.batch_size}, transport={self.transport!r})"
         )
 
 
@@ -2094,6 +2519,7 @@ def build_shard_process_kepler_pipeline(
     metrics: PipelineMetrics | None = None,
     workers: int = 2,
     batch_size: int = DEFAULT_BATCH,
+    transport: str = "queue",
 ) -> ShardProcessKeplerPipeline:
     """Wire and fork the end-to-end shard-process runtime.
 
@@ -2173,5 +2599,6 @@ def build_shard_process_kepler_pipeline(
         baselines=baselines,
         rejected=rejected,
         batch_size=batch_size,
+        transport=transport,
     )
     return ShardProcessKeplerPipeline(runtime)

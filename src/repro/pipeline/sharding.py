@@ -57,7 +57,7 @@ from repro.pipeline.localisation import LocalisationStage, common_city
 from repro.pipeline.metrics import PipelineMetrics
 from repro.pipeline.monitoring import BinningMonitorStage
 from repro.pipeline.record import RecordStage
-from repro.pipeline.runtime import StagePipeline
+from repro.pipeline.runtime import FEED_CHUNK, StagePipeline
 from repro.pipeline.stage import PassthroughStage, Stage
 from repro.pipeline.tagging import TaggingStage
 from repro.pipeline.validation import ValidationCache, ValidationStage
@@ -634,6 +634,7 @@ def build_sharded_kepler_pipeline(
     metrics: PipelineMetrics | None = None,
     shards: int = 2,
     workers: int = 0,
+    chunk_size: int = FEED_CHUNK,
 ) -> ShardedKeplerPipeline:
     """Wire the sharded Kepler chain: shared upstream, N shard chains."""
     metrics = metrics or PipelineMetrics()
@@ -645,7 +646,9 @@ def build_sharded_kepler_pipeline(
     monitoring = BinningMonitorStage(monitor, metrics=metrics)
     router = ShardRouter(shards)
     upstream = StagePipeline(
-        [ingest, tagging, monitoring, router], metrics=metrics
+        [ingest, tagging, monitoring, router],
+        metrics=metrics,
+        chunk_size=chunk_size,
     )
     chains: list[ShardChain] = []
     for index in range(shards):
