@@ -59,7 +59,13 @@ the repository root:
   (``gate_enforced`` false on smaller machines, where the speedup is
   still recorded).  The source-driven mode (``process_feeds``, forked
   feed workers encoding for the wire-sink runtimes) is recorded
-  informationally.
+  informationally;
+* **telemetry** — the live telemetry plane's end-to-end cost: the
+  world-scale linear workload with histograms/trace recording on
+  against ``telemetry.set_enabled(False)`` (< 5% overhead gate), plus
+  the same stream through ``shard_processes=2`` with a thread polling
+  ``metrics_live()`` throughout — output byte-identical in both
+  comparisons, live samples verified to carry per-stage histograms.
 
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_pipeline_throughput.py -q
   or: PYTHONPATH=src python benchmarks/bench_pipeline_throughput.py
@@ -70,6 +76,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import statistics
 import time
 
 from repro.bgp.communities import Community
@@ -1193,6 +1200,149 @@ def run_ingest_tier() -> dict:
 
 
 # ----------------------------------------------------------------------
+# Telemetry overhead: histograms + trace + live sampling vs disabled
+# ----------------------------------------------------------------------
+TEL_ELEMENTS = 60_000
+#: Interleaved off/on pairs, compared by median: the true telemetry
+#: cost (~1-2%, one ``LogHistogram.record`` per *batch*) is smaller
+#: than single-run timer noise on a shared core.  Alternating the
+#: sides exposes both to the same machine conditions, and the median
+#: is robust where best-of-N just races two noisy minima.
+TEL_TIMING_RUNS = 5
+TEL_OVERHEAD_GATE = 0.05  # telemetry must cost < 5% end to end
+TEL_POLL_S = 0.02
+TEL_MIN_CORES = 2  # the sampled run needs a core for the poller
+
+
+def run_telemetry() -> dict:
+    """End-to-end cost of the live telemetry plane, and its safety.
+
+    Two gated measurements on the world-scale linear workload:
+    telemetry on (histograms recorded per batch, trace spans per bin)
+    against ``telemetry.set_enabled(False)`` — the overhead must stay
+    under :data:`TEL_OVERHEAD_GATE`, median of interleaved runs.  Then the
+    same stream through ``shard_processes=2`` with a thread polling
+    ``metrics_live()`` throughout (live frames on every exchange):
+    output must be byte-identical to the linear telemetry-on run, and
+    the samples must actually carry live histograms — observation
+    without perturbation, priced.
+    """
+    import threading
+
+    from repro import telemetry
+    from repro.pipeline import fork_available
+
+    cores = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else (os.cpu_count() or 1)
+    )
+    world = build_world(seed=1)
+    elements = synthesize_stream(world, TEL_ELEMENTS)
+    priming = world.rib_snapshot(0.0)
+    elements.extend(_baseline_churn(priming, TEL_ELEMENTS))
+    elements.sort(key=lambda e: e.sort_key())
+
+    def one_run(enabled: bool, params: KeplerParams, poll: bool):
+        import gc
+
+        telemetry.set_enabled(enabled)
+        try:
+            gc.collect()
+            kepler = world.make_kepler(
+                params=params, validator=PureValidator()
+            )
+            kepler.prime(priming)
+            stop = threading.Event()
+            samples: list[dict] = []
+
+            def poller() -> None:
+                while not stop.is_set():
+                    samples.append(kepler.metrics_live())
+                    time.sleep(TEL_POLL_S)
+
+            thread = (
+                threading.Thread(target=poller, daemon=True)
+                if poll
+                else None
+            )
+            began = time.perf_counter()
+            if thread:
+                thread.start()
+            kepler.process(elements)
+            kepler.finalize(end_time=elements[-1].time + 3600.0)
+            elapsed = time.perf_counter() - began
+            stop.set()
+            if thread:
+                thread.join(timeout=5)
+            observed = _process_observed(kepler)
+            hist_names = {
+                name for snap in samples for name in snap.get("hists", {})
+            }
+            kepler.close()
+            return elapsed, observed, len(samples), hist_names
+        finally:
+            telemetry.set_enabled(True)
+
+    linear = KeplerParams()
+    off_times: list[float] = []
+    on_times: list[float] = []
+    off_out = on_out = None
+    for _ in range(TEL_TIMING_RUNS):
+        elapsed, out, _, _ = one_run(False, linear, poll=False)
+        off_times.append(elapsed)
+        off_out = out if off_out is None else off_out
+        elapsed, out, _, _ = one_run(True, linear, poll=False)
+        on_times.append(elapsed)
+        on_out = out if on_out is None else on_out
+    assert on_out == off_out, (
+        "telemetry recording changed the detector's output"
+    )
+    off_s = statistics.median(off_times)
+    on_s = statistics.median(on_times)
+    overhead = on_s / off_s - 1.0
+
+    report = {
+        "elements": len(elements),
+        "timing_runs": TEL_TIMING_RUNS,
+        "output_identical": True,
+        "telemetry_off_seconds": round(off_s, 3),
+        "telemetry_on_seconds": round(on_s, 3),
+        "overhead": round(overhead, 4),
+        "overhead_gate": TEL_OVERHEAD_GATE,
+        "cores": cores,
+        "gate_enforced": cores >= TEL_MIN_CORES,
+    }
+
+    if fork_available():
+        telemetry.set_live_interval(0.0)  # a frame on every exchange
+        try:
+            sampled_s, sampled_out, samples, hist_names = one_run(
+                True,
+                KeplerParams(shard_processes=2, process_batch=2048),
+                poll=True,
+            )
+        finally:
+            telemetry.set_live_interval(telemetry.DEFAULT_LIVE_INTERVAL_S)
+        assert sampled_out == off_out, (
+            "live sampling perturbed the shard-process runtime's output"
+        )
+        assert samples > 0, "metrics_live poller never sampled"
+        assert "stage_ns.tagging" in hist_names, sorted(hist_names)
+        report.update(
+            {
+                "sampled_shard_processes_seconds": round(sampled_s, 3),
+                "live_samples": samples,
+                "live_hists_observed": sorted(hist_names),
+                "sampled_output_identical": True,
+            }
+        )
+    else:
+        report["sampled_run"] = "skipped: fork start method unavailable"
+    return report
+
+
+# ----------------------------------------------------------------------
 # Identity-only mode: byte-identity smoke across every runtime
 # ----------------------------------------------------------------------
 IDENTITY_ELEMENTS = 30_000
@@ -1492,6 +1642,7 @@ def test_pipeline_throughput():
     partitioned = run_partitioned_monitor()
     ingest_tier = run_ingest_tier()
     recovery = run_recovery()
+    telemetry_entry = run_telemetry()
     report = {
         "hot_path": hot,
         "end_to_end": end_to_end,
@@ -1501,6 +1652,7 @@ def test_pipeline_throughput():
         "partitioned_monitor": partitioned,
         "ingest_tier": ingest_tier,
         "recovery": recovery,
+        "telemetry": telemetry_entry,
     }
     # Every entry records the machine size and whether its speed gate
     # applied there, so a committed JSON from a small runner is
@@ -1551,18 +1703,32 @@ def test_pipeline_throughput():
     # informational (fork + restore + replay cost is machine-bound).
     if "skipped" not in recovery:
         assert recovery["output_identical"], recovery
+    # Telemetry gates: recording and live sampling never change
+    # output; the plane must cost < 5% end to end where the machine
+    # is big enough for the measurement to mean anything.
+    assert telemetry_entry["output_identical"], telemetry_entry
+    if telemetry_entry["gate_enforced"]:
+        assert (
+            telemetry_entry["overhead"] < TEL_OVERHEAD_GATE
+        ), telemetry_entry
 
 
 if __name__ == "__main__":
     import sys
 
-    known = {"--identity", "--check-regression", "--recovery", "--transport"}
+    known = {
+        "--identity",
+        "--check-regression",
+        "--recovery",
+        "--transport",
+        "--telemetry",
+    }
     flags = set(sys.argv[1:])
     if flags - known:
         print(
             "usage: bench_pipeline_throughput.py"
             " [--identity] [--check-regression] [--recovery]"
-            " [--transport]\n"
+            " [--transport] [--telemetry]\n"
             "  (no flags runs the full bench and rewrites"
             f" {OUTPUT_JSON.name})"
         )
@@ -1587,6 +1753,17 @@ if __name__ == "__main__":
             print(
                 "transport bench passed (identity only — too few"
                 " cores for the speed gate)"
+            )
+    if "--telemetry" in flags:
+        entry = run_telemetry()
+        print(json.dumps(entry, indent=2))
+        if entry["gate_enforced"]:
+            assert entry["overhead"] < TEL_OVERHEAD_GATE, entry
+            print("telemetry bench passed (< 5% overhead gate enforced)")
+        else:
+            print(
+                "telemetry bench passed (identity only — too few cores"
+                " for the overhead gate)"
             )
     if not flags:
         test_pipeline_throughput()

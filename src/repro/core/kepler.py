@@ -406,6 +406,25 @@ class Kepler:
         """Per-stage counters and bin gauges of this detector."""
         return self.stages.metrics
 
+    def metrics_live(self) -> dict:
+        """Snapshot of the *running* detector — no drain barrier.
+
+        Safe to call from a sampling thread mid-run: the multiprocess
+        runtimes serve their latest piggybacked worker frames (at most
+        one live interval stale, see
+        :func:`repro.telemetry.set_live_interval`), the in-process
+        runtimes read their live registries.  Adds ``depths``
+        (queue/ring occupancy), ``hists`` (p50/p95/p99 summaries) and,
+        under the ingest tier, per-feed admission counts (``feeds``).
+        """
+        live = getattr(self.stages, "metrics_live", None)
+        if live is not None:
+            return live()
+        snap = self.stages.metrics.snapshot()
+        snap.setdefault("depths", {})
+        snap.setdefault("live", {"workers": 0, "workers_reporting": 0})
+        return snap
+
     # ------------------------------------------------------------------
     def prime(self, updates: Iterable[BGPUpdate]) -> int:
         """Install a RIB snapshot as the stable baseline (assumed aged).

@@ -33,11 +33,13 @@ counter state home with their end-of-run message.
 
 from __future__ import annotations
 
+import queue as queue_mod
 import time
 import traceback
 import zlib
 from collections.abc import Iterable
 
+from repro import telemetry
 from repro.bgp.messages import StreamElement
 from repro.core.serde import element_to_wire
 from repro.pipeline import faults
@@ -229,6 +231,30 @@ def source_feed_process(
     wires: list[list] = []
     last_key: tuple | None = None
     published = 0
+    # Live-metrics throttle, inherited by value at fork (see
+    # repro.telemetry.set_live_interval).
+    frame_interval = telemetry.live_interval()
+    last_frame = time.monotonic()
+
+    def live_frame(fed: int, emitted: int) -> None:
+        """Best-effort running-counter frame; dropped if the driver lags."""
+        nonlocal last_frame
+        now = time.monotonic()
+        if now - last_frame < frame_interval:
+            return
+        last_frame = now
+        frame = {
+            "ingest": admission.state_dict(),
+            "meter": [
+                meter.fed + fed,
+                meter.emitted + emitted,
+                meter.seconds,
+            ],
+        }
+        try:
+            out_q.put_nowait(("mtx", fid, frame))
+        except queue_mod.Full:
+            pass
 
     def packed(batch: list[list]) -> tuple:
         codec, payload = pack_wires(batch)
@@ -261,6 +287,7 @@ def source_feed_process(
                 meter.seconds += time.perf_counter() - began
                 publish(wires, last_key)
                 wires = []
+                live_frame(fed, emitted)
                 began = time.perf_counter()
         meter.seconds += time.perf_counter() - began
         meter.fed += fed

@@ -56,6 +56,7 @@ of its own:
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import queue as queue_mod
 import threading
@@ -96,6 +97,8 @@ from repro.pipeline.parallel import (
     unpack_wires,
 )
 from repro.pipeline.shm import ShmRing
+
+_LOG = logging.getLogger("repro.ingest.tier")
 
 #: Elements routed per chunk in driver-routed mode (one punctuation,
 #: one queue message per feed, per chunk).
@@ -271,6 +274,10 @@ class IngestTier:
         #: monotonic instant the pump last made progress while blocked
         #: (``None`` = not currently blocked).
         self._idle_since: float | None = None
+        #: latest live counter frame per forked feed worker ("mtx"
+        #: messages); read by the live metrics view, dropped once the
+        #: feed's end-of-run lands its authoritative counters.
+        self._live_frames: dict[int, dict] = {}
 
     # ------------------------------------------------------------------
     # StagePipeline-compatible surface
@@ -639,6 +646,10 @@ class IngestTier:
                         else:
                             self._apply_eor(run, fid, msg[2])
                         break
+                    elif kind == "mtx":
+                        # Throttled live counter frame from a forked
+                        # feed; never gates the run, only the live view.
+                        self._live_frames[msg[1]] = msg[2]
                     elif kind == "err":
                         raise WorkerCrashError(
                             f"ingest feed worker failed:\n{msg[2]}"
@@ -668,6 +679,14 @@ class IngestTier:
             self.admissions[fid].load_state(info["ingest"])
             meter = self.meters[fid]
             meter.fed, meter.emitted, meter.seconds = info["meter"]
+        _LOG.debug(
+            "feed %d end of run: fed=%d emitted=%d",
+            fid,
+            self.meters[fid].fed,
+            self.meters[fid].emitted,
+        )
+        # The driver-side counters are authoritative from here on.
+        self._live_frames.pop(fid, None)
         self.merge.end_of_run(fid)
         run.eor_seen.add(fid)
 
@@ -828,6 +847,59 @@ class IngestTier:
             seconds += meter.seconds
         return fed, emitted, seconds
 
+    # ------------------------------------------------------------------
+    # Live (mid-run) views: best-effort, never gate the run
+    # ------------------------------------------------------------------
+    def live_ingest_meter(self) -> tuple[int, int, float]:
+        """Running ingest totals: forked feeds contribute their latest
+        piggybacked frame (the parent meters only update at end of
+        run), thread/driver feeds read the shared meters directly."""
+        frames = dict(self._live_frames)
+        fed = self.prime_meter.fed
+        emitted = self.prime_meter.emitted
+        seconds = self.prime_meter.seconds
+        for fid, meter in enumerate(self.meters):
+            frame = frames.get(fid)
+            if frame is not None:
+                f, e, s = frame["meter"]
+            else:
+                f, e, s = meter.fed, meter.emitted, meter.seconds
+            fed += f
+            emitted += e
+            seconds += s
+        return fed, emitted, seconds
+
+    def live_feed_view(self) -> dict[str, dict]:
+        """Per-feed admission counters of the *running* tier.
+
+        Sampled without synchronisation: forked feeds serve their last
+        live frame, thread feeds the shared admission stage (a feed
+        whose counters are mid-mutation is skipped rather than read
+        torn — the next sample catches up).
+        """
+        frames = dict(self._live_frames)
+        view: dict[str, dict] = {}
+        for fid in range(self.feeds):
+            frame = frames.get(fid)
+            if frame is not None:
+                doc = dict(frame["ingest"])
+                fed, emitted, seconds = frame["meter"]
+            else:
+                try:
+                    doc = self.admissions[fid].state_dict()
+                except RuntimeError:  # counters mutating under our feet
+                    continue
+                meter = self.meters[fid]
+                fed, emitted, seconds = (
+                    meter.fed, meter.emitted, meter.seconds,
+                )
+            doc.pop("last_time", None)
+            doc["fed"] = fed
+            doc["emitted"] = emitted
+            doc["seconds"] = seconds
+            view[f"feed{fid}"] = doc
+        return view
+
     def distribute_ingest_state(
         self, state: dict, meter: tuple[int, int, float]
     ) -> None:
@@ -944,6 +1016,30 @@ class IngestKeplerPipeline:
         handle.emitted += emitted
         handle.seconds += seconds
         return view
+
+    def metrics_live(self) -> dict:
+        """Live snapshot: wrapped runtime + tier admission, no drain.
+
+        The wrapped runtime's driver-side ingest entry is bypassed
+        (zero) under the tier, so the tier's running totals are added
+        to the ingest stage row; ``snap["feeds"]`` carries the
+        per-feed admission breakdown.
+        """
+        inner_live = getattr(self.inner, "metrics_live", None)
+        if inner_live is not None:
+            snap = inner_live()
+        else:
+            snap = self.inner.metrics.snapshot()
+            snap.setdefault("depths", {})
+        fed, emitted, seconds = self.tier.live_ingest_meter()
+        for stage in snap.get("stages", []):
+            if stage.get("name") == "ingest":
+                stage["fed"] = stage.get("fed", 0) + fed
+                stage["emitted"] = stage.get("emitted", 0) + emitted
+                stage["seconds"] = stage.get("seconds", 0.0) + seconds
+                break
+        snap["feeds"] = self.tier.live_feed_view()
+        return snap
 
     # -- lifecycle ------------------------------------------------------
     def process_feeds(self, sources: Iterable[Iterable[Any]]) -> list[Any]:

@@ -121,6 +121,13 @@ class KeplerPipeline(CheckpointableChain):
     def signal_log(self) -> list[SignalClassification]:
         return self.classification.signal_log
 
+    def metrics_live(self) -> dict:
+        """Live snapshot — single-threaded chain, so the registry IS live."""
+        snap = self.metrics.snapshot()
+        snap["depths"] = {}
+        snap["live"] = {"workers": 0, "workers_reporting": 0}
+        return snap
+
     def finalize_records(self, end_time: float | None = None):
         return self.record.finalize(end_time)
 

@@ -19,7 +19,7 @@ from repro.bgp.messages import BGPStateMessage, BGPUpdate, ElemType, StreamEleme
 from repro.pipeline.events import PrimingUpdate
 from repro.pipeline.stage import PassthroughStage
 
-logger = logging.getLogger(__name__)
+logger = logging.getLogger("repro.pipeline.ingest")
 
 
 def merge_streams(

@@ -1,16 +1,39 @@
-"""Pipeline observability: per-stage counters and monitor gauges.
+"""Pipeline observability: per-stage counters, gauges, histograms.
 
 Every stage of a :class:`~repro.pipeline.runtime.StagePipeline` gets a
 :class:`StageMetrics` entry (elements fed, elements emitted, cumulative
 wall time in ``feed``).  The monitoring stage additionally reports a
 gauge sample per closed bin — bin-close latency, baseline and pending
 population — so capacity trends are visible without profiling.
+
+Since the telemetry-plane PR the registry also owns the distribution
+side of observability:
+
+- every stage carries a :class:`~repro.telemetry.hist.LogHistogram`
+  of nanoseconds per element per metered feed call;
+- :class:`BinStats` carries a histogram of bin-close latency;
+- ``hist(name)`` hands out named histograms for transport-level
+  distributions (ring/queue waits, sync-exchange round trips);
+- ``trace`` is the bounded :class:`~repro.telemetry.trace.TraceJournal`
+  of bin-lifecycle span events.
+
+The metric taxonomy is strict about what checkpoints see: counters in
+``state_dict()`` only.  Histograms, gauges, batches, recovery stats and
+the trace journal are *run* telemetry — merged across processes via
+the wire sidecars (``hists_to_wire``/``absorb_hists_wire``), but never
+part of a checkpoint document.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+from dataclasses import dataclass, field
 from typing import Callable
+
+from repro.telemetry.hist import LogHistogram
+from repro.telemetry.trace import TraceJournal
+
+logger = logging.getLogger("repro.pipeline.metrics")
 
 
 @dataclass
@@ -25,6 +48,10 @@ class StageMetrics:
     #: ``fed / batches`` is the realised batch size.  Run telemetry,
     #: not state: never checkpointed, zeroed on restore.
     batches: int = 0
+    #: distribution of nanoseconds per element, one sample per metered
+    #: feed call.  Run telemetry: excluded from checkpoints, merged
+    #: across workers by :meth:`PipelineMetrics.absorb`.
+    hist: LogHistogram = field(default_factory=LogHistogram)
 
     @property
     def throughput(self) -> float:
@@ -97,6 +124,8 @@ class BinStats:
     max_latency_s: float = 0.0
     last_baseline_entries: int = 0
     last_pending_entries: int = 0
+    #: bin-close latency distribution (seconds).  Run telemetry.
+    hist: LogHistogram = field(default_factory=LogHistogram)
 
     def record(
         self, latency_s: float, baseline_entries: int, pending_entries: int
@@ -106,6 +135,7 @@ class BinStats:
         self.max_latency_s = max(self.max_latency_s, latency_s)
         self.last_baseline_entries = baseline_entries
         self.last_pending_entries = pending_entries
+        self.hist.record(latency_s)
 
     @property
     def mean_latency_s(self) -> float:
@@ -137,17 +167,53 @@ class PipelineMetrics:
         #: *calling process*; they are observability, not state, and
         #: are deliberately absent from :meth:`state_dict`.
         self._gauge_sources: dict[str, Callable[[], int | float]] = {}
+        #: named histograms for non-stage distributions — transport
+        #: waits (``ring_wait_s``, ``queue_wait_s``), the shard
+        #: runtime's fused sync exchange (``sync_round_s``), etc.
+        #: Run telemetry, merged by :meth:`absorb`.
+        self.hists: dict[str, LogHistogram] = {}
+        #: bounded journal of bin-lifecycle span events.
+        self.trace = TraceJournal()
+        #: gauge names that saw a collision warning already (warn once).
+        self._gauge_collisions: set[str] = set()
 
     def gauge_source(
-        self, name: str, source: Callable[[], int | float]
+        self,
+        name: str,
+        source: Callable[[], int | float],
+        *,
+        replace: bool = False,
     ) -> None:
-        """Register (or replace) a named gauge callable."""
+        """Register a named gauge callable.
+
+        Re-registering an existing name with a *different* callable is
+        almost always a composition bug (two processes' caches fighting
+        over one name), so it logs a warning unless ``replace=True`` —
+        builders that intentionally refresh their own sources on a
+        supervisor rebuild pass ``replace=True``.  The new source wins
+        either way, matching the historical behaviour.
+        """
+        existing = self._gauge_sources.get(name)
+        if (
+            existing is not None
+            and existing is not source
+            and not replace
+            and name not in self._gauge_collisions
+        ):
+            self._gauge_collisions.add(name)
+            logger.warning(
+                "gauge %r re-registered with a different source; "
+                "replacing (namespace worker gauges, e.g. 'w0.%s')",
+                name,
+                name,
+            )
         self._gauge_sources[name] = source
 
     def gauges(self) -> dict[str, int | float]:
         """Sample every registered gauge now."""
         return {
-            name: source() for name, source in self._gauge_sources.items()
+            name: source()
+            for name, source in list(self._gauge_sources.items())
         }
 
     def stage(self, name: str) -> StageMetrics:
@@ -156,20 +222,47 @@ class PipelineMetrics:
             metrics = self.stages[name] = StageMetrics(name=name)
         return metrics
 
+    def hist(self, name: str) -> LogHistogram:
+        """Named histogram handle (created on first use)."""
+        hist = self.hists.get(name)
+        if hist is None:
+            hist = self.hists[name] = LogHistogram()
+        return hist
+
     def record_bin(
         self, latency_s: float, baseline_entries: int, pending_entries: int
     ) -> None:
         self.bins.record(latency_s, baseline_entries, pending_entries)
 
+    def hist_summaries(self) -> dict[str, dict]:
+        """Every non-empty histogram, keyed by taxonomy name.
+
+        Per-stage ns/element histograms appear as ``stage_ns.<stage>``,
+        the bin-close latency histogram as ``bin_close_s``, and named
+        histograms under their registered names (``*_s`` suffix =
+        seconds).
+        """
+        out: dict[str, dict] = {}
+        for name, metrics in list(self.stages.items()):
+            if metrics.hist.count:
+                out[f"stage_ns.{name}"] = metrics.hist.as_dict()
+        if self.bins.hist.count:
+            out["bin_close_s"] = self.bins.hist.as_dict()
+        for name, hist in list(self.hists.items()):
+            if hist.count:
+                out[name] = hist.as_dict()
+        return out
+
     def snapshot(self) -> dict[str, object]:
         """JSON-serialisable view of every counter."""
         return {
             "stages": [
-                self.stages[name].as_dict() for name in self.stages
+                metrics.as_dict() for metrics in list(self.stages.values())
             ],
             "bins": self.bins.as_dict(),
             "recovery": self.recovery.as_dict(),
             "gauges": self.gauges(),
+            "hists": self.hist_summaries(),
         }
 
     # ------------------------------------------------------------------
@@ -217,20 +310,28 @@ class PipelineMetrics:
             metrics.emitted = 0
             metrics.seconds = 0.0
             metrics.batches = 0
+            metrics.hist.clear()
         self.bins.count = 0
         self.bins.total_latency_s = 0.0
         self.bins.max_latency_s = 0.0
         self.bins.last_baseline_entries = 0
         self.bins.last_pending_entries = 0
+        self.bins.hist.clear()
+        for hist in self.hists.values():
+            hist.clear()
 
     def absorb(self, other: "PipelineMetrics") -> None:
         """Fold another registry's counters into this one (aggregation)."""
-        for name, metrics in other.stages.items():
+        for name, metrics in list(other.stages.items()):
             mine = self.stage(name)
             mine.fed += metrics.fed
             mine.emitted += metrics.emitted
             mine.seconds += metrics.seconds
             mine.batches += metrics.batches
+            mine.hist.merge(metrics.hist)
+        for name, hist in list(other.hists.items()):
+            if hist.count:
+                self.hist(name).merge(hist)
 
     def absorb_bins(self, other: "PipelineMetrics") -> None:
         """Fold another registry's bin gauges into this one.
@@ -250,10 +351,75 @@ class PipelineMetrics:
         )
         self.bins.last_baseline_entries = bins.last_baseline_entries
         self.bins.last_pending_entries = bins.last_pending_entries
+        self.bins.hist.merge(bins.hist)
 
     def adopt_gauges(self, other: "PipelineMetrics") -> None:
-        """Share another registry's gauge sources (composed views)."""
-        self._gauge_sources.update(other._gauge_sources)
+        """Share another registry's gauge sources (composed views).
+
+        Adopting a name this registry already points at a *different*
+        callable is a collision between two source registries; it is
+        logged once per name (the adopted source wins, matching the
+        historical last-wins behaviour).
+        """
+        for name, source in list(other._gauge_sources.items()):
+            existing = self._gauge_sources.get(name)
+            if (
+                existing is not None
+                and existing is not source
+                and name not in self._gauge_collisions
+            ):
+                self._gauge_collisions.add(name)
+                logger.warning(
+                    "adopt_gauges: gauge %r collides across registries; "
+                    "adopted source wins",
+                    name,
+                )
+            self._gauge_sources[name] = source
+
+    # -- wire sidecars (live frames / sync exchanges) ------------------
+
+    def hists_to_wire(self) -> dict:
+        """Marshal-safe lossless encoding of every non-empty histogram.
+
+        Shape: ``{"stage": {name: wire}, "named": {name: wire},
+        "bin": wire | None}``.  Travels in the telemetry *sidecar* of
+        control/sync messages (next to ``batches``/``gauge_values``),
+        never in ``state_dict``.
+        """
+        return {
+            "stage": {
+                name: m.hist.to_wire()
+                for name, m in self.stages.items()
+                if m.hist.count
+            },
+            "named": {
+                name: h.to_wire()
+                for name, h in self.hists.items()
+                if h.count
+            },
+            "bin": self.bins.hist.to_wire() if self.bins.hist.count else None,
+        }
+
+    def absorb_hists_wire(self, doc: dict | None) -> None:
+        """Merge a :meth:`hists_to_wire` sidecar into this registry."""
+        if not doc:
+            return
+        for name, wire in doc.get("stage", {}).items():
+            self.stage(name).hist.merge(LogHistogram.from_wire(wire))
+        for name, wire in doc.get("named", {}).items():
+            self.hist(name).merge(LogHistogram.from_wire(wire))
+        bin_wire = doc.get("bin")
+        if bin_wire:
+            self.bins.hist.merge(LogHistogram.from_wire(bin_wire))
+
+    def load_hists_wire(self, doc: dict | None) -> None:
+        """Replace histogram contents from a sidecar (scratch loads)."""
+        for metrics in self.stages.values():
+            metrics.hist.clear()
+        for hist in self.hists.values():
+            hist.clear()
+        self.bins.hist.clear()
+        self.absorb_hists_wire(doc)
 
     def register_cache_gauges(self, input_module) -> None:
         """Point the standard cache gauges at ``input_module``.
@@ -270,19 +436,26 @@ class PipelineMetrics:
         self.gauge_source(
             "memo_entries",
             lambda: len(input_module._memo) + len(input_module._memo_old),
+            replace=True,
         )
-        self.gauge_source("memo_hits", lambda: input_module.memo_hits)
         self.gauge_source(
-            "memo_evictions", lambda: input_module.memo_evictions
+            "memo_hits", lambda: input_module.memo_hits, replace=True
+        )
+        self.gauge_source(
+            "memo_evictions",
+            lambda: input_module.memo_evictions,
+            replace=True,
         )
         for table in ("community", "pop", "path", "tagset"):
             self.gauge_source(
                 f"intern_{table}_entries",
                 lambda t=table: serde.intern_stats()[t]["size"],
+                replace=True,
             )
             self.gauge_source(
                 f"intern_{table}_evictions",
                 lambda t=table: serde.intern_stats()[t]["evictions"],
+                replace=True,
             )
 
     def describe(self) -> str:

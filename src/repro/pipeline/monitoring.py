@@ -53,9 +53,12 @@ class BinningMonitorStage(PassthroughStage):
         #: RIB paths installed into the baseline via the priming path.
         self.primed = 0
         if metrics is not None:
+            # replace=True: supervisor rebuilds re-run this constructor
+            # against the same registry, refreshing the source.
             metrics.gauge_source(
                 "monitor_skipped_steady_state",
                 lambda: monitor.skipped_steady_state,
+                replace=True,
             )
 
     def feed(self, element: Any) -> list[Any]:
@@ -91,6 +94,15 @@ class BinningMonitorStage(PassthroughStage):
                         baseline_entries=self.monitor.total_baseline_entries,
                         pending_entries=self.monitor.pending_count,
                     )
+                self.metrics.trace.emit(
+                    "bin_close",
+                    "bin",
+                    dur_s=latency,
+                    bin=prev_bin,
+                    closed=closed,
+                    signals=len(signals) if signals else 0,
+                    pending=self.monitor.pending_count,
+                )
             out.append(
                 BinAdvanced(now=new_bin if new_bin is not None else element.time)
             )

@@ -73,6 +73,7 @@ import zlib
 from collections import deque
 from typing import Any, Iterable
 
+from repro import telemetry
 from repro.core.serde import (
     decode_batch,
     encode_batch,
@@ -96,7 +97,7 @@ from repro.pipeline.metrics import PipelineMetrics
 from repro.pipeline.sharding import ShardedStagePipeline
 from repro.pipeline.shm import RING_POLL_S, ShmRing
 
-_LOG = logging.getLogger(__name__)
+_LOG = logging.getLogger("repro.pipeline.parallel")
 
 #: Elements per IPC batch: large enough that marshalling and queue
 #: wakeups amortise, small enough to keep the reorder buffer shallow.
@@ -177,15 +178,32 @@ def _metrics_with_batches(registry: PipelineMetrics) -> dict:
         m.name: m.batches for m in registry.stages.values()
     }
     doc["gauge_values"] = registry.gauges()
+    doc["hists"] = registry.hists_to_wire()
     return doc
 
 
 def _load_with_batches(registry: PipelineMetrics, doc: dict) -> None:
-    """Restore a worker metrics payload including the batch sidecar."""
+    """Restore a worker metrics payload including the telemetry sidecars."""
     registry.load_state(doc)
     counts = doc.get("batches", {})
     for name, metrics in registry.stages.items():
         metrics.batches = counts.get(name, 0)
+    registry.load_hists_wire(doc.get("hists"))
+
+
+def _adopt_worker_gauges(
+    composed: PipelineMetrics, wid: int, doc: dict
+) -> None:
+    """Publish one worker's sampled gauges under a ``w{wid}.`` namespace.
+
+    Worker gauges (memo/intern telemetry of *that* process) share names
+    with the driver's own sources; registering them namespaced keeps
+    per-process visibility without silent collisions.
+    """
+    for name, value in doc.get("gauge_values", {}).items():
+        composed.gauge_source(
+            f"w{wid}.{name}", lambda v=value: v, replace=True
+        )
 
 
 def _batch_signature(payload: Any) -> int:
@@ -205,17 +223,25 @@ def _register_ring_gauges(
     checkpoint byte-identity contract is untouched.
     """
     rings = (*send_rings, *recv_rings)
+    # replace=True: supervisor rebuilds re-register against the same
+    # registry with fresh ring objects — an intentional refresh.
     registry.gauge_source(
-        "ring_occupancy_bytes", lambda: sum(r.occupancy() for r in rings)
+        "ring_occupancy_bytes",
+        lambda: sum(r.occupancy() for r in rings),
+        replace=True,
     )
     registry.gauge_source(
-        "ring_wraps", lambda: sum(r.wraps() for r in rings)
+        "ring_wraps", lambda: sum(r.wraps() for r in rings), replace=True
     )
     registry.gauge_source(
-        "ring_send_stalls", lambda: sum(r.put_stalls for r in send_rings)
+        "ring_send_stalls",
+        lambda: sum(r.put_stalls for r in send_rings),
+        replace=True,
     )
     registry.gauge_source(
-        "ring_recv_stalls", lambda: sum(r.get_stalls for r in recv_rings)
+        "ring_recv_stalls",
+        lambda: sum(r.get_stalls for r in recv_rings),
+        replace=True,
     )
 
 
@@ -249,10 +275,20 @@ def _note_quarantine(
         runtime._quar_seen.add(signature)
         last = detail.strip().splitlines()[-1] if detail.strip() else detail
         _LOG.warning(
-            "quarantined wire batch %08x (dropped from the stream): %s",
+            "quarantined wire batch %08x (dropped from the stream,"
+            " %d quarantined total): %s",
             signature & 0xFFFFFFFF,
+            runtime.quarantined,
             last,
         )
+        registry = getattr(runtime, "_registry", None)
+        if registry is not None:
+            registry.trace.emit(
+                "quarantine",
+                "fault",
+                signature=signature & 0xFFFFFFFF,
+                detail=last,
+            )
 
 
 # ----------------------------------------------------------------------
@@ -288,8 +324,11 @@ def _tag_worker_loop(
     """
     handle = registry.stage(tagging.name)
     armed = faults.arm("tag", worker_id)
+    frame_interval = telemetry.live_interval()
+    last_frame = time.monotonic()
 
     def run_batch(seq, batch, quarantine) -> None:
+        nonlocal last_frame
         n = len(batch[0])
         if armed is not None:
             batch = armed.corrupt_batch(batch, n)
@@ -302,14 +341,25 @@ def _tag_worker_loop(
             # stream alive — the driver skips this seq.
             quarantine(seq, traceback.format_exc())
             return
-        handle.seconds += time.perf_counter() - began
+        delta = time.perf_counter() - began
+        handle.seconds += delta
         handle.fed += n
         handle.batches += 1
         handle.emitted += len(out[0])
+        if n:
+            handle.hist.record(delta * 1e9 / n)
         if ret_ring is not None:
             ret_ring.put(("batch", seq), out)
         else:
             ret_q.put(("batch", seq, *_pack(out)))
+        # Live telemetry frame, piggybacked on the return queue (the
+        # return path carries no frame marks, so an interleaved frame
+        # cannot disturb the shm ordering barrier).  Throttled so a
+        # fast worker does not flood the driver.
+        now = time.monotonic()
+        if now - last_frame >= frame_interval:
+            last_frame = now
+            ret_q.put(("mtx", worker_id, _metrics_with_batches(registry)))
 
     def handle_control(msg) -> None:
         if msg[0] == "ctl":
@@ -563,6 +613,10 @@ class ProcessStagePipeline:
         #: monotonic instant the driver last saw worker progress while
         #: blocked (``None`` = not currently blocked).
         self._idle_since: float | None = None
+        #: latest live metrics frame per worker, refreshed by the pump
+        #: ("mtx" messages the workers piggyback on the return queue).
+        #: Read by :meth:`metrics_live` without a drain barrier.
+        self._live_frames: dict[int, dict] = {}
 
     # ------------------------------------------------------------------
     # StagePipeline-compatible surface
@@ -666,18 +720,26 @@ class ProcessStagePipeline:
                 fault = self._send_faults.ring_fault()
             wid = self._least_loaded_worker()
             ring = self._in_rings[wid]
+            waited = None
             while not ring.try_put(("batch", seq), batch, fault=fault):
                 # Backpressure by cursor distance: make room by
                 # consuming the return path (the workers free input
                 # bytes as they release processed frames).
+                if waited is None:
+                    waited = time.perf_counter()
                 ring.put_stalls += 1
                 self._pump(block=True)
+            if waited is not None:
+                self._registry.hist("ring_wait_s").record(
+                    time.perf_counter() - waited
+                )
             self._sent[wid] += 1
             self._pump()
             return
         message = ("batch", self._ship_seq, *_pack(batch))
         self._ship_seq += 1
         target = self._least_loaded_queue()
+        waited = None
         while True:
             try:
                 target.put_nowait(message)
@@ -686,8 +748,14 @@ class ProcessStagePipeline:
                 # The worker is busy and its queue is full: make room
                 # by consuming returned batches (the driver is the only
                 # consumer, so this always unblocks the cycle).
+                if waited is None:
+                    waited = time.perf_counter()
                 self._pump(block=True)
                 target = self._least_loaded_queue()
+        if waited is not None:
+            self._registry.hist("queue_wait_s").record(
+                time.perf_counter() - waited
+            )
         # Opportunistically drain whatever the workers have finished,
         # so a slow producer sees records incrementally and the reorder
         # stash stays bounded instead of deferring all monitor work to
@@ -761,6 +829,10 @@ class ProcessStagePipeline:
             elif kind == "ack":
                 self._ctl.stash(msg)
                 block = False
+            elif kind == "mtx":
+                # Piggybacked live telemetry frame; never satisfies a
+                # barrier, just refreshes the metrics_live cache.
+                self._live_frames[msg[1]] = msg[2]
             elif kind == "err":
                 detail = msg[1]
                 self.close()
@@ -804,6 +876,8 @@ class ProcessStagePipeline:
                     self._drain_stash()
                 elif kind == "ack":
                     self._ctl.stash(msg)
+                elif kind == "mtx":
+                    self._live_frames[msg[1]] = msg[2]
                 elif kind == "err":
                     detail = msg[1]
                     self.close()
@@ -914,10 +988,13 @@ class ProcessStagePipeline:
         while slot < n:
             began = time.perf_counter()
             outs, advanced = feed_wire_run(view, slot)
-            handle.seconds += time.perf_counter() - began
+            delta = time.perf_counter() - began
+            handle.seconds += delta
             handle.fed += advanced - slot
             handle.batches += 1
             handle.emitted += len(outs)
+            if advanced > slot:
+                handle.hist.record(delta * 1e9 / (advanced - slot))
             slot = advanced
             if not outs:
                 continue
@@ -1018,11 +1095,45 @@ class ProcessStagePipeline:
         composed.absorb_bins(inner_view)
         composed.adopt_gauges(inner_view)
         scratch = PipelineMetrics()
-        for info in infos:
+        for wid, info in enumerate(infos):
             _load_with_batches(scratch, info["metrics"])
             composed.absorb(scratch)
+            _adopt_worker_gauges(composed, wid, info["metrics"])
         composed.recovery.quarantined_batches = self.quarantined
         return composed
+
+    def metrics_live(self) -> dict:
+        """Non-draining metrics snapshot of the *running* pipeline.
+
+        Unlike :meth:`metrics_view` this never syncs: the driver-side
+        chain is read in place and the tagging side comes from the
+        latest piggybacked worker frames (at most one live-interval
+        stale).  Worker gauges appear namespaced (``w0.memo_hits``).
+        Adds ``depths`` (queue/ring occupancy) and a ``live`` section
+        describing sampling freshness.
+        """
+        if self._closed:
+            raise RuntimeError("pipeline is closed")
+        inner_view = self.inner.metrics
+        composed = PipelineMetrics()
+        composed.absorb(inner_view)
+        composed.absorb_bins(inner_view)
+        composed.adopt_gauges(inner_view)
+        scratch = PipelineMetrics()
+        frames = dict(self._live_frames)
+        for wid in sorted(frames):
+            _load_with_batches(scratch, frames[wid])
+            composed.absorb(scratch)
+            _adopt_worker_gauges(composed, wid, frames[wid])
+        composed.recovery.quarantined_batches = self.quarantined
+        snap = composed.snapshot()
+        snap["depths"] = self._queue_depth_sample()
+        snap["live"] = {
+            "workers": self.workers,
+            "workers_reporting": len(frames),
+            "inflight_batches": self._ship_seq - self._next_seq,
+        }
+        return snap
 
     @staticmethod
     def _summed_tagging_state(infos: list[dict]) -> dict:
@@ -1177,6 +1288,10 @@ class ProcessKeplerPipeline:
     @property
     def metrics(self) -> PipelineMetrics:
         return self.pipeline.metrics_view()
+
+    def metrics_live(self) -> dict:
+        """Composed live snapshot without draining the tag workers."""
+        return self.pipeline.metrics_live()
 
     @property
     def monitoring(self):
@@ -1406,8 +1521,20 @@ def _shard_worker_loop(
     tag_handle = chain.registry.stage(chain.tagging.name)
     mon_handle = chain.registry.stage(chain.monitoring.name)
     record_handle = chain.registry.stage(chain.record.name)
+    sync_hist = chain.registry.hist("sync_round_s")
     window_s = chain.correlation_window_s
     round_id = 0
+    frame_interval = telemetry.live_interval()
+    last_frame = time.monotonic()
+
+    def live_frame():
+        """Throttled compact metrics frame, None between intervals."""
+        nonlocal last_frame
+        now = time.monotonic()
+        if now - last_frame < frame_interval:
+            return None
+        last_frame = now
+        return _metrics_with_batches(chain.registry)
     #: this worker's share of the driver's correlation window — pruned
     #: against the *local* bin clock, which can only lag the global
     #: one, so the shipped read set is a superset of what the driver's
@@ -1417,10 +1544,12 @@ def _shard_worker_loop(
     def feed_record(element) -> None:
         began = time.perf_counter()
         out = chain.record.feed(element)
-        record_handle.seconds += time.perf_counter() - began
+        delta = time.perf_counter() - began
+        record_handle.seconds += delta
         record_handle.fed += 1
         record_handle.batches += 1
         record_handle.emitted += len(out)
+        record_handle.hist.record(delta * 1e9)
 
     def await_phase(expected: str):
         kind, *payload = sync_q.get()
@@ -1451,6 +1580,9 @@ def _shard_worker_loop(
                 pop = signal.pop
                 if pop not in reads:
                     reads[pop] = (far_ases(pop), links(pop))
+        # The live telemetry frame piggybacks on the fused exchange —
+        # no extra message, at most one frame per live interval.
+        began_round = time.perf_counter()
         ret_q.put(
             (
                 "bin",
@@ -1460,9 +1592,11 @@ def _shard_worker_loop(
                 advanced,
                 reads,
                 dict(monitor.last_diverted),
+                live_frame(),
             )
         )
         (candidates,) = await_phase("fin")
+        sync_hist.record(time.perf_counter() - began_round)
         for candidate in candidates:
             feed_record(candidate)
         if advanced is not None:
@@ -1482,10 +1616,12 @@ def _shard_worker_loop(
     def feed_tagged(out) -> None:
         began = time.perf_counter()
         mouts = chain.monitoring.feed(out)
-        mon_handle.seconds += time.perf_counter() - began
+        delta = time.perf_counter() - began
+        mon_handle.seconds += delta
         mon_handle.fed += 1
         mon_handle.batches += 1
         mon_handle.emitted += len(mouts)
+        mon_handle.hist.record(delta * 1e9)
         if mouts:
             emit_rounds(mouts)
 
@@ -1499,10 +1635,13 @@ def _shard_worker_loop(
         while slot < n:
             began = time.perf_counter()
             mouts, nxt = feed_wire_run(view, slot)
-            mon_handle.seconds += time.perf_counter() - began
+            delta = time.perf_counter() - began
+            mon_handle.seconds += delta
             mon_handle.fed += nxt - slot
             mon_handle.batches += 1
             mon_handle.emitted += len(mouts)
+            if nxt > slot:
+                mon_handle.hist.record(delta * 1e9 / (nxt - slot))
             slot = nxt
             if mouts:
                 emit_rounds(mouts)
@@ -1532,10 +1671,13 @@ def _shard_worker_loop(
             # the record replicas stay consistent.
             quarantine(traceback.format_exc())
             return None
-        tag_handle.seconds += time.perf_counter() - began
+        delta = time.perf_counter() - began
+        tag_handle.seconds += delta
         tag_handle.fed += n
         tag_handle.batches += 1
         tag_handle.emitted += len(tagged[0])
+        if n:
+            tag_handle.hist.record(delta * 1e9 / n)
         return tagged
 
     def consume_tagged(tagged) -> None:
@@ -1549,6 +1691,12 @@ def _shard_worker_loop(
                 feed_tagged(element)
         else:
             feed_tagged_view(view)
+        # Keep the driver's live cache warm even between bin closes
+        # (the fused exchange is the primary carrier; this covers long
+        # in-bin stretches).  Shares the sync-round frame throttle.
+        frame = live_frame()
+        if frame is not None:
+            ret_q.put(("mtx", wid, frame))
 
     def handle_control(msg) -> None:
         nonlocal round_id
@@ -1834,6 +1982,10 @@ class ShardProcessPipeline:
         self.dead_letters: deque = deque(maxlen=DEAD_LETTER_CAP)
         self._quar_seen: set[int] = set()
         self._idle_since: float | None = None
+        #: latest live metrics frame per worker — piggybacked on the
+        #: fused "bin" exchange (and "mtx" messages between closes);
+        #: read by :meth:`metrics_live` without a drain barrier.
+        self._live_frames: dict[int, dict] = {}
 
     @property
     def signal_log(self) -> list:
@@ -2077,7 +2229,9 @@ class ShardProcessPipeline:
             block = False  # made progress: drain the rest lazily
             kind = msg[0]
             if kind == "bin":
-                _, wid, rid, signals, advanced, reads, diverted = msg
+                _, wid, rid, signals, advanced, reads, diverted, frame = msg
+                if frame is not None:
+                    self._live_frames[wid] = frame
                 state = self._round(rid)
                 state["bin"][wid] = signals
                 state["reads"].update(reads)
@@ -2086,6 +2240,9 @@ class ShardProcessPipeline:
                     state["advanced"] = advanced
                 if len(state["bin"]) == self.workers:
                     self._finish_round(state)
+            elif kind == "mtx":
+                # Throttled live metrics frame between bin closes.
+                self._live_frames[msg[1]] = msg[2]
             elif kind == "rdone":
                 _, wid, rid = msg
                 state = self._round(rid)
@@ -2135,6 +2292,7 @@ class ShardProcessPipeline:
         from repro.core.monitor import signal_sort_key
         from repro.pipeline.events import SignalBatch
 
+        round_began = time.perf_counter()
         bins = state["bin"]
         merged = list(
             heapq.merge(
@@ -2159,7 +2317,9 @@ class ShardProcessPipeline:
                 began = time.perf_counter()
                 for element in outs:
                     nexts.extend(stage.feed(element))
-                handle.seconds += time.perf_counter() - began
+                delta = time.perf_counter() - began
+                handle.seconds += delta
+                handle.hist.record(delta * 1e9 / max(1, len(outs)))
                 handle.fed += len(outs)
                 handle.batches += 1
                 handle.emitted += len(nexts)
@@ -2170,6 +2330,14 @@ class ShardProcessPipeline:
                     diverted.get(candidate.classification.pop, ())
                 )
         self.sync_rounds += 1
+        self._registry.trace.emit(
+            "sync_round",
+            "sync",
+            dur_s=time.perf_counter() - round_began,
+            signals=len(merged),
+            candidates=len(candidates),
+            advanced=state["advanced"],
+        )
         self._broadcast_sync(("fin", candidates))
 
     # ------------------------------------------------------------------
@@ -2281,6 +2449,26 @@ class ShardProcessPipeline:
         per-partition and sum to the global population, and close
         latencies sum (aggregate CPU across partitions).
         """
+        registries: dict[int, PipelineMetrics] = {}
+        docs: dict[int, dict] = {}
+        for wid, info in enumerate(infos):
+            registry = PipelineMetrics()
+            _load_with_batches(registry, info["metrics"])
+            registries[wid] = registry
+            docs[wid] = info["metrics"]
+        return self._compose_worker_metrics(registries, docs)
+
+    def _compose_worker_metrics(
+        self,
+        registries: dict[int, PipelineMetrics],
+        docs: dict[int, dict],
+    ) -> PipelineMetrics:
+        """Compose driver registry + per-worker registries (keyed by wid).
+
+        Shared by the drained composition (all workers, at a barrier)
+        and the live composition (whichever workers have reported a
+        frame, mid-run).
+        """
         composed = PipelineMetrics()
         for name in (
             "ingest", "tagging", "monitor",
@@ -2289,44 +2477,82 @@ class ShardProcessPipeline:
             composed.stage(name)
         composed.absorb(self._registry)
         composed.adopt_gauges(self._registry)
-        registries = []
-        for info in infos:
-            registry = PipelineMetrics()
-            _load_with_batches(registry, info["metrics"])
-            registries.append(registry)
-        for name in ("tagging", "monitor", "record"):
-            entry = registries[0].stages.get(name)
-            if entry is not None:
-                handle = composed.stage(name)
-                handle.fed = entry.fed
-                handle.emitted = entry.emitted
-                handle.seconds = entry.seconds
-                handle.batches = entry.batches
-        bins = composed.bins
-        bins.count = registries[0].bins.count
-        for registry in registries:
-            bins.total_latency_s += registry.bins.total_latency_s
-            bins.max_latency_s = max(
-                bins.max_latency_s, registry.bins.max_latency_s
-            )
-            bins.last_baseline_entries += registry.bins.last_baseline_entries
-            bins.last_pending_entries += registry.bins.last_pending_entries
+        if registries:
+            first = registries[min(registries)]
+            for name in ("tagging", "monitor", "record"):
+                entry = first.stages.get(name)
+                if entry is not None:
+                    handle = composed.stage(name)
+                    handle.fed = entry.fed
+                    handle.emitted = entry.emitted
+                    handle.seconds = entry.seconds
+                    handle.batches = entry.batches
+                    handle.hist.merge(entry.hist)
+            bins = composed.bins
+            bins.count = first.bins.count
+            for registry in registries.values():
+                bins.total_latency_s += registry.bins.total_latency_s
+                bins.max_latency_s = max(
+                    bins.max_latency_s, registry.bins.max_latency_s
+                )
+                bins.last_baseline_entries += (
+                    registry.bins.last_baseline_entries
+                )
+                bins.last_pending_entries += (
+                    registry.bins.last_pending_entries
+                )
+                bins.hist.merge(registry.bins.hist)
+                for name, hist in registry.hists.items():
+                    if hist.count:
+                        composed.hist(name).merge(hist)
         # Worker-resident gauges (e.g. the monitor's steady-state skip
         # counter) are per-partition and sum to the global value; the
-        # composed view serves the snapshot sampled at sync time.
+        # composed view serves the snapshot sampled at sync time.  Each
+        # worker's own values stay visible under a ``w{wid}.`` prefix.
         seen = set(composed.gauges())
         totals: dict[str, float] = {}
-        for info in infos:
-            for name, value in info["metrics"].get(
-                "gauge_values", {}
-            ).items():
+        for wid, doc in docs.items():
+            _adopt_worker_gauges(composed, wid, doc)
+            for name, value in doc.get("gauge_values", {}).items():
                 if name in seen:
                     continue
                 totals[name] = totals.get(name, 0) + value
         for name, value in totals.items():
-            composed.gauge_source(name, lambda value=value: value)
+            composed.gauge_source(name, lambda value=value: value, replace=True)
         composed.recovery.quarantined_batches = self.quarantined
         return composed
+
+    def metrics_live(self) -> dict:
+        """Live composed snapshot without a drain barrier.
+
+        Combines the driver registry (always current) with the most
+        recent metrics frame each worker piggybacked on the fused sync
+        exchange (or a throttled ``"mtx"`` message between closes).
+        Worker counters therefore trail the stream head by at most one
+        reporting interval; ``snap["live"]`` says how many workers have
+        reported so far.
+
+        Thread-safe against the driving thread: reads only cached
+        frames (never pumps the return queue, which would race the
+        driver's round bookkeeping).
+        """
+        if self._closed:
+            raise RuntimeError("pipeline is closed")
+        frames = dict(self._live_frames)
+        registries: dict[int, PipelineMetrics] = {}
+        for wid in sorted(frames):
+            registry = PipelineMetrics()
+            _load_with_batches(registry, frames[wid])
+            registries[wid] = registry
+        composed = self._compose_worker_metrics(registries, frames)
+        snap = composed.snapshot()
+        snap["depths"] = self._queue_depth_sample()
+        snap["live"] = {
+            "workers": self.workers,
+            "workers_reporting": len(frames),
+            "sync_rounds": self.sync_rounds,
+        }
+        return snap
 
     #: Stage metrics entries the driver registry owns (the rest are
     #: composed from the worker registries).
@@ -2480,6 +2706,10 @@ class ShardProcessKeplerPipeline(CheckpointableChain):
     @property
     def metrics(self) -> PipelineMetrics:
         return self.pipeline._compose_metrics(self.pipeline.sync(("metrics",)))
+
+    def metrics_live(self) -> dict:
+        """Composed live snapshot without draining the workers."""
+        return self.pipeline.metrics_live()
 
     def checkpoint_parts(self) -> dict:
         # Quiesce BEFORE the mixin serialises the shared views: the

@@ -162,10 +162,13 @@ class StagePipeline:
             while index < count:
                 began = time.perf_counter()
                 outs, advanced = feed_run(staged, index)
-                metrics.seconds += time.perf_counter() - began
+                delta = time.perf_counter() - began
+                metrics.seconds += delta
                 metrics.fed += advanced - index
                 metrics.batches += 1
                 metrics.emitted += len(outs)
+                if advanced > index:
+                    metrics.hist.record(delta * 1e9 / (advanced - index))
                 index = advanced
                 if outs:
                     out.extend(self._run(barrier + 1, outs))
@@ -195,10 +198,14 @@ class StagePipeline:
         stage, metrics = self._metered[wire_at]
         began = time.perf_counter()
         tagged = stage.feed_wire_batch(batch)
-        metrics.seconds += time.perf_counter() - began
-        metrics.fed += len(batch[0])
+        delta = time.perf_counter() - began
+        fed = len(batch[0])
+        metrics.seconds += delta
+        metrics.fed += fed
         metrics.batches += 1
         metrics.emitted += len(tagged[0])
+        if fed:
+            metrics.hist.record(delta * 1e9 / fed)
         return self._drive_wire_batch(tagged)
 
     def _drive_wire(self, staged: list[Any]) -> list[Any]:
@@ -206,10 +213,13 @@ class StagePipeline:
         stage, metrics = self._metered[self._wire_at]
         began = time.perf_counter()
         batch = stage.feed_wire(staged)
-        metrics.seconds += time.perf_counter() - began
+        delta = time.perf_counter() - began
+        metrics.seconds += delta
         metrics.fed += len(staged)
         metrics.batches += 1
         metrics.emitted += len(batch[0])
+        if staged:
+            metrics.hist.record(delta * 1e9 / len(staged))
         return self._drive_wire_batch(batch)
 
     def _drive_wire_batch(self, batch: tuple) -> list[Any]:
@@ -247,10 +257,13 @@ class StagePipeline:
         while slot < n:
             began = time.perf_counter()
             outs, advanced = feed_wire_run(view, slot)
-            metrics.seconds += time.perf_counter() - began
+            delta = time.perf_counter() - began
+            metrics.seconds += delta
             metrics.fed += advanced - slot
             metrics.batches += 1
             metrics.emitted += len(outs)
+            if advanced > slot:
+                metrics.hist.record(delta * 1e9 / (advanced - slot))
             slot = advanced
             if outs:
                 sink(outs)
@@ -293,10 +306,12 @@ class StagePipeline:
                 produced = []
                 for element in current:
                     produced.extend(stage.feed(element))
-            metrics.seconds += time.perf_counter() - began
+            delta = time.perf_counter() - began
+            metrics.seconds += delta
             metrics.fed += len(current)
             metrics.batches += 1
             metrics.emitted += len(produced)
+            metrics.hist.record(delta * 1e9 / len(current))
             current = produced
         return current
 

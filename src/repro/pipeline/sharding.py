@@ -445,7 +445,9 @@ class ShardedStagePipeline:
         metrics = chain.metrics.stage(stage.name)
         began = time.perf_counter()
         out = stage.feed(element)
-        metrics.seconds += time.perf_counter() - began
+        delta = time.perf_counter() - began
+        metrics.seconds += delta
+        metrics.hist.record(delta * 1e9)
         metrics.fed += 1
         metrics.batches += 1
         metrics.emitted += len(out)
@@ -534,6 +536,18 @@ class ShardedStagePipeline:
             view.absorb(chain.metrics)
         return view
 
+    def metrics_live(self) -> dict:
+        """Live snapshot of the in-process sharded runtime.
+
+        Everything is driver-resident (the fan-out threads only run
+        inside a dispatch), so the composed view *is* live; no queues,
+        so ``depths`` is empty.
+        """
+        snap = self.metrics.snapshot()
+        snap["depths"] = {}
+        snap["live"] = {"workers": len(self.chains), "workers_reporting": len(self.chains)}
+        return snap
+
     def state_dict(self) -> dict:
         from repro.core.serde import classification_to_json
 
@@ -611,6 +625,9 @@ class ShardedKeplerPipeline(CheckpointableChain):
     @property
     def metrics(self) -> ShardedMetricsView:
         return self.pipeline.metrics
+
+    def metrics_live(self) -> dict:
+        return self.pipeline.metrics_live()
 
     def finalize_records(
         self, end_time: float | None = None

@@ -56,8 +56,9 @@ from repro.pipeline.liveness import PoisonedBatchError, RecoverableWorkerError
 from repro.pipeline.metrics import PipelineMetrics, RecoveryStats
 from repro.pipeline.parallel import DEAD_LETTER_CAP
 from repro.pipeline.runtime import FEED_CHUNK
+from repro.telemetry import TraceJournal
 
-_LOG = logging.getLogger(__name__)
+_LOG = logging.getLogger("repro.pipeline.supervisor")
 
 
 class SupervisedPipeline:
@@ -135,6 +136,10 @@ class SupervisedKeplerPipeline:
         #: supervised dead-letter mirror: quarantined batches harvested
         #: from the (about to be torn down) runtime before recovery.
         self.dead_letters: deque = deque(maxlen=DEAD_LETTER_CAP)
+        #: supervision-lifecycle trace journal: checkpoints, failures,
+        #: replays, degradation.  Supervisor-owned so events survive
+        #: runtime rebuilds; telemetry only, never checkpoint state.
+        self.trace = TraceJournal(pid_label="supervisor")
         self.inner = build()
         self._apply_policy()
         # The epoch checkpoint: a fresh runtime's (empty) document, so
@@ -283,6 +288,12 @@ class SupervisedKeplerPipeline:
                 self._recover(PoisonedBatchError(delta))
                 continue
             self._checkpoint = json.dumps(parts, sort_keys=True)
+            self.trace.emit(
+                "checkpoint",
+                "supervise",
+                journal_elements=self._journal_elements,
+                bytes=len(self._checkpoint),
+            )
             self._journal.clear()
             self._journal_elements = 0
             return
@@ -355,6 +366,12 @@ class SupervisedKeplerPipeline:
         stats = self.recovery_stats
         policy = self.policy
         _LOG.warning("supervisor: recovering from %s", cause)
+        self.trace.emit(
+            "worker_failure",
+            "supervise",
+            cause=type(cause).__name__,
+            journal_elements=self._journal_elements,
+        )
         self._teardown()
         while True:
             stats.restarts += 1
@@ -370,6 +387,11 @@ class SupervisedKeplerPipeline:
                         "supervisor: restart budget (%d) exhausted;"
                         " degrading to the in-process fallback runtime",
                         policy.max_restarts,
+                    )
+                    self.trace.emit(
+                        "degraded",
+                        "supervise",
+                        restarts=stats.restarts,
                     )
             delay = min(
                 policy.backoff_cap_s,
@@ -408,7 +430,16 @@ class SupervisedKeplerPipeline:
                 continue
             stats.replayed_elements += replayed
             break
-        stats.recovery_ms += (time.perf_counter() - began) * 1000.0
+        recovery_s = time.perf_counter() - began
+        stats.recovery_ms += recovery_s * 1000.0
+        self.trace.emit(
+            "replay",
+            "supervise",
+            dur_s=recovery_s,
+            restarts=stats.restarts,
+            replayed=stats.replayed_elements,
+            degraded=stats.degraded,
+        )
 
     def _replay(self) -> int:
         """Re-feed the journal into the freshly restored runtime.
@@ -471,6 +502,44 @@ class SupervisedKeplerPipeline:
         # the supervised total spans every generation.
         view.recovery.quarantined_batches = stats.quarantined_batches
         return view
+
+    def metrics_live(self) -> dict:
+        """Live snapshot with the supervised recovery overlay.
+
+        Unlike :attr:`metrics` this never guards, drains or triggers a
+        recovery: sampling while the runtime is mid-rebuild (torn down
+        between generations) returns a recovery-only snapshot instead
+        of racing the recovery loop.
+        """
+        try:
+            inner_live = getattr(self.inner, "metrics_live", None)
+            if inner_live is not None:
+                snap = inner_live()
+            else:
+                snap = self.inner.metrics.snapshot()
+                snap.setdefault("depths", {})
+                snap.setdefault(
+                    "live", {"workers": 0, "workers_reporting": 0}
+                )
+        except Exception:
+            # The runtime is being torn down / rebuilt under us.
+            snap = {
+                "stages": [],
+                "bins": {},
+                "gauges": {},
+                "hists": {},
+                "depths": {},
+                "live": {"recovering": True},
+            }
+        stats = self.recovery_stats
+        rec = dict(snap.get("recovery", {}))
+        rec["restarts"] = stats.restarts
+        rec["replayed_elements"] = stats.replayed_elements
+        rec["recovery_ms"] = round(stats.recovery_ms, 3)
+        rec["degraded"] = stats.degraded
+        rec["quarantined_batches"] = stats.quarantined_batches
+        snap["recovery"] = rec
+        return snap
 
     def finalize_records(self, end_time: float | None = None):
         return self._guarded_read(

@@ -1,0 +1,23 @@
+"""Shared mutable flags for the telemetry plane.
+
+Kept in a leaf module so ``hist``/``trace`` can read the flags
+without importing the package ``__init__`` (which imports them).
+"""
+
+from __future__ import annotations
+
+#: Default seconds between live metric frames from worker processes.
+DEFAULT_LIVE_INTERVAL_S = 0.25
+
+
+class _State:
+    """Mutable holder so forked workers inherit the flags by value."""
+
+    __slots__ = ("enabled", "live_interval_s")
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.live_interval_s = DEFAULT_LIVE_INTERVAL_S
+
+
+_STATE = _State()
